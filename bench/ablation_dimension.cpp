@@ -1,0 +1,123 @@
+// DIM — Ablation on the combinatorial dimension: the paper's bounds are
+// O(d log n) rounds with work O(d^2 + log n) (low-load).  Sweeping the
+// smallest-enclosing-ball dimension (d = D + 1 for points in R^D) and the
+// dataset basis size shows how rounds and work actually scale with d,
+// echoing the Section 5 observation that "the actual number of rounds
+// depends on the size of the optimal basis".
+//
+// Usage: ablation_dimension [--n=1024] [--reps=5]
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/low_load.hpp"
+#include "problems/min_ball.hpp"
+#include "problems/min_disk.hpp"
+#include "problems/min_interval.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/disk_data.hpp"
+
+namespace {
+
+template <std::size_t D>
+void run_dim_row(std::size_t n, std::size_t reps, lpt::util::Table& table) {
+  using namespace lpt;
+  problems::MinBall<D> p;
+  util::RunningStat rounds, work;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    util::Rng rng(rep * 97 + D);
+    std::vector<geom::VecD<D>> pts(n);
+    for (auto& q : pts) {
+      for (std::size_t k = 0; k < D; ++k) q[k] = rng.uniform(-3.0, 3.0);
+    }
+    core::LowLoadConfig cfg;
+    cfg.seed = rep + 1;
+    const auto res = core::run_low_load(p, pts, n, cfg);
+    LPT_CHECK(res.stats.reached_optimum);
+    rounds.add(static_cast<double>(res.stats.rounds_to_first));
+    work.add(res.stats.max_work_per_round);
+  }
+  table.add_row({"min-ball R^" + util::fmt(D), util::fmt(p.dimension()),
+                 util::fmt(6 * p.dimension() * p.dimension()),
+                 util::fmt(rounds.mean(), 2), util::fmt(work.max(), 0)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 1024));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+
+  bench::banner("Ablation: combinatorial dimension d",
+                "O(d log n) rounds / O(d^2 + log n) work (Theorem 3)");
+
+  std::printf("Low-Load Clarkson, n = %zu random points on n nodes, "
+              "%zu reps\n\n", n, reps);
+  util::Table table({"problem", "dim d", "sample 6d^2", "avg rounds",
+                     "max work/round"});
+  {
+    // d = 2 floor: smallest enclosing interval on the line.
+    problems::MinInterval p;
+    util::RunningStat rounds, work;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      util::Rng rng(rep * 97 + 41);
+      std::vector<double> xs(n);
+      for (auto& x : xs) x = rng.normal();
+      core::LowLoadConfig cfg;
+      cfg.seed = rep + 1;
+      const auto res = core::run_low_load(p, xs, n, cfg);
+      LPT_CHECK(res.stats.reached_optimum);
+      rounds.add(static_cast<double>(res.stats.rounds_to_first));
+      work.add(res.stats.max_work_per_round);
+    }
+    table.add_row({"min-interval R^1", util::fmt(p.dimension()),
+                   util::fmt(6 * p.dimension() * p.dimension()),
+                   util::fmt(rounds.mean(), 2), util::fmt(work.max(), 0)});
+  }
+  {
+    // 2D baseline via MinDisk (d = 3) on the uniform-ish triangle dataset.
+    problems::MinDisk p;
+    util::RunningStat rounds, work;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      util::Rng rng(rep * 97 + 1);
+      const auto pts = workloads::generate_disk_dataset(
+          workloads::DiskDataset::kTriangle, n, rng);
+      core::LowLoadConfig cfg;
+      cfg.seed = rep + 1;
+      const auto res = core::run_low_load(p, pts, n, cfg);
+      LPT_CHECK(res.stats.reached_optimum);
+      rounds.add(static_cast<double>(res.stats.rounds_to_first));
+      work.add(res.stats.max_work_per_round);
+    }
+    table.add_row({"min-disk R^2", util::fmt(p.dimension()),
+                   util::fmt(6 * p.dimension() * p.dimension()),
+                   util::fmt(rounds.mean(), 2), util::fmt(work.max(), 0)});
+  }
+  run_dim_row<3>(n, reps, table);
+  run_dim_row<4>(n, reps, table);
+  table.print();
+
+  std::printf("\nBasis-size effect at fixed dimension (paper Section 5: "
+              "duo-disk's basis of 2\nbeats the basis-3 datasets):\n\n");
+  util::Table basis({"dataset", "|optimal basis|", "avg rounds"});
+  problems::MinDisk p;
+  for (auto dataset : workloads::kAllDiskDatasets) {
+    util::RunningStat rounds;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      util::Rng rng(rep * 11 + 5);
+      const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
+      core::LowLoadConfig cfg;
+      cfg.seed = rep + 1;
+      const auto res = core::run_low_load(p, pts, n, cfg);
+      LPT_CHECK(res.stats.reached_optimum);
+      rounds.add(static_cast<double>(res.stats.rounds_to_first));
+    }
+    basis.add_row({workloads::dataset_name(dataset),
+                   util::fmt(workloads::dataset_basis_size(dataset)),
+                   util::fmt(rounds.mean(), 2)});
+  }
+  basis.print();
+  return 0;
+}

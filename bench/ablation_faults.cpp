@@ -1,0 +1,93 @@
+// FAULT — Ablation on network faults: Section 1.2 motivates gossip by its
+// "stability under stress and disruptions".  This bench quantifies that:
+// round counts of both engines as message loss and sleeping-node rates
+// rise, with correctness verified on every run.
+//
+// Usage: ablation_faults [--i=11] [--reps=5]
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/high_load.hpp"
+#include "core/low_load.hpp"
+#include "problems/min_disk.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/disk_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto i = static_cast<std::size_t>(cli.get_int("i", 11));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  const std::size_t n = std::size_t{1} << i;
+
+  bench::banner("Ablation: fault tolerance of the gossip engines",
+                "Section 1.2's stability-under-disruptions claim");
+
+  problems::MinDisk p;
+  std::printf("n = 2^%zu nodes, triple-disk, %zu reps; every run verified "
+              "against the oracle.\n\n", i, reps);
+  util::Table table({"fault scenario", "low-load rounds", "high-load rounds",
+                     "all correct"});
+  struct Scenario {
+    const char* name;
+    gossip::FaultModel f;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"none", {}});
+  for (double loss : {0.1, 0.3, 0.5}) {
+    gossip::FaultModel f;
+    f.push_loss = loss;
+    f.response_loss = loss;
+    scenarios.push_back(
+        {loss == 0.1 ? "10% msg loss" : (loss == 0.3 ? "30% msg loss"
+                                                     : "50% msg loss"),
+         f});
+  }
+  {
+    gossip::FaultModel f;
+    f.sleep_probability = 0.25;
+    scenarios.push_back({"25% sleepers", f});
+  }
+  {
+    gossip::FaultModel f;
+    f.push_loss = 0.2;
+    f.response_loss = 0.2;
+    f.sleep_probability = 0.2;
+    scenarios.push_back({"20% loss + 20% sleepers", f});
+  }
+
+  for (const auto& sc : scenarios) {
+    util::RunningStat low, high;
+    bool all_correct = true;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      util::Rng rng(rep * 53 + 7);
+      const auto pts = workloads::generate_disk_dataset(
+          workloads::DiskDataset::kTripleDisk, n, rng);
+      const auto oracle = p.solve(pts);
+
+      core::LowLoadConfig lcfg;
+      lcfg.seed = rep + 1;
+      lcfg.faults = sc.f;
+      const auto lres = core::run_low_load(p, pts, n, lcfg);
+      all_correct &= lres.stats.reached_optimum &&
+                     p.same_value(lres.solution, oracle);
+      low.add(static_cast<double>(lres.stats.rounds_to_first));
+
+      core::HighLoadConfig hcfg;
+      hcfg.seed = rep + 1;
+      hcfg.faults = sc.f;
+      const auto hres = core::run_high_load(p, pts, n, hcfg);
+      all_correct &= hres.stats.reached_optimum &&
+                     p.same_value(hres.solution, oracle);
+      high.add(static_cast<double>(hres.stats.rounds_to_first));
+    }
+    table.add_row({sc.name, util::fmt(low.mean(), 2),
+                   util::fmt(high.mean(), 2), all_correct ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\nExpected: graceful degradation — rounds rise smoothly with "
+              "the fault rate\nand no scenario produces a wrong optimum "
+              "(faults only destroy copies,\nnever original elements).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// BASE — The baseline landscape of Section 1.1: round counts of the gossip
+// engines (Theorems 3-4, O(d log n)) against the classic distributed
+// Clarkson on a hypercube (O(d log^2 n)) and the sequential baselines
+// (Clarkson iteration counts, MSW violation-test counts).
+//
+// Usage: baselines [--imin=6] [--imax=12] [--reps=5]
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/clarkson.hpp"
+#include "core/high_load.hpp"
+#include "core/hypercube_clarkson.hpp"
+#include "core/low_load.hpp"
+#include "core/msw.hpp"
+#include "problems/min_disk.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+#include "workloads/disk_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto imin = static_cast<std::size_t>(cli.get_int("imin", 6));
+  const auto imax = static_cast<std::size_t>(cli.get_int("imax", 12));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+
+  bench::banner("Baselines: gossip O(d log n) vs hypercube O(d log^2 n)",
+                "Hinnenthal-Scheideler-Struijs SPAA'19, Section 1.1");
+
+  problems::MinDisk p;
+  util::Table table({"i", "n", "low-load rounds", "high-load rounds",
+                     "hypercube rounds", "hc/low ratio", "seq iters",
+                     "msw viol. tests / n"});
+  std::vector<double> xs, low_r, hc_r;
+  for (std::size_t i = imin; i <= imax; ++i) {
+    const std::size_t n = std::size_t{1} << i;
+    util::RunningStat low, high, hc, seq, msw;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      util::Rng drng(rep * 13 + i);
+      const auto pts = workloads::generate_disk_dataset(
+          workloads::DiskDataset::kTripleDisk, n, drng);
+
+      core::LowLoadConfig lcfg;
+      lcfg.seed = rep + 1;
+      const auto lres = core::run_low_load(p, pts, n, lcfg);
+      LPT_CHECK(lres.stats.reached_optimum);
+      low.add(static_cast<double>(lres.stats.rounds_to_first));
+
+      core::HighLoadConfig hcfg;
+      hcfg.seed = rep + 1;
+      const auto hres = core::run_high_load(p, pts, n, hcfg);
+      LPT_CHECK(hres.stats.reached_optimum);
+      high.add(static_cast<double>(hres.stats.rounds_to_first));
+
+      const auto cres = core::run_hypercube_clarkson(p, pts, n, rep + 1);
+      LPT_CHECK(cres.converged);
+      hc.add(static_cast<double>(cres.rounds));
+
+      util::Rng srng(rep * 29 + 5);
+      const auto sres = core::clarkson_solve(p, pts, srng);
+      seq.add(static_cast<double>(sres.stats.iterations));
+
+      util::Rng mrng(rep * 31 + 7);
+      const auto mres = core::msw_solve(p, pts, mrng);
+      msw.add(static_cast<double>(mres.stats.violation_tests) /
+              static_cast<double>(n));
+    }
+    table.add_row({util::fmt(i), util::fmt(n), util::fmt(low.mean(), 1),
+                   util::fmt(high.mean(), 1), util::fmt(hc.mean(), 1),
+                   util::fmt(hc.mean() / low.mean(), 2),
+                   util::fmt(seq.mean(), 1), util::fmt(msw.mean(), 2)});
+    xs.push_back(static_cast<double>(i));
+    low_r.push_back(low.mean());
+    hc_r.push_back(hc.mean());
+  }
+  table.print();
+  std::printf("\n");
+  bench::report_log_fit("low-load", xs, low_r);
+  // For the hypercube, fit rounds against log^2: report rounds / log2(n)
+  // which should itself grow linearly in log2(n).
+  std::vector<double> hc_norm;
+  for (std::size_t k = 0; k < xs.size(); ++k) hc_norm.push_back(hc_r[k] / xs[k]);
+  bench::report_log_fit("hc/log2(n)", xs, hc_norm);
+  std::printf(
+      "\nExpected: low-load rounds grow linearly in log2(n) while the\n"
+      "hypercube baseline grows like log^2 (its normalized column has a\n"
+      "positive slope), so the hc/low ratio widens with n — the gap the\n"
+      "paper's algorithms close.\n");
+  return 0;
+}

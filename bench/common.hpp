@@ -1,0 +1,43 @@
+// Shared helpers for the benchmark harnesses: repetition sweeps over the
+// distributed engines with per-repetition seeds, aggregated into the same
+// "average rounds until termination" series the paper's figures plot.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace lpt::bench {
+
+/// Average of `reps` runs of `one_run(seed)`.
+inline util::RunningStat average_runs(
+    std::size_t reps, const std::function<double(std::uint64_t)>& one_run,
+    std::uint64_t seed_base = 1) {
+  util::RunningStat stat;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    stat.add(one_run(seed_base + rep * 7919));
+  }
+  return stat;
+}
+
+/// Standard bench banner.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// Fit rounds = a * log2(n) + b over (log2 n, rounds) points and report a.
+inline void report_log_fit(const std::string& label,
+                           const std::vector<double>& log2n,
+                           const std::vector<double>& rounds) {
+  if (log2n.size() < 2) return;
+  const auto fit = util::fit_line(log2n, rounds);
+  std::printf("%-12s rounds ≈ %.2f * log2(n) %+0.2f   (R^2 = %.3f)\n",
+              label.c_str(), fit.slope, fit.intercept, fit.r2);
+}
+
+}  // namespace lpt::bench

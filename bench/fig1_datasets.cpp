@@ -1,0 +1,77 @@
+// FIG1 — Reproduces Figure 1 of the paper: the four minimum-enclosing-disk
+// datasets (duo-disk, triple-disk, triangle, hull).  Prints structural
+// statistics per dataset (the paper shows scatter plots) and, with --svg,
+// writes scatter plots as SVG files for visual comparison with Figure 1.
+//
+// Usage: fig1_datasets [--n=1024] [--seed=1] [--svg] [--outdir=.]
+#include <cstdio>
+#include <fstream>
+
+#include "common.hpp"
+#include "geometry/convex.hpp"
+#include "problems/min_disk.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/disk_data.hpp"
+
+namespace {
+
+void write_svg(const std::string& path, const std::vector<lpt::geom::Vec2>& pts,
+               const lpt::geom::Circle& disk) {
+  std::ofstream out(path);
+  const double s = 180.0;  // scale: world [-1.4, 1.4] -> 500px canvas
+  auto X = [s](double x) { return 250.0 + s * x; };
+  auto Y = [s](double y) { return 250.0 - s * y; };
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='500' height='500'>\n";
+  out << "<rect width='500' height='500' fill='white'/>\n";
+  out << "<circle cx='" << X(disk.center.x) << "' cy='" << Y(disk.center.y)
+      << "' r='" << s * disk.radius
+      << "' fill='none' stroke='black' stroke-width='1'/>\n";
+  for (const auto& p : pts) {
+    out << "<circle cx='" << X(p.x) << "' cy='" << Y(p.y)
+        << "' r='1.5' fill='steelblue'/>\n";
+  }
+  out << "</svg>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 1024));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const bool svg = cli.get_bool("svg", false);
+  const std::string outdir = cli.get("outdir", ".");
+
+  bench::banner("Figure 1: the four minimum-enclosing-disk datasets",
+                "Hinnenthal-Scheideler-Struijs SPAA'19, Figure 1");
+
+  problems::MinDisk p;
+  util::Table table({"dataset", "n", "disk radius", "basis size",
+                     "hull vertices", "mean |pt|", "designed basis"});
+  for (auto dataset : workloads::kAllDiskDatasets) {
+    util::Rng rng(seed);
+    const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
+    const auto sol = p.solve(pts);
+    const auto hull = geom::convex_hull(pts);
+    double mean_norm = 0.0;
+    for (const auto& q : pts) mean_norm += geom::norm(q);
+    mean_norm /= static_cast<double>(pts.size());
+    table.add_row({workloads::dataset_name(dataset), util::fmt(pts.size()),
+                   util::fmt(sol.disk.radius, 4), util::fmt(sol.basis.size()),
+                   util::fmt(hull.size()), util::fmt(mean_norm, 3),
+                   util::fmt(workloads::dataset_basis_size(dataset))});
+    if (svg) {
+      const std::string path =
+          outdir + "/fig1_" + workloads::dataset_name(dataset) + ".svg";
+      write_svg(path, pts, sol.disk);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  table.print();
+  std::printf(
+      "\nAs in the paper: duo-disk's optimal basis has size 2, the other\n"
+      "three have size 3; hull places every point on the boundary.\n");
+  return 0;
+}

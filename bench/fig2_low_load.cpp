@@ -1,0 +1,98 @@
+// FIG2 — Reproduces Figure 2 of the paper: average number of rounds until
+// at least one node finds the minimum enclosing disk, for the Low-Load
+// Clarkson Algorithm, over the four datasets of Figure 1, n = 2^i nodes on
+// n data points.
+//
+// Paper's reported shape (Section 5):
+//   * instances of size < 2^8 finish in one round,
+//   * duo-disk:   ~1.2 * log2(n) rounds,
+//   * the others: ~1.7 * log2(n) rounds,
+//   * duo-disk is faster because its optimal basis has size 2, not 3.
+//
+// Usage: fig2_low_load [--imin=1] [--imax=13] [--reps=10] [--csv]
+//        (paper: i up to 14, 16 for duo-disk; 10 runs per point)
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/low_load.hpp"
+#include "problems/min_disk.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/disk_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto imin = static_cast<std::size_t>(cli.get_int("imin", 1));
+  const auto imax = static_cast<std::size_t>(cli.get_int("imax", 14));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 10));
+
+  bench::banner("Figure 2: Low-Load Clarkson, rounds until first optimum",
+                "Hinnenthal-Scheideler-Struijs SPAA'19, Figure 2 / Section 5");
+
+  problems::MinDisk p;
+  util::Table table({"i", "n", "duo-disk", "triple-disk", "triangle", "hull"});
+  std::vector<double> xs;
+  std::vector<std::vector<double>> series(4);
+
+  for (std::size_t i = imin; i <= imax; ++i) {
+    const std::size_t n = std::size_t{1} << i;
+    std::vector<std::string> row{util::fmt(i), util::fmt(n)};
+    std::vector<double> row_avgs;
+    for (std::size_t di = 0; di < 4; ++di) {
+      const auto dataset = workloads::kAllDiskDatasets[di];
+      const auto stat = bench::average_runs(reps, [&](std::uint64_t seed) {
+        util::Rng data_rng(seed * 31 + i);
+        const auto pts = workloads::generate_disk_dataset(dataset, n, data_rng);
+        core::LowLoadConfig cfg;
+        cfg.seed = seed;
+        const auto res = core::run_low_load(p, pts, n, cfg);
+        LPT_CHECK_MSG(res.stats.reached_optimum, "run failed to converge");
+        return static_cast<double>(res.stats.rounds_to_first);
+      });
+      row_avgs.push_back(stat.mean());
+      if (n >= 256) series[di].push_back(stat.mean());
+    }
+    // Reorder to the paper's column order (duo-disk, triple, triangle, hull
+    // = dataset indices 0,1,2,3 — duo first for readability).
+    row.push_back(util::fmt(row_avgs[0], 2));
+    row.push_back(util::fmt(row_avgs[1], 2));
+    row.push_back(util::fmt(row_avgs[2], 2));
+    row.push_back(util::fmt(row_avgs[3], 2));
+    table.add_row(row);
+    if (n >= 256) xs.push_back(static_cast<double>(i));
+  }
+  table.print();
+  std::printf(
+      "\nThe table reports repeat-loop iterations.  One iteration of "
+      "Algorithm 2\ncosts 3 communication rounds (pull-sample, push W_i, "
+      "process — Section 2),\nwhich is the unit the paper's Figure 2 "
+      "plots.\n");
+  std::printf("\nIteration fits over n >= 2^8 (slope per log2 n):\n");
+  for (std::size_t di = 0; di < 4; ++di) {
+    bench::report_log_fit(
+        workloads::dataset_name(workloads::kAllDiskDatasets[di]), xs,
+        series[di]);
+  }
+  std::printf(
+      "\nRound fits in the paper's units (3 rounds/iteration, natural "
+      "log;\npaper Section 5: ~1.2 ln(n) duo-disk, ~1.7 ln(n) others):\n");
+  for (std::size_t di = 0; di < 4; ++di) {
+    std::vector<double> ln_n, rounds3;
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      ln_n.push_back(xs[k] * 0.6931471805599453);
+      rounds3.push_back(3.0 * series[di][k]);
+    }
+    const auto fit = util::fit_line(ln_n, rounds3);
+    std::printf("%-12s rounds ≈ %.2f * ln(n) %+0.2f   (R^2 = %.3f)   "
+                "ratio at n=2^%zu: %.2f\n",
+                workloads::dataset_name(workloads::kAllDiskDatasets[di]).c_str(),
+                fit.slope, fit.intercept, fit.r2, imax,
+                rounds3.back() / ln_n.back());
+  }
+  if (cli.get_bool("csv", false)) {
+    std::printf("\n%s", table.csv().c_str());
+  }
+  return 0;
+}

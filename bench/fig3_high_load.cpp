@@ -1,0 +1,80 @@
+// FIG3 — Reproduces Figure 3 of the paper: average number of rounds until
+// at least one node finds the minimum enclosing disk, for the High-Load
+// Clarkson Algorithm, over the four datasets, n = 2^i nodes on n points.
+//
+// Paper's reported shape (Section 5):
+//   * duo-disk:   ~0.9 * log2(n) rounds,
+//   * the others: ~1.1 * log2(n) rounds.
+//
+// Usage: fig3_high_load [--imin=1] [--imax=13] [--reps=10] [--csv]
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/high_load.hpp"
+#include "problems/min_disk.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/disk_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto imin = static_cast<std::size_t>(cli.get_int("imin", 1));
+  const auto imax = static_cast<std::size_t>(cli.get_int("imax", 14));
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 10));
+
+  bench::banner("Figure 3: High-Load Clarkson, rounds until first optimum",
+                "Hinnenthal-Scheideler-Struijs SPAA'19, Figure 3 / Section 5");
+
+  problems::MinDisk p;
+  util::Table table({"i", "n", "duo-disk", "triple-disk", "triangle", "hull"});
+  std::vector<double> xs;
+  std::vector<std::vector<double>> series(4);
+
+  for (std::size_t i = imin; i <= imax; ++i) {
+    const std::size_t n = std::size_t{1} << i;
+    std::vector<std::string> row{util::fmt(i), util::fmt(n)};
+    for (std::size_t di = 0; di < 4; ++di) {
+      const auto dataset = workloads::kAllDiskDatasets[di];
+      const auto stat = bench::average_runs(reps, [&](std::uint64_t seed) {
+        util::Rng data_rng(seed * 37 + i);
+        const auto pts = workloads::generate_disk_dataset(dataset, n, data_rng);
+        core::HighLoadConfig cfg;
+        cfg.seed = seed;
+        const auto res = core::run_high_load(p, pts, n, cfg);
+        LPT_CHECK_MSG(res.stats.reached_optimum, "run failed to converge");
+        return static_cast<double>(res.stats.rounds_to_first);
+      });
+      row.push_back(util::fmt(stat.mean(), 2));
+      if (n >= 16) series[di].push_back(stat.mean());
+    }
+    table.add_row(row);
+    if (n >= 16) xs.push_back(static_cast<double>(i));
+  }
+  table.print();
+  std::printf("\nRound fits per log2(n) over n >= 2^4:\n");
+  for (std::size_t di = 0; di < 4; ++di) {
+    bench::report_log_fit(
+        workloads::dataset_name(workloads::kAllDiskDatasets[di]), xs,
+        series[di]);
+  }
+  std::printf(
+      "\nRound fits in natural-log units (paper Section 5: ~0.9 ln(n) "
+      "duo-disk,\n~1.1 ln(n) others; Algorithm 5 pipelines to one round per "
+      "iteration):\n");
+  for (std::size_t di = 0; di < 4; ++di) {
+    std::vector<double> ln_n;
+    for (double x : xs) ln_n.push_back(x * 0.6931471805599453);
+    const auto fit = util::fit_line(ln_n, series[di]);
+    std::printf("%-12s rounds ≈ %.2f * ln(n) %+0.2f   (R^2 = %.3f)   "
+                "ratio at n=2^%zu: %.2f\n",
+                workloads::dataset_name(workloads::kAllDiskDatasets[di]).c_str(),
+                fit.slope, fit.intercept, fit.r2, imax,
+                series[di].back() / ln_n.back());
+  }
+  if (cli.get_bool("csv", false)) {
+    std::printf("\n%s", table.csv().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// L1 — Empirical validation of the paper's sampling machinery:
+//
+//   * Lemma 1:  E|V_R| <= d (m - r) / (r + 1) for random multisets R,
+//   * Lemma 15: the Chernoff-style tail P[|W_i| >= 4 gamma d m / (n(r+1))]
+//               <= 2^-gamma (the paper's main technical innovation),
+//   * Lemma 11: the Section 2.1 pull sampler succeeds w.h.p., and
+//   * ablation: pull-based vs idealized uniform sampling round counts.
+//
+// Usage: lemma_sampling [--m=4096] [--trials=400]
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/low_load.hpp"
+#include "problems/min_disk.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/disk_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto m = static_cast<std::size_t>(cli.get_int("m", 4096));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials", 400));
+
+  bench::banner("Lemmas 1, 11, 15: sampling bounds",
+                "Hinnenthal-Scheideler-Struijs SPAA'19, Sections 1-3");
+
+  problems::MinDisk p;
+  const std::size_t d = p.dimension();
+  util::Rng rng(12345);
+  const auto pts = workloads::generate_disk_dataset(
+      workloads::DiskDataset::kTripleDisk, m, rng);
+
+  // --- Lemma 1: E|V| vs the bound. ---
+  std::printf("Lemma 1: E|V_R| <= d(m-r)/(r+1), m = %zu, d = %zu\n\n", m, d);
+  util::Table l1({"r", "measured E|V|", "bound", "ratio"});
+  for (std::size_t r : {8ul, 16ul, 32ul, 54ul, 128ul, 256ul}) {
+    util::RunningStat v;
+    for (std::size_t tr = 0; tr < trials; ++tr) {
+      std::vector<geom::Vec2> sample;
+      for (auto idx : rng.sample_indices(m, r)) sample.push_back(pts[idx]);
+      const auto sol = p.solve(sample);
+      v.add(static_cast<double>(core::count_violators(p, sol, pts)));
+    }
+    const double bound = static_cast<double>(d) * static_cast<double>(m - r) /
+                         static_cast<double>(r + 1);
+    l1.add_row({util::fmt(r), util::fmt(v.mean(), 2), util::fmt(bound, 2),
+                util::fmt(v.mean() / bound, 3)});
+  }
+  l1.print();
+
+  // --- Lemma 15: tail of |W_i| (per-node violator count). ---
+  const std::size_t n_nodes = 256;
+  const std::size_t r = 6 * d * d;
+  std::printf("\nLemma 15: P[|W_i| >= 4 gamma d m / (n(r+1))] <= 2^-gamma, "
+              "n = %zu, r = %zu\n\n", n_nodes, r);
+  util::Table l15({"gamma", "threshold", "measured tail", "bound 2^-gamma"});
+  std::vector<double> w_samples;
+  util::Rng wrng(777);
+  for (std::size_t tr = 0; tr < trials; ++tr) {
+    std::vector<geom::Vec2> sample;
+    for (auto idx : wrng.sample_indices(m, r)) sample.push_back(pts[idx]);
+    const auto sol = p.solve(sample);
+    // A uniformly random 1/n fraction of H is "node v_i's elements".
+    std::size_t w = 0;
+    for (const auto& h : pts) {
+      if (wrng.below(n_nodes) == 0 && p.violates(sol, h)) ++w;
+    }
+    w_samples.push_back(static_cast<double>(w));
+  }
+  for (double gamma : {1.0, 2.0, 3.0, 4.0}) {
+    const double threshold = 4.0 * gamma * static_cast<double>(d) *
+                             static_cast<double>(m) /
+                             (static_cast<double>(n_nodes) *
+                              static_cast<double>(r + 1));
+    std::size_t exceed = 0;
+    for (double w : w_samples) exceed += (w >= threshold) ? 1 : 0;
+    l15.add_row({util::fmt(gamma, 0), util::fmt(threshold, 2),
+                 util::fmt(static_cast<double>(exceed) /
+                               static_cast<double>(w_samples.size()),
+                           4),
+                 util::fmt(std::pow(2.0, -gamma), 4)});
+  }
+  l15.print();
+
+  // --- Lemma 11 + ablation: pull sampler success and rounds impact. ---
+  std::printf("\nLemma 11 + sampler ablation on a full Low-Load run "
+              "(n = 1024, triple-disk):\n\n");
+  util::Table ab({"sampler", "avg rounds", "sampling failures/attempts"});
+  for (auto mode : {core::SamplingMode::kPullBased,
+                    core::SamplingMode::kIdealized}) {
+    util::RunningStat rounds;
+    double fail = 0, att = 0;
+    for (std::size_t rep = 0; rep < 5; ++rep) {
+      util::Rng drng(rep * 11 + 1);
+      const auto data = workloads::generate_disk_dataset(
+          workloads::DiskDataset::kTripleDisk, 1024, drng);
+      core::LowLoadConfig cfg;
+      cfg.seed = rep + 1;
+      cfg.sampling = mode;
+      cfg.strict_sampling = (mode == core::SamplingMode::kPullBased);
+      const auto res = core::run_low_load(p, data, 1024, cfg);
+      LPT_CHECK(res.stats.reached_optimum);
+      rounds.add(static_cast<double>(res.stats.rounds_to_first));
+      fail += static_cast<double>(res.stats.sampling_failures);
+      att += static_cast<double>(res.stats.sampling_attempts);
+    }
+    ab.add_row({mode == core::SamplingMode::kPullBased ? "pull (Sec 2.1)"
+                                                       : "idealized",
+                util::fmt(rounds.mean(), 2),
+                util::fmt(att > 0 ? fail / att : 0.0, 4)});
+  }
+  ab.print();
+  std::printf(
+      "\nExpected: E|V| ratios near (but Monte-Carlo-noise around) 1.0 — "
+      "for the\nminimum enclosing disk the optimal basis almost surely has "
+      "size 3, which\nmakes Lemma 1's counting argument essentially tight; "
+      "the Lemma 15 tail\ndecays at least as fast as 2^-gamma; the pull "
+      "sampler's failure rate is\nnear zero and costs no extra rounds over "
+      "idealized uniform sampling.\n");
+  return 0;
+}

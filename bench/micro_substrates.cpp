@@ -1,0 +1,133 @@
+// MICRO — google-benchmark microbenchmarks for the substrate kernels the
+// distributed engines spend their time in: Welzl minidisk, Seidel LP,
+// violation testing, the distinct-sample selection of Section 2.1, the
+// sequential Clarkson solver, and mailbox routing.
+#include <benchmark/benchmark.h>
+
+#include "core/clarkson.hpp"
+#include "core/sampling.hpp"
+#include "geometry/welzl.hpp"
+#include "gossip/mailbox.hpp"
+#include "lp/seidel.hpp"
+#include "problems/min_disk.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+#include "workloads/lp_data.hpp"
+
+namespace {
+
+using namespace lpt;
+
+void BM_WelzlMinDisk(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto pts = workloads::generate_disk_dataset(
+      workloads::DiskDataset::kTripleDisk,
+      static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    util::Rng r(2);
+    benchmark::DoNotOptimize(geom::min_disk(pts, r));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WelzlMinDisk)->Arg(54)->Arg(256)->Arg(4096);
+
+void BM_CanonicalSolve(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto pts = workloads::generate_disk_dataset(
+      workloads::DiskDataset::kTriangle,
+      static_cast<std::size_t>(state.range(0)), rng);
+  problems::MinDisk p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.solve(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CanonicalSolve)->Arg(54)->Arg(1024);
+
+void BM_ViolationScan(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto pts = workloads::generate_disk_dataset(
+      workloads::DiskDataset::kHull,
+      static_cast<std::size_t>(state.range(0)), rng);
+  problems::MinDisk p;
+  std::vector<geom::Vec2> sub(pts.begin(), pts.begin() + 20);
+  const auto sol = p.solve(sub);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::count_violators(p, sol, pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViolationScan)->Arg(1024)->Arg(16384);
+
+void BM_SeidelLp(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto inst = workloads::generate_lp_instance(
+      static_cast<std::size_t>(state.range(0)), rng);
+  const lp::Seidel2D solver(inst.objective);
+  for (auto _ : state) {
+    util::Rng r(11);
+    benchmark::DoNotOptimize(solver.solve(inst.constraints, r));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeidelLp)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_SelectDistinct(benchmark::State& state) {
+  util::Rng rng(13);
+  std::vector<geom::Vec2> responses;
+  for (int i = 0; i < state.range(0); ++i) {
+    responses.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  for (auto _ : state) {
+    auto copy = responses;
+    benchmark::DoNotOptimize(
+        core::select_distinct(std::move(copy), 54, rng, false));
+  }
+}
+BENCHMARK(BM_SelectDistinct)->Arg(140)->Arg(280);
+
+void BM_SequentialClarkson(benchmark::State& state) {
+  util::Rng rng(17);
+  const auto pts = workloads::generate_disk_dataset(
+      workloads::DiskDataset::kTripleDisk,
+      static_cast<std::size_t>(state.range(0)), rng);
+  problems::MinDisk p;
+  for (auto _ : state) {
+    util::Rng r(19);
+    benchmark::DoNotOptimize(core::clarkson_solve(p, pts, r));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SequentialClarkson)->Arg(1024)->Arg(8192);
+
+void BM_MailboxRouting(benchmark::State& state) {
+  const std::size_t n = 1024;
+  for (auto _ : state) {
+    gossip::Network net(n, util::Rng(23));
+    gossip::Mailbox<geom::Vec2> mb(net);
+    net.begin_round();
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      for (int k = 0; k < 8; ++k) mb.push(v, geom::Vec2{1.0, 2.0});
+    }
+    mb.deliver();
+    benchmark::DoNotOptimize(mb.inbox(0).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 1024);
+}
+BENCHMARK(BM_MailboxRouting);
+
+void BM_WeightedSampler(benchmark::State& state) {
+  util::Rng rng(29);
+  util::WeightedSampler ws(static_cast<std::size_t>(state.range(0)), 1.0);
+  for (int i = 0; i < state.range(0) / 4; ++i) {
+    ws.scale(rng.below(static_cast<std::uint64_t>(state.range(0))), 2.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.sample(rng));
+  }
+}
+BENCHMARK(BM_WeightedSampler)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Distributed linear programming: n agents each hold private linear
+// constraints (resource limits); the network must agree on the plan of
+// minimum cost satisfying everyone — fixed-dimension LP as an LP-type
+// problem, solved with both gossip engines.
+//
+// Also demonstrates the polytope-distance problem from the paper's
+// abstract on the same infrastructure.
+//
+//   $ lp_gossip [--agents=2048] [--constraints=8192] [--seed=11]
+#include <cstdio>
+
+#include "core/high_load.hpp"
+#include "core/low_load.hpp"
+#include "problems/linear_program2d.hpp"
+#include "problems/polytope_distance.hpp"
+#include "util/cli.hpp"
+#include "workloads/lp_data.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lpt;
+  util::Cli cli(argc, argv);
+  const auto agents = static_cast<std::size_t>(cli.get_int("agents", 2048));
+  const auto m = static_cast<std::size_t>(cli.get_int("constraints", 8192));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+
+  util::Rng rng(seed);
+  const auto inst = workloads::generate_lp_instance(m, rng);
+  problems::LinearProgram2D problem(inst.objective);
+
+  std::printf("distributed LP: %zu constraints over %zu agents, "
+              "minimize (%.0f, %.0f) . x\n\n",
+              m, agents, inst.objective.x, inst.objective.y);
+
+  // |H| = 4n: comfortably in the high-load regime — use Algorithm 5.
+  core::HighLoadConfig hcfg;
+  hcfg.seed = seed;
+  const auto high = core::run_high_load(problem, inst.constraints, agents, hcfg);
+  std::printf("High-Load Clarkson: value %.6f at (%.6f, %.6f) in %zu rounds "
+              "(planted %.6f) [%s]\n",
+              high.solution.value.objective, high.solution.value.point.x,
+              high.solution.value.point.y, high.stats.rounds_to_first,
+              inst.optimal_value,
+              std::abs(high.solution.value.objective - inst.optimal_value) <
+                      1e-6
+                  ? "correct"
+                  : "WRONG");
+
+  // The same constraints through the Low-Load engine (it tolerates
+  // |H| = O(n log n); here |H|/n = 4).
+  core::LowLoadConfig lcfg;
+  lcfg.seed = seed;
+  const auto low = core::run_low_load(problem, inst.constraints, agents, lcfg);
+  std::printf("Low-Load Clarkson:  value %.6f in %zu rounds, max work/round "
+              "%u ops [%s]\n\n",
+              low.solution.value.objective, low.stats.rounds_to_first,
+              low.stats.max_work_per_round,
+              std::abs(low.solution.value.objective - inst.optimal_value) <
+                      1e-6
+                  ? "correct"
+                  : "WRONG");
+
+  // Polytope distance (paper abstract): how far is the fleet's reachable
+  // set from the depot at the origin?
+  problems::PolytopeDistance pd;
+  std::vector<geom::Vec2> cloud;
+  for (std::size_t i = 0; i < agents; ++i) {
+    cloud.push_back({rng.uniform(2.0, 9.0), rng.uniform(-5.0, 5.0)});
+  }
+  const auto pd_oracle = pd.solve(cloud);
+  core::LowLoadConfig pcfg;
+  pcfg.seed = seed + 1;
+  const auto pres = core::run_low_load(pd, cloud, agents, pcfg);
+  std::printf("polytope distance: %.6f (oracle %.6f) in %zu rounds [%s]\n",
+              pres.solution.distance, pd_oracle.distance,
+              pres.stats.rounds_to_first,
+              pd.same_value(pres.solution, pd_oracle) ? "correct" : "WRONG");
+
+  const bool ok =
+      std::abs(high.solution.value.objective - inst.optimal_value) < 1e-6 &&
+      std::abs(low.solution.value.objective - inst.optimal_value) < 1e-6 &&
+      pd.same_value(pres.solution, pd_oracle);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Unknown combinatorial dimension (paper Section 1.4): "If [the nodes do
+// not know d], they may perform a binary search on d (by stopping the
+// algorithm if it takes too long for some d to switch to 2d), which does
+// not affect our bounds since they depend at least linearly on d."
+//
+// This wrapper implements that doubling search on top of the Low-Load
+// engine.  Each stage runs with dimension guess d' and a round budget
+// Theta(d' log n); the Algorithm 3 termination protocol provides the
+// *distributed* success signal — its outputs are correct regardless of the
+// dimension guess (Lemma 12's validity re-checks do not involve d), so a
+// stage that outputs has certifiably found f(H) and the search stops.
+#pragma once
+
+#include "core/low_load.hpp"
+
+namespace lpt::core {
+
+template <LpTypeProblem P>
+struct AutoDimensionResult {
+  typename P::Solution solution;
+  DistributedRunStats stats;      // stats of the successful stage
+  std::size_t d_used = 0;         // the dimension guess that succeeded
+  std::size_t stages = 0;         // how many guesses were tried
+  std::size_t total_rounds = 0;   // rounds summed over all stages
+  bool success = false;
+};
+
+/// Solve (p, h_set) with the Low-Load engine without using p.dimension(),
+/// doubling a dimension guess until a stage's termination protocol
+/// certifies an optimum.  `base` supplies seeds/faults/sampler settings;
+/// its dimension_override, run_termination and max_rounds fields are
+/// managed by the search.
+template <LpTypeProblem P>
+AutoDimensionResult<P> run_low_load_auto_dimension(
+    const P& p, std::span<const typename P::Element> h_set,
+    std::size_t n_nodes, const LowLoadConfig& base = {},
+    std::size_t rounds_per_unit_d = 0) {
+  AutoDimensionResult<P> res;
+  const std::size_t log_n = util::ceil_log2(n_nodes) + 2;
+  if (rounds_per_unit_d == 0) {
+    // Budget per stage: enough for Theta(d log n) iterations plus the
+    // termination protocol's O(log n) maturity tail.
+    rounds_per_unit_d = 12 * log_n;
+  }
+  for (std::size_t d_guess = 1; d_guess <= 2 * (p.dimension() + 1);
+       d_guess *= 2) {
+    ++res.stages;
+    LowLoadConfig cfg = base;
+    cfg.dimension_override = d_guess;
+    cfg.run_termination = true;
+    cfg.max_rounds = rounds_per_unit_d * d_guess + 4 * log_n;
+    cfg.seed = base.seed + 0x9e37 * res.stages;
+    auto stage = run_low_load(p, h_set, n_nodes, cfg);
+    res.total_rounds += stage.stats.rounds_to_all_output
+                            ? stage.stats.rounds_to_all_output
+                            : cfg.max_rounds;
+    if (stage.stats.rounds_to_all_output != 0) {
+      // The protocol certified an output at every node: done.
+      res.solution = std::move(stage.solution);
+      res.stats = stage.stats;
+      res.d_used = d_guess;
+      res.success = true;
+      return res;
+    }
+  }
+  // Fall back to the true dimension (the guard above means this is only
+  // reachable with adversarially small round budgets).
+  LowLoadConfig cfg = base;
+  cfg.run_termination = true;
+  auto stage = run_low_load(p, h_set, n_nodes, cfg);
+  res.solution = std::move(stage.solution);
+  res.stats = stage.stats;
+  res.d_used = p.dimension();
+  res.success = stage.stats.reached_optimum;
+  res.total_rounds += stage.stats.rounds_to_all_output;
+  return res;
+}
+
+}  // namespace lpt::core

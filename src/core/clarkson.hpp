@@ -1,0 +1,112 @@
+// Sequential Clarkson algorithm with multiplicities (paper Algorithm 1).
+//
+// This is the baseline the distributed engines are derived from, and its
+// iteration statistics are what Lemmas 1 and 2 bound; the property tests
+// and bench/lemma_sampling validate those bounds against this code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/lp_type.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::core {
+
+struct ClarksonStats {
+  std::size_t iterations = 0;          // repeat-loop iterations
+  std::size_t successful_iterations = 0;  // |V(µ)| <= |H(µ)|/(3d)
+  std::size_t violation_tests = 0;
+  std::size_t basis_computations = 0;
+  double final_total_multiplicity = 0.0;
+  bool converged = false;
+};
+
+template <ViolatorSpace P>
+struct ClarksonResult {
+  typename P::Solution solution;
+  ClarksonStats stats;
+};
+
+/// Run Algorithm 1 on ground set `h_set`.  `max_iterations` is a safety cap
+/// (the expected iteration count is O(d log n), Lemma 2).
+///
+/// Note the constraint: Clarkson's algorithm needs only the violator-space
+/// primitives (basis computation + violation test), never an ordered
+/// objective — the Section 1.3 generality observation.
+template <ViolatorSpace P>
+ClarksonResult<P> clarkson_solve(const P& p,
+                                 std::span<const typename P::Element> h_set,
+                                 util::Rng& rng,
+                                 std::size_t max_iterations = 0) {
+  using Element = typename P::Element;
+  ClarksonResult<P> res;
+  const std::size_t n = h_set.size();
+  const std::size_t d = p.dimension();
+  const std::size_t r = 6 * d * d;
+
+  // Line 1: small inputs are solved directly.
+  if (n <= r) {
+    res.solution = p.solve(h_set);
+    res.stats.basis_computations = 1;
+    res.stats.converged = true;
+    return res;
+  }
+  if (max_iterations == 0) {
+    max_iterations = 64 * d * (util::ceil_log2(n) + 1);
+  }
+
+  // Lines 3-4: multiplicities µ_h = 1, maintained in a Fenwick tree so each
+  // weighted draw is O(log n).  Multiplicities are stored as doubles: they
+  // only ever double, so values stay exact powers of two.
+  util::WeightedSampler mu(n, 1.0);
+
+  std::vector<Element> sample;
+  std::vector<std::size_t> violators;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    ++res.stats.iterations;
+    // Line 6: random multiset R of size r from H(µ) (i.i.d. draws
+    // proportional to multiplicity).
+    sample.clear();
+    for (std::size_t k = 0; k < r; ++k) {
+      sample.push_back(h_set[mu.sample(rng)]);
+    }
+    const auto sol = p.solve(sample);
+    ++res.stats.basis_computations;
+
+    // Line 7: V = multiset of violated elements; we track ground-set
+    // indices and weigh them by µ.
+    violators.clear();
+    double violated_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++res.stats.violation_tests;
+      if (p.violates(sol, h_set[i])) {
+        violators.push_back(i);
+        violated_weight += mu.weight(i);
+      }
+    }
+    if (violators.empty()) {
+      // Line 10: V = ∅ — R already spans an optimal basis.
+      res.solution = sol;
+      res.stats.final_total_multiplicity = mu.total();
+      res.stats.converged = true;
+      return res;
+    }
+    // Lines 8-9: double multiplicities only in successful iterations.
+    if (violated_weight <= mu.total() / (3.0 * static_cast<double>(d))) {
+      ++res.stats.successful_iterations;
+      for (std::size_t i : violators) mu.scale(i, 2.0);
+    }
+  }
+  // Cap hit (probability polynomially small): fall back to the exact solve
+  // so callers still get a correct answer, but flag non-convergence.
+  res.solution = p.solve(h_set);
+  res.stats.final_total_multiplicity = mu.total();
+  res.stats.converged = false;
+  return res;
+}
+
+}  // namespace lpt::core

@@ -1,0 +1,205 @@
+// The High-Load Clarkson Algorithm (paper Section 3: Algorithm 5) and its
+// accelerated variant (Section 3.1).
+//
+// Setting: |H| up to poly(n).  Per round every node v_i:
+//
+//   1. computes an optimal basis B_i of its local multiset H(v_i),
+//   2. pushes B_i to C uniformly random nodes (C = 1 is Algorithm 5;
+//      C = log^eps n gives the accelerated O(d log n / log log n) variant),
+//   3. for every received basis B_j, pushes its local violators
+//      W_j = { h in H(v_i) : f(B_j) < f(B_j + h) } to random nodes.
+//
+// There is no filtering; |H(V)| grows by O(C d n log n) per round w.h.p.
+// (Lemma 15, the paper's Chernoff-style higher-moment bound), while copies
+// of some optimal-basis element multiply by (C+1) per d rounds (Lemmas 16
+// and 17), which forces termination within O(d log n / log(C+1)) rounds.
+//
+// Theorem 4: O(d log n) rounds at O(d log n) work per round (C = 1), or
+// O(d log n / log log n) rounds at O(d log^{1+eps} n) work.
+// bench/fig3_high_load reproduces Figure 3; bench/thm4_accelerated sweeps C.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/lp_type.hpp"
+#include "core/result.hpp"
+#include "core/termination.hpp"
+#include "gossip/mailbox.hpp"
+#include "gossip/network.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace lpt::core {
+
+struct HighLoadConfig {
+  std::uint64_t seed = 1;
+  std::size_t push_copies = 1;   // the C of Section 3.1 (1 = Algorithm 5)
+  bool run_termination = false;  // run Algorithm 3 until every node outputs
+  std::size_t termination_maturity = 0;  // 0: 2*ceil(log2 n) + 4
+  std::size_t max_rounds = 0;            // 0: auto safety cap
+  gossip::FaultModel faults;             // message loss / sleeping nodes
+};
+
+namespace detail {
+
+/// Wire message carrying a basis (<= d elements, i.e. O(d log n) bits).
+template <typename Element>
+struct BasisMsg {
+  std::vector<Element> basis;
+
+  friend std::size_t wire_size(const BasisMsg& m) noexcept {
+    return m.basis.size() * sizeof(Element);
+  }
+};
+
+}  // namespace detail
+
+template <LpTypeProblem P>
+struct HighLoadResultExtras {
+  std::size_t max_local_elements = 0;  // max |H(v_i)| seen (Lemma: (1±eps)m/n)
+  std::size_t max_single_w = 0;        // max |W_j| pushed at once (Lemma 15)
+};
+
+template <LpTypeProblem P>
+struct HighLoadResult {
+  typename P::Solution solution;
+  DistributedRunStats stats;
+  HighLoadResultExtras<P> extras;
+};
+
+template <LpTypeProblem P>
+HighLoadResult<P> run_high_load(const P& p,
+                                std::span<const typename P::Element> h_set,
+                                std::size_t n_nodes,
+                                const HighLoadConfig& cfg = {}) {
+  using Element = typename P::Element;
+  using Msg = detail::BasisMsg<Element>;
+
+  HighLoadResult<P> res;
+  const std::size_t d = p.dimension();
+  const std::size_t n = n_nodes;
+  const std::size_t c_copies = cfg.push_copies ? cfg.push_copies : 1;
+  LPT_CHECK(n >= 1 && d >= 1);
+  const auto oracle = p.solve(h_set);
+  if (h_set.empty()) {
+    res.solution = oracle;
+    res.stats.reached_optimum = true;
+    return res;
+  }
+
+  util::Rng master(cfg.seed);
+  gossip::Network net(n, master.child(0), cfg.faults);
+  util::Rng dist_rng = master.child(1);
+
+  std::vector<std::vector<Element>> store(n);
+  for (const auto& h : h_set) {
+    store[dist_rng.below(n)].push_back(h);
+  }
+
+  const std::size_t maturity = cfg.termination_maturity
+                                   ? cfg.termination_maturity
+                                   : 2 * (util::ceil_log2(n) + 2);
+  const std::size_t max_rounds =
+      cfg.max_rounds ? cfg.max_rounds
+                     : 60 * d * (util::ceil_log2(n) + 2) + 8 * maturity + 60;
+
+  gossip::Mailbox<Msg> basis_mail(net);
+  gossip::Mailbox<Element> elem_mail(net);
+  TerminationProtocol<P> term(p, net, maturity);
+
+  auto total_elements = [&] {
+    std::size_t m = 0;
+    for (const auto& s : store) m += s.size();
+    return m;
+  };
+  res.stats.initial_total_elements = total_elements();
+  res.stats.max_total_elements = res.stats.initial_total_elements;
+
+  bool found = false;
+  for (std::size_t t = 1; t <= max_rounds; ++t) {
+    net.begin_round();
+
+    // Lines 3-4: local basis computation and C pushes.  Nodes holding no
+    // element yet have nothing to propose (f(∅) would mark *everything* a
+    // violator); they only participate as receivers this round.
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      if (store[v].empty() || net.asleep(v)) continue;
+      const auto sol = p.solve(store[v]);
+      if (!found && p.same_value(sol, oracle)) {
+        found = true;
+        res.solution = sol;
+        res.stats.rounds_to_first = t;
+        res.stats.reached_optimum = true;
+      }
+      if (cfg.run_termination) {
+        term.inject(v, static_cast<std::uint32_t>(t), sol);
+      }
+      for (std::size_t k = 0; k < c_copies; ++k) {
+        basis_mail.push(v, Msg{sol.basis});
+      }
+      if (store[v].size() > res.extras.max_local_elements) {
+        res.extras.max_local_elements = store[v].size();
+      }
+    }
+    basis_mail.deliver();
+
+    // Lines 5-7: violator pushes for every received basis.
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      if (net.asleep(v)) continue;
+      for (const auto& msg : basis_mail.inbox(v)) {
+        const auto sol_j = p.from_basis(msg.basis);
+        std::size_t w = 0;
+        for (const auto& h : store[v]) {
+          if (p.violates(sol_j, h)) {
+            elem_mail.push(v, h);
+            ++w;
+          }
+        }
+        if (w > res.extras.max_single_w) res.extras.max_single_w = w;
+      }
+    }
+    elem_mail.deliver();
+
+    // Line 8: add received elements.
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      for (const auto& h : elem_mail.inbox(v)) store[v].push_back(h);
+    }
+
+    if (cfg.run_termination) {
+      term.round(static_cast<std::uint32_t>(t), [&](gossip::NodeId v) {
+        return std::span<const Element>(store[v].data(), store[v].size());
+      });
+    }
+
+    const std::size_t m = total_elements();
+    if (m > res.stats.max_total_elements) res.stats.max_total_elements = m;
+
+    const bool done = cfg.run_termination ? term.all_output() : found;
+    if (done) {
+      res.stats.rounds_to_all_output = cfg.run_termination ? t : 0;
+      break;
+    }
+  }
+
+  if (cfg.run_termination) {
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      const auto& out = term.output(v);
+      if (!out || !p.same_value(*out, oracle)) {
+        res.stats.all_outputs_correct = false;
+        break;
+      }
+    }
+  }
+
+  net.meter().finish();
+  res.stats.max_work_per_round = net.meter().max_work_per_round();
+  res.stats.total_push_ops = net.meter().total_push_ops();
+  res.stats.total_pull_ops = net.meter().total_pull_ops();
+  res.stats.total_bytes = net.meter().total_bytes();
+  res.stats.final_total_elements = total_elements();
+  return res;
+}
+
+}  // namespace lpt::core

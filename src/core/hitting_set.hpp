@@ -1,0 +1,230 @@
+// The distributed Hitting Set Algorithm (paper Section 4, Algorithm 6) —
+// also the set-cover solver via the duality of Section 1.4.
+//
+// (X, S) with |X| = n elements, |S| = s sets, minimum hitting set size d.
+// Every node knows S (part of the problem description); the *elements* of X
+// are randomly distributed and gossiped.  Per round each node:
+//
+//   1. samples a multiset R_i of size r >= 6 d ln(12 d s) from X(V)
+//      (Section 2.1 sampler),
+//   2. if R_i hits everything, R_i is the answer (size O(d log(ds))),
+//   3. otherwise picks a *random* unhit set S, and pushes W_i = S \ X(v_i)
+//      — capped at c d log n elements — to random nodes (this doubles the
+//      multiplicity of elements of sparse unhit sets, Lemma 18),
+//   4. filters non-original copies with probability 1/(1 + 1/(2d)).
+//
+// Theorem 5: a hitting set of size O(d log(ds)) in O(d log n) rounds with
+// work O(d log(ds) + log n) per round, w.h.p.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/low_load.hpp"  // detail::NodeStore
+#include "core/result.hpp"
+#include "core/sampling.hpp"
+#include "gossip/mailbox.hpp"
+#include "gossip/network.hpp"
+#include "problems/hitting_set_problem.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace lpt::core {
+
+struct HittingSetConfig {
+  std::uint64_t seed = 1;
+  std::size_t hitting_set_size = 0;  // the paper's d; 0 = start doubling at 1
+  std::size_t sample_size = 0;       // r; 0 = ceil(6 d ln(12 d s))
+  double sampler_c = 2.0;
+  double push_cap_c = 4.0;  // the c of "|W_i| <= c d log n"
+  bool strict_sampling = false;
+  bool filtering = true;
+  std::size_t max_rounds = 0;  // 0: auto cap (per doubling stage)
+  gossip::FaultModel faults;   // message loss / sleeping nodes
+};
+
+struct HittingSetRunResult {
+  std::vector<std::uint32_t> hitting_set;  // the winning R_i
+  bool valid = false;                      // hits every set (always checked)
+  std::size_t d_used = 0;                  // final d of the doubling search
+  std::size_t sample_size = 0;             // final r
+  DistributedRunStats stats;
+};
+
+/// The paper's prescription for r given d and s.
+inline std::size_t hitting_set_sample_size(std::size_t d, std::size_t s) {
+  const double dd = static_cast<double>(d);
+  const double ss = static_cast<double>(s);
+  return static_cast<std::size_t>(std::ceil(6.0 * dd * std::log(12.0 * dd * ss)));
+}
+
+namespace detail {
+
+struct HsStageOutcome {
+  bool found = false;
+  std::vector<std::uint32_t> hitting_set;
+  std::size_t rounds = 0;
+};
+
+}  // namespace detail
+
+/// Run Algorithm 6 over `n_nodes` gossip nodes.  If cfg.hitting_set_size is
+/// zero the engine performs the doubling search on d the paper sketches in
+/// Section 1.4 ("binary search on d, stopping the algorithm if it takes too
+/// long"): each stage runs O(d log n) rounds and on failure d doubles.
+inline HittingSetRunResult run_hitting_set(
+    const problems::HittingSetProblem& problem, std::size_t n_nodes,
+    const HittingSetConfig& cfg = {}) {
+  using Element = std::uint32_t;
+  const auto& sys = problem.system();
+  const std::size_t n = n_nodes;
+  const std::size_t x_size = sys.universe_size();
+  const std::size_t s = sys.set_count();
+  LPT_CHECK(n >= 1 && x_size >= 1 && s >= 1);
+
+  HittingSetRunResult res;
+  util::Rng master(cfg.seed);
+  gossip::Network net(n, master.child(0), cfg.faults);
+  util::Rng dist_rng = master.child(1);
+  std::vector<util::Rng> node_rng;
+  node_rng.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) node_rng.push_back(master.child(2 + v));
+
+  // Initial placement of X over the nodes.
+  std::vector<detail::NodeStore<Element>> store(n);
+  for (std::uint32_t x = 0; x < x_size; ++x) {
+    store[dist_rng.below(n)].add_original(x);
+  }
+  auto total_elements = [&] {
+    std::size_t m = 0;
+    for (const auto& st : store) m += st.elems.size();
+    return m;
+  };
+  res.stats.initial_total_elements = total_elements();
+  res.stats.max_total_elements = res.stats.initial_total_elements;
+
+  gossip::Mailbox<Element> copies_mail(net);
+  gossip::PullChannel<Element> sample_chan(net);
+  const std::size_t log_n = util::ceil_log2(n) + 1;
+
+  std::size_t d = cfg.hitting_set_size ? cfg.hitting_set_size : 1;
+  bool done = false;
+  std::size_t global_round = 0;
+  std::vector<std::uint8_t> hit;
+  std::vector<std::uint32_t> unhit;
+
+  while (!done) {
+    const std::size_t r = cfg.sample_size
+                              ? cfg.sample_size
+                              : hitting_set_sample_size(d, s);
+    SamplerConfig sampler;
+    sampler.target = r;
+    sampler.c = cfg.sampler_c;
+    sampler.log_n = log_n;
+    sampler.strict = cfg.strict_sampling;
+    const std::size_t pulls = sampler.pulls_per_node();
+    const double keep_p =
+        1.0 / (1.0 + 1.0 / (2.0 * static_cast<double>(d)));
+    const auto push_cap = static_cast<std::size_t>(
+        cfg.push_cap_c * static_cast<double>(d) *
+        static_cast<double>(log_n)) + 1;
+    const std::size_t stage_rounds =
+        cfg.max_rounds ? cfg.max_rounds
+                       : 40 * d * (util::ceil_log2(n) + 2) + 40;
+
+    for (std::size_t t = 1; t <= stage_rounds && !done; ++t) {
+      ++global_round;
+      net.begin_round();
+
+      // Sampling (Section 2.1).
+      for (gossip::NodeId v = 0; v < n; ++v) {
+        if (net.asleep(v)) continue;
+        for (std::size_t k = 0; k < pulls; ++k) sample_chan.request(v);
+      }
+      sample_chan.resolve(
+          [&](gossip::NodeId target) -> std::optional<Element> {
+            const auto& st = store[target];
+            if (st.elems.empty()) return std::nullopt;
+            return st.elems[net.rng().below(st.elems.size())];
+          });
+
+      for (gossip::NodeId v = 0; v < n; ++v) {
+        if (net.asleep(v)) continue;
+        ++res.stats.sampling_attempts;
+        auto outcome = select_distinct(sample_chan.responses(v), r,
+                                       node_rng[v], sampler.strict);
+        if (!outcome.success) {
+          ++res.stats.sampling_failures;
+          continue;
+        }
+        // S_i: sets not hit by R_i.
+        problem.mark_hit(outcome.sample, hit);
+        unhit.clear();
+        for (std::uint32_t j = 0; j < s; ++j) {
+          if (!hit[j]) unhit.push_back(j);
+        }
+        if (unhit.empty()) {
+          // R_i is a hitting set: the algorithm's answer (line 13).
+          if (!done) {
+            done = true;
+            res.hitting_set = std::move(outcome.sample);
+            res.stats.rounds_to_first = global_round;
+            res.stats.reached_optimum = true;
+            res.d_used = d;
+            res.sample_size = r;
+          }
+          continue;
+        }
+        // Random unhit set; W_i = S \ X(v_i), capped (lines 6-9).
+        const auto& chosen =
+            sys.set(unhit[node_rng[v].below(unhit.size())]);
+        std::vector<Element> wi;
+        for (auto x : chosen) {
+          bool have = false;
+          for (auto own : store[v].view()) {
+            if (own == x) {
+              have = true;
+              break;
+            }
+          }
+          if (!have) wi.push_back(x);
+        }
+        if (wi.size() <= push_cap) {
+          for (auto x : wi) copies_mail.push(v, x);
+        }
+      }
+
+      copies_mail.deliver();
+      for (gossip::NodeId v = 0; v < n; ++v) {
+        for (const auto& x : copies_mail.inbox(v)) store[v].add_copy(x);
+      }
+      if (cfg.filtering) {
+        for (gossip::NodeId v = 0; v < n; ++v) {
+          store[v].filter(node_rng[v], keep_p);
+        }
+      }
+      const std::size_t m = total_elements();
+      if (m > res.stats.max_total_elements) res.stats.max_total_elements = m;
+    }
+
+    if (!done) {
+      if (cfg.hitting_set_size || d >= x_size) break;  // give up
+      d *= 2;  // doubling search on the unknown minimum hitting set size
+    }
+  }
+
+  res.valid = !res.hitting_set.empty() &&
+              problem.is_hitting_set(res.hitting_set);
+  net.meter().finish();
+  res.stats.max_work_per_round = net.meter().max_work_per_round();
+  res.stats.total_push_ops = net.meter().total_push_ops();
+  res.stats.total_pull_ops = net.meter().total_pull_ops();
+  res.stats.total_bytes = net.meter().total_bytes();
+  res.stats.final_total_elements = total_elements();
+  return res;
+}
+
+}  // namespace lpt::core

@@ -1,0 +1,153 @@
+// Distributed Clarkson on a hypercube — the classic baseline of paper
+// Section 1.1: "Clarkson's algorithm can easily be transformed into a
+// distributed algorithm with expected runtime O(d log^2 n) if n nodes are
+// interconnected by a hypercube, because every round of the algorithm can
+// be executed in O(log n) communication rounds w.h.p."
+//
+// Each Clarkson iteration costs a constant number of hypercube collectives
+// (weighted-sample prefix sums, sample routing, basis broadcast, violation
+// reduce), each ceil(log2 n) rounds, so the total is Theta(d log^2 n) —
+// the baseline bench/baselines compares against the gossip engines'
+// Theta(d log n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/lp_type.hpp"
+#include "gossip/hypercube.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::core {
+
+template <LpTypeProblem P>
+struct HypercubeClarksonResult {
+  typename P::Solution solution;
+  std::size_t iterations = 0;        // Clarkson repeat-loop iterations
+  std::size_t rounds = 0;            // hypercube communication rounds
+  bool converged = false;
+};
+
+template <LpTypeProblem P>
+HypercubeClarksonResult<P> run_hypercube_clarkson(
+    const P& p, std::span<const typename P::Element> h_set,
+    std::size_t n_nodes, std::uint64_t seed, std::size_t max_iterations = 0) {
+  using Element = typename P::Element;
+  HypercubeClarksonResult<P> res;
+  LPT_CHECK_MSG(util::is_pow2(n_nodes), "hypercube baseline needs n = 2^k");
+  const std::size_t d = p.dimension();
+  const std::size_t r = 6 * d * d;
+  const std::size_t n = h_set.size();
+  if (max_iterations == 0) {
+    max_iterations = 64 * d * (util::ceil_log2(n ? n : 1) + 2);
+  }
+
+  util::Rng rng(seed);
+  gossip::Hypercube hc(n_nodes);
+
+  // Elements randomly distributed over the hypercube nodes, with local
+  // Clarkson multiplicities (doubling keeps them exact powers of two).
+  struct Local {
+    std::vector<Element> elems;
+    std::vector<double> weight;
+  };
+  std::vector<Local> node(n_nodes);
+  for (const auto& h : h_set) {
+    auto& loc = node[rng.below(n_nodes)];
+    loc.elems.push_back(h);
+    loc.weight.push_back(1.0);
+  }
+
+  if (n <= r) {
+    // Small input: one gather + local solve + broadcast.
+    res.solution = p.solve(h_set);
+    hc.route_messages();
+    std::vector<int> dummy(n_nodes, 0);
+    hc.broadcast(dummy, 0);
+    res.rounds = hc.rounds_used();
+    res.converged = true;
+    return res;
+  }
+
+  std::vector<double> node_weight(n_nodes, 0.0);
+  std::vector<Element> sample;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    ++res.iterations;
+
+    // (1) Exclusive prefix sums of per-node total weights: log n rounds.
+    for (std::size_t v = 0; v < n_nodes; ++v) {
+      double s = 0.0;
+      for (double w : node[v].weight) s += w;
+      node_weight[v] = s;
+    }
+    std::vector<double> prefix = node_weight;
+    const double total = hc.prefix_sum(prefix);
+
+    // (2) Leader draws r weighted positions; owning nodes resolve them
+    //     locally and route the elements to the leader: log n rounds.
+    sample.clear();
+    for (std::size_t k = 0; k < r; ++k) {
+      const double target = rng.uniform() * total;
+      std::size_t v = 0;
+      for (std::size_t cand = n_nodes; cand-- > 0;) {
+        if (prefix[cand] <= target) {
+          v = cand;
+          break;
+        }
+      }
+      double within = target - prefix[v];
+      const auto& loc = node[v];
+      std::size_t idx = 0;
+      for (; idx + 1 < loc.weight.size(); ++idx) {
+        if (within < loc.weight[idx]) break;
+        within -= loc.weight[idx];
+      }
+      if (!loc.elems.empty()) sample.push_back(loc.elems[idx]);
+    }
+    hc.route_messages();
+
+    // (3) Leader solves the sample and broadcasts the basis: log n rounds.
+    const auto sol = p.solve(sample);
+    std::vector<int> dummy(n_nodes, 0);
+    hc.broadcast(dummy, 0);
+
+    // (4) Local violation tests; all-reduce the violated weight: log n.
+    double violated_weight = 0.0;
+    bool any_violator = false;
+    for (auto& loc : node) {
+      for (std::size_t i = 0; i < loc.elems.size(); ++i) {
+        if (p.violates(sol, loc.elems[i])) {
+          violated_weight += loc.weight[i];
+          any_violator = true;
+        }
+      }
+    }
+    violated_weight = hc.all_reduce(std::vector<double>(n_nodes, 0.0),
+                                    violated_weight,
+                                    [](double a, double b) { return a + b; });
+
+    if (!any_violator) {
+      res.solution = sol;
+      res.converged = true;
+      res.rounds = hc.rounds_used();
+      return res;
+    }
+    // (5) Successful iteration: local doubling (no communication).
+    if (violated_weight <= total / (3.0 * static_cast<double>(d))) {
+      for (auto& loc : node) {
+        for (std::size_t i = 0; i < loc.elems.size(); ++i) {
+          if (p.violates(sol, loc.elems[i])) loc.weight[i] *= 2.0;
+        }
+      }
+    }
+  }
+  res.solution = p.solve(h_set);
+  res.converged = false;
+  res.rounds = hc.rounds_used();
+  return res;
+}
+
+}  // namespace lpt::core

@@ -1,0 +1,320 @@
+// The Low-Load Clarkson Algorithm (paper Section 2: Algorithms 2 and 4).
+//
+// Setting: |H| = O(n log n), elements initially distributed uniformly at
+// random over n anonymous gossip nodes.  Per iteration (= one round, the
+// paper's Section 2 convention) every node:
+//
+//   1. samples a random multiset R_i of size 6d^2 from H(V) with the
+//      Section 2.1 pull sampler,
+//   2. pushes its local violators W_i = { h in H(v_i) : f(R_i) < f(R_i+h) }
+//      to uniformly random nodes (multiplicity doubling, distributed), and
+//   3. filters: every non-original element is kept with probability
+//      1/(1 + 1/(2d)), so |H(V)| stays O(|H_0|) (Lemma 9) while original
+//      elements are never deleted (no wash-out).
+//
+// Nodes with no initial element first run the Section 2.3 pull phase so
+// that |H(V)| >= n holds from O(log n) rounds on (Lemma 13).
+//
+// Theorem 3: O(d log n) rounds and O(d^2 + log n) work per node per round,
+// w.h.p.  bench/fig2_low_load reproduces Figure 2 with this engine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/lp_type.hpp"
+#include "core/result.hpp"
+#include "core/sampling.hpp"
+#include "core/termination.hpp"
+#include "gossip/mailbox.hpp"
+#include "gossip/network.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace lpt::core {
+
+enum class SamplingMode {
+  kPullBased,   // Section 2.1 sampler (the paper's algorithm)
+  kIdealized,   // exact uniform draws from H(V) (ablation upper bound)
+};
+
+struct LowLoadConfig {
+  std::uint64_t seed = 1;
+  double sampler_c = 2.0;        // pull-count constant of Section 2.1
+  bool strict_sampling = false;  // fail short samples (theory mode)
+  bool filtering = true;         // Algorithm 2 line 8-9 (ablation toggle)
+  SamplingMode sampling = SamplingMode::kPullBased;
+  bool run_termination = false;  // run Algorithm 3 until every node outputs
+  std::size_t termination_maturity = 0;  // 0: 2*ceil(log2 n) + 4
+  std::size_t max_rounds = 0;            // 0: auto safety cap
+  std::size_t min_rounds = 0;  // keep simulating at least this many rounds
+                               // even after the optimum is found (used by
+                               // long-horizon load measurements / ablations)
+  gossip::FaultModel faults;   // message loss / sleeping nodes (Section 1.2's
+                               // robustness claim; see gossip::FaultModel)
+  std::size_t dimension_override = 0;  // run as if dim(H, f) were this value
+                                       // (the Section 1.4 doubling search on
+                                       // an unknown d; 0 = use p.dimension())
+};
+
+template <LpTypeProblem P>
+struct DistributedLpResult {
+  typename P::Solution solution;  // the optimum found (first node's f(R_i))
+  DistributedRunStats stats;
+};
+
+namespace detail {
+
+/// Per-node element store.  elems[0..h0_count) is H_0(v_i) — the original
+/// elements, which the algorithm never deletes — and the tail holds copies
+/// created by W_i pushes, which filtering may drop.
+template <typename Element>
+struct NodeStore {
+  std::vector<Element> elems;
+  std::size_t h0_count = 0;
+
+  void add_original(const Element& h) {
+    elems.insert(elems.begin() + static_cast<std::ptrdiff_t>(h0_count), h);
+    ++h0_count;
+  }
+  void add_copy(const Element& h) { elems.push_back(h); }
+
+  std::span<const Element> view() const noexcept {
+    return {elems.data(), elems.size()};
+  }
+
+  void filter(util::Rng& rng, double keep_probability) {
+    std::size_t w = h0_count;
+    for (std::size_t i = h0_count; i < elems.size(); ++i) {
+      if (rng.bernoulli(keep_probability)) elems[w++] = elems[i];
+    }
+    elems.resize(w);
+  }
+};
+
+}  // namespace detail
+
+/// Run the Low-Load Clarkson Algorithm on (p, h_set) over `n_nodes` gossip
+/// nodes.  The run stops when some node's sample attains f(H) (the paper's
+/// Figure 2 measurement), or — with cfg.run_termination — when every node
+/// has produced an Algorithm 3 output.
+template <LpTypeProblem P>
+DistributedLpResult<P> run_low_load(const P& p,
+                                    std::span<const typename P::Element> h_set,
+                                    std::size_t n_nodes,
+                                    const LowLoadConfig& cfg = {}) {
+  using Element = typename P::Element;
+  using Store = detail::NodeStore<Element>;
+
+  DistributedLpResult<P> res;
+  const std::size_t d =
+      cfg.dimension_override ? cfg.dimension_override : p.dimension();
+  const std::size_t n = n_nodes;
+  LPT_CHECK(n >= 1 && d >= 1);
+  const auto oracle = p.solve(h_set);
+  if (h_set.empty()) {
+    res.solution = oracle;
+    res.stats.reached_optimum = true;
+    return res;
+  }
+
+  util::Rng master(cfg.seed);
+  gossip::Network net(n, master.child(0), cfg.faults);
+  util::Rng dist_rng = master.child(1);
+  std::vector<util::Rng> node_rng;
+  node_rng.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) node_rng.push_back(master.child(2 + v));
+
+  // Initial placement: every element lands on a uniformly random node
+  // (the paper's standing assumption; achievable with one push each).
+  std::vector<Store> store(n);
+  for (const auto& h : h_set) {
+    store[dist_rng.below(n)].add_original(h);
+  }
+
+  SamplerConfig sampler;
+  sampler.target = 6 * d * d;
+  sampler.c = cfg.sampler_c;
+  sampler.log_n = util::ceil_log2(n) + 1;
+  sampler.strict = cfg.strict_sampling;
+  const std::size_t pulls = sampler.pulls_per_node();
+  const double keep_p =
+      1.0 / (1.0 + 1.0 / (2.0 * static_cast<double>(d)));
+
+  const std::size_t maturity = cfg.termination_maturity
+                                   ? cfg.termination_maturity
+                                   : 2 * (util::ceil_log2(n) + 2);
+  const std::size_t max_rounds =
+      cfg.max_rounds ? cfg.max_rounds
+                     : 60 * d * (util::ceil_log2(n) + 2) + 8 * maturity + 60;
+
+  gossip::PullChannel<Element> sample_chan(net);
+  gossip::PullChannel<Element> seed_chan(net);  // Section 2.3 pull phase
+  gossip::Mailbox<Element> copies_mail(net);    // W_i pushes
+  gossip::Mailbox<Element> seeds_mail(net);     // (h, 0) pushes
+  TerminationProtocol<P> term(p, net, maturity);
+
+  // Section 2.3: nodes with no original element start in the pull phase.
+  std::vector<std::uint8_t> in_pull_phase(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    in_pull_phase[v] = store[v].h0_count == 0 ? 1 : 0;
+  }
+
+  auto total_elements = [&] {
+    std::size_t m = 0;
+    for (const auto& s : store) m += s.elems.size();
+    return m;
+  };
+  res.stats.initial_total_elements = total_elements();
+  res.stats.max_total_elements = res.stats.initial_total_elements;
+
+  bool found = false;
+  std::vector<Element> violators;
+  for (std::size_t t = 1; t <= max_rounds; ++t) {
+    net.begin_round();
+
+    // --- Pull phase requests (Algorithm 4, lines 2-6). ---
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      if (in_pull_phase[v] && !net.asleep(v)) seed_chan.request(v);
+    }
+    seed_chan.resolve([&](gossip::NodeId target) -> std::optional<Element> {
+      const auto& s = store[target];
+      if (s.h0_count == 0) return std::nullopt;
+      return s.elems[net.rng().below(s.h0_count)];
+    });
+
+    // --- Sampling (Algorithm 2 line 3 via Section 2.1). ---
+    if (cfg.sampling == SamplingMode::kPullBased) {
+      for (gossip::NodeId v = 0; v < n; ++v) {
+        if (in_pull_phase[v] || net.asleep(v)) continue;
+        for (std::size_t k = 0; k < pulls; ++k) sample_chan.request(v);
+      }
+      sample_chan.resolve([&](gossip::NodeId target) -> std::optional<Element> {
+        const auto& s = store[target];
+        if (s.elems.empty()) return std::nullopt;
+        return s.elems[net.rng().below(s.elems.size())];
+      });
+    }
+
+    // Idealized sampling support: per-round prefix sums over store sizes.
+    std::vector<std::size_t> prefix;
+    if (cfg.sampling == SamplingMode::kIdealized) {
+      prefix.resize(n + 1, 0);
+      for (std::size_t v = 0; v < n; ++v) {
+        prefix[v + 1] = prefix[v] + store[v].elems.size();
+      }
+    }
+
+    // --- Per-node processing. ---
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      if (net.asleep(v)) continue;
+      if (in_pull_phase[v]) {
+        const auto& got = seed_chan.responses(v);
+        if (!got.empty()) {
+          seeds_mail.push(v, got.front());
+          in_pull_phase[v] = 0;
+        }
+        continue;
+      }
+      SampleOutcome<Element> outcome;
+      ++res.stats.sampling_attempts;
+      if (cfg.sampling == SamplingMode::kPullBased) {
+        outcome = select_distinct(sample_chan.responses(v), sampler.target,
+                                  node_rng[v], sampler.strict);
+      } else {
+        const std::size_t m = prefix[n];
+        std::vector<Element> draws;
+        draws.reserve(pulls);
+        for (std::size_t k = 0; k < pulls && m > 0; ++k) {
+          net.meter().add_pull(v, 0);
+          const std::size_t g = node_rng[v].below(m);
+          const auto it =
+              std::upper_bound(prefix.begin(), prefix.end(), g) - 1;
+          const auto node = static_cast<std::size_t>(it - prefix.begin());
+          draws.push_back(store[node].elems[g - *it]);
+          net.meter().add_response_bytes(sizeof(Element));
+        }
+        outcome = select_distinct(std::move(draws), sampler.target,
+                                  node_rng[v], sampler.strict);
+      }
+      if (!outcome.success) {
+        ++res.stats.sampling_failures;
+        continue;
+      }
+      const auto sol = p.solve(outcome.sample);
+      if (!found && p.same_value(sol, oracle)) {
+        found = true;
+        res.solution = sol;
+        res.stats.rounds_to_first = t;
+        res.stats.reached_optimum = true;
+      }
+      // W_i: local violators, pushed to random nodes (lines 5-6).
+      violators.clear();
+      for (const auto& h : store[v].view()) {
+        if (p.violates(sol, h)) violators.push_back(h);
+      }
+      for (const auto& h : violators) copies_mail.push(v, h);
+      if (violators.empty() && cfg.run_termination) {
+        term.inject(v, static_cast<std::uint32_t>(t), sol);
+      }
+    }
+
+    // --- Delivery (received at the beginning of the next round). ---
+    seeds_mail.deliver();
+    copies_mail.deliver();
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      for (const auto& h : seeds_mail.inbox(v)) store[v].add_original(h);
+      for (const auto& h : copies_mail.inbox(v)) store[v].add_copy(h);
+    }
+
+    // --- Filtering (lines 8-9): originals are never deleted. ---
+    if (cfg.filtering) {
+      for (gossip::NodeId v = 0; v < n; ++v) {
+        store[v].filter(node_rng[v], keep_p);
+      }
+    }
+
+    if (cfg.run_termination) {
+      term.round(static_cast<std::uint32_t>(t),
+                 [&](gossip::NodeId v) { return store[v].view(); });
+    }
+
+    const std::size_t m = total_elements();
+    if (m > res.stats.max_total_elements) res.stats.max_total_elements = m;
+
+    const bool done = cfg.run_termination ? term.all_output() : found;
+    if (done && t >= cfg.min_rounds) {
+      res.stats.rounds_to_all_output = cfg.run_termination ? t : 0;
+      break;
+    }
+  }
+
+  if (cfg.run_termination) {
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      const auto& out = term.output(v);
+      if (!out || !p.same_value(*out, oracle)) {
+        res.stats.all_outputs_correct = false;
+        break;
+      }
+    }
+    if (term.all_output() && res.stats.all_outputs_correct && !found) {
+      // Every node output the optimum via the protocol even though the
+      // oracle check never fired (possible only in degenerate instances).
+      res.solution = *term.output(0);
+      res.stats.reached_optimum = true;
+    }
+  }
+
+  net.meter().finish();
+  res.stats.max_work_per_round = net.meter().max_work_per_round();
+  res.stats.total_push_ops = net.meter().total_push_ops();
+  res.stats.total_pull_ops = net.meter().total_pull_ops();
+  res.stats.total_bytes = net.meter().total_bytes();
+  res.stats.final_total_elements = total_elements();
+  return res;
+}
+
+}  // namespace lpt::core

@@ -1,0 +1,157 @@
+// The LP-type problem framework (Sharir & Welzl; paper Section 1.1).
+//
+// An LP-type problem (H, f) is presented to the library as a *problem
+// object* P with nested Element / Solution types:
+//
+//   using Element  = ...;   // one constraint / point; small, copyable,
+//                           // totally ordered (deterministic tie-breaking)
+//   using Solution = ...;   // canonical optimal solution of a subset:
+//                           // carries f's value, a witness, and `.basis`
+//                           // (the sorted optimal basis, <= dim elements)
+//
+//   std::size_t dimension() const;                   // combinatorial dim d
+//   Solution solve(std::span<const Element>) const;  // f(S), canonical
+//   Solution from_basis(std::span<const Element>) const; // re-solve small set
+//   bool violates(const Solution&, const Element&) const;
+//                       // f(S) < f(S u {h}) given Solution(S)
+//   bool value_less(const Solution&, const Solution&) const;   // f(a) < f(b)
+//   bool same_value(const Solution&, const Solution&) const;   // f(a) = f(b)
+//
+// Canonicality contract: solve / from_basis return bit-identical Solutions
+// for inputs with the same optimal basis (implementations sort the support
+// set and re-derive the witness deterministically).  This gives the unique
+// association between f-values and solutions that the paper's locality
+// argument and Algorithm 3's tie-breaking both assume.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lpt::core {
+
+/// Violator space (Gärtner–Matoušek–Rüst–Škovroň; paper Section 1.3):
+/// the structure Clarkson's algorithm actually needs — basis computations
+/// and violation tests only, no totally ordered objective.  clarkson_solve
+/// and count_violators are constrained on this weaker concept, mirroring
+/// the literature's observation that "Clarkson's approach still works for
+/// violator spaces".
+template <typename P>
+concept ViolatorSpace = requires(const P& p,
+                                 std::span<const typename P::Element> s,
+                                 const typename P::Solution& sol,
+                                 const typename P::Element& e) {
+  typename P::Element;
+  typename P::Solution;
+  { p.dimension() } -> std::convertible_to<std::size_t>;
+  { p.solve(s) } -> std::same_as<typename P::Solution>;
+  { p.from_basis(s) } -> std::same_as<typename P::Solution>;
+  { p.violates(sol, e) } -> std::same_as<bool>;
+  { sol.basis } -> std::convertible_to<std::vector<typename P::Element>>;
+};
+
+/// Full LP-type problem: a violator space whose solutions carry a totally
+/// ordered f-value (needed by the MSW solver, the termination protocol's
+/// tie-breaking, and the oracles' success checks).
+template <typename P>
+concept LpTypeProblem =
+    ViolatorSpace<P> && requires(const P& p, const typename P::Solution& sol) {
+      { p.value_less(sol, sol) } -> std::same_as<bool>;
+      { p.same_value(sol, sol) } -> std::same_as<bool>;
+    };
+
+/// Total order on solutions: by f-value, ties broken by the lexicographic
+/// order of the (sorted) bases.  This is the order Algorithm 3 assumes when
+/// it compares candidate bases ("f(B') = f(B) if and only if B' = B,
+/// otherwise use a lexicographic ordering as tie breaker").
+/// Returns <0, 0, >0 like strcmp.
+template <LpTypeProblem P>
+int solution_order(const P& p, const typename P::Solution& a,
+                   const typename P::Solution& b) {
+  if (p.value_less(a, b)) return -1;
+  if (p.value_less(b, a)) return 1;
+  if (a.basis < b.basis) return -1;
+  if (b.basis < a.basis) return 1;
+  return 0;
+}
+
+/// Count the elements of `range` violating `sol` (the |V| of Clarkson's
+/// algorithm / the |W_i| of the distributed engines).
+template <ViolatorSpace P>
+std::size_t count_violators(const P& p, const typename P::Solution& sol,
+                            std::span<const typename P::Element> range) {
+  std::size_t c = 0;
+  for (const auto& e : range) {
+    if (p.violates(sol, e)) ++c;
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Axiom checkers (used by the property-test suite).
+// ---------------------------------------------------------------------------
+
+struct AxiomReport {
+  std::size_t checks = 0;
+  std::size_t monotonicity_failures = 0;
+  std::size_t locality_failures = 0;
+  std::size_t basis_failures = 0;  // f(basis) != f(S) or |basis| > dim
+
+  bool ok() const noexcept {
+    return monotonicity_failures == 0 && locality_failures == 0 &&
+           basis_failures == 0;
+  }
+};
+
+/// Verify the LP-type axioms on random subset chains F ⊆ G ⊆ H of the given
+/// ground set, plus the basis contract on random subsets.  `trials` chains
+/// are sampled with `rng`.
+template <LpTypeProblem P>
+AxiomReport check_axioms(const P& p,
+                         std::span<const typename P::Element> ground,
+                         std::size_t trials, util::Rng& rng) {
+  using Element = typename P::Element;
+  AxiomReport rep;
+  const std::size_t n = ground.size();
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Random nested pair F ⊆ G.
+    std::vector<Element> g_set, f_set;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.6)) {
+        g_set.push_back(ground[i]);
+        if (rng.bernoulli(0.6)) f_set.push_back(ground[i]);
+      }
+    }
+    const auto sol_f = p.solve(f_set);
+    const auto sol_g = p.solve(g_set);
+    ++rep.checks;
+
+    // Monotonicity: f(F) <= f(G).
+    if (p.value_less(sol_g, sol_f)) ++rep.monotonicity_failures;
+
+    // Locality: if f(F) = f(G) and f(G) < f(G u {h}) then f(F) < f(F u {h}).
+    if (p.same_value(sol_f, sol_g)) {
+      for (const auto& h : ground) {
+        if (p.violates(sol_g, h) && !p.violates(sol_f, h)) {
+          ++rep.locality_failures;
+        }
+      }
+    }
+
+    // Basis contract: f(basis(G)) = f(G), |basis| <= dim, and no element of
+    // G violates the basis solution.
+    const auto sol_b = p.from_basis(sol_g.basis);
+    if (!p.same_value(sol_b, sol_g) || sol_g.basis.size() > p.dimension()) {
+      ++rep.basis_failures;
+    }
+    for (const auto& h : g_set) {
+      if (p.violates(sol_g, h)) ++rep.basis_failures;
+    }
+  }
+  return rep;
+}
+
+}  // namespace lpt::core

@@ -1,0 +1,85 @@
+// Generic basis-exchange solver in the Sharir–Welzl / MSW framework.
+//
+// Uses only the two primitives the LP-type literature assumes — violation
+// tests and basis computations on sets of size <= d+1 — making it the
+// "theory baseline" referenced in the paper's related-work discussion
+// (Gärtner & Welzl: an expected linear number of violation tests and basis
+// computations suffices at constant dimension).  It doubles as an
+// implementation-independent cross-check oracle for the problem adapters.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/lp_type.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::core {
+
+struct MswStats {
+  std::size_t violation_tests = 0;
+  std::size_t basis_computations = 0;
+  bool converged = false;
+};
+
+template <LpTypeProblem P>
+struct MswResult {
+  typename P::Solution solution;
+  MswStats stats;
+};
+
+/// Solve (H, f) by repeated basis exchange: scan a shuffled order for a
+/// violator h of the current basis B and replace B by basis(B u {h}).
+/// f strictly increases with every exchange, so the loop terminates.
+template <LpTypeProblem P>
+MswResult<P> msw_solve(const P& p, std::span<const typename P::Element> h_set,
+                       util::Rng& rng) {
+  using Element = typename P::Element;
+  MswResult<P> res;
+  std::vector<Element> order(h_set.begin(), h_set.end());
+  rng.shuffle(order);
+
+  auto sol = p.solve(std::span<const Element>{});  // f(∅)
+  ++res.stats.basis_computations;
+
+  // Safety cap: the number of exchanges is bounded by the number of
+  // distinct f-values; degenerate float stalls abort into the exact solve.
+  const std::size_t cap = 64 * (order.size() + 4) * (p.dimension() + 1);
+  std::size_t exchanges = 0;
+  std::size_t scan = 0;  // move-to-front style rescan position
+  while (scan < order.size()) {
+    ++res.stats.violation_tests;
+    if (!p.violates(sol, order[scan])) {
+      ++scan;
+      continue;
+    }
+    // Basis exchange: B <- basis(B u {h}); |B u {h}| <= d + 1.
+    std::vector<Element> small = sol.basis;
+    small.push_back(order[scan]);
+    auto next = p.from_basis(small);
+    ++res.stats.basis_computations;
+    if (!p.value_less(sol, next)) {
+      // Degenerate stall (can only happen through rounding): fall back.
+      res.solution = p.solve(order);
+      res.stats.converged = false;
+      return res;
+    }
+    sol = std::move(next);
+    // Move the violator to the front (classic MSW heuristic) and rescan.
+    std::rotate(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(scan),
+                order.begin() + static_cast<std::ptrdiff_t>(scan) + 1);
+    scan = 0;
+    if (++exchanges > cap) {
+      res.solution = p.solve(order);
+      res.stats.converged = false;
+      return res;
+    }
+  }
+  res.solution = std::move(sol);
+  res.stats.converged = true;
+  return res;
+}
+
+}  // namespace lpt::core

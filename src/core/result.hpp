@@ -1,0 +1,41 @@
+// Shared measurement record for the distributed engines.
+//
+// Fields mirror what the paper reports: rounds (Figures 2-3 measure rounds
+// until at least one node holds the optimum; Lemma 12 adds O(log n) rounds
+// until every node outputs), per-node per-round communication work
+// (Theorems 3-5), and total load |H(V)| (Lemmas 9 and 20).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lpt::core {
+
+struct DistributedRunStats {
+  // Rounds until at least one node's sample/local set attains f(H)
+  // (the quantity plotted in Figures 2 and 3).
+  std::size_t rounds_to_first = 0;
+  // Rounds until every node has produced an output via the Algorithm 3
+  // termination protocol (0 when the protocol is disabled).
+  std::size_t rounds_to_all_output = 0;
+
+  bool reached_optimum = false;    // some node found f(H) within the cap
+  bool all_outputs_correct = true; // every Algorithm 3 output equals f(H)
+
+  // Communication accounting (from gossip::WorkMeter).
+  std::uint32_t max_work_per_round = 0;
+  std::uint64_t total_push_ops = 0;
+  std::uint64_t total_pull_ops = 0;
+  std::uint64_t total_bytes = 0;
+
+  // Load accounting: |H(V)| over time (Lemma 9 / Lemma 20 territory).
+  std::size_t initial_total_elements = 0;
+  std::size_t max_total_elements = 0;
+  std::size_t final_total_elements = 0;
+
+  // Section 2.1 sampler diagnostics.
+  std::uint64_t sampling_attempts = 0;
+  std::uint64_t sampling_failures = 0;
+};
+
+}  // namespace lpt::core

@@ -1,0 +1,166 @@
+// d-dimensional points and smallest enclosing balls (miniball).
+//
+// The paper's smallest-enclosing-ball example has combinatorial dimension
+// d+1 in R^d; this module provides the R^d generalisation of the 2D kernel
+// so the distributed engines can be exercised at several dimensions.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <compare>
+#include <span>
+#include <vector>
+
+#include "geometry/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::geom {
+
+template <std::size_t D>
+struct VecD {
+  std::array<double, D> v{};
+
+  double& operator[](std::size_t i) noexcept { return v[i]; }
+  double operator[](std::size_t i) const noexcept { return v[i]; }
+
+  friend VecD operator+(VecD a, const VecD& b) noexcept {
+    for (std::size_t i = 0; i < D; ++i) a.v[i] += b.v[i];
+    return a;
+  }
+  friend VecD operator-(VecD a, const VecD& b) noexcept {
+    for (std::size_t i = 0; i < D; ++i) a.v[i] -= b.v[i];
+    return a;
+  }
+  friend VecD operator*(double s, VecD a) noexcept {
+    for (std::size_t i = 0; i < D; ++i) a.v[i] *= s;
+    return a;
+  }
+  friend auto operator<=>(const VecD&, const VecD&) = default;
+};
+
+template <std::size_t D>
+double dot(const VecD<D>& a, const VecD<D>& b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < D; ++i) s += a.v[i] * b.v[i];
+  return s;
+}
+
+template <std::size_t D>
+double dist2(const VecD<D>& a, const VecD<D>& b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < D; ++i) {
+    const double d = a.v[i] - b.v[i];
+    s += d * d;
+  }
+  return s;
+}
+
+template <std::size_t D>
+struct BallD {
+  VecD<D> center{};
+  double radius = -1.0;  // < 0 encodes the empty ball
+
+  bool empty() const noexcept { return radius < 0.0; }
+
+  bool contains(const VecD<D>& p, double eps = 1e-9) const noexcept {
+    if (empty()) return false;
+    const double r = radius + eps * (radius + 1.0);
+    return dist2(center, p) <= r * r;
+  }
+
+  friend auto operator<=>(const BallD&, const BallD&) = default;
+};
+
+/// Smallest ball with all points of `boundary` on its surface
+/// (|boundary| <= D+1).  Solves the circumsphere linear system; falls back
+/// to the affine-subspace least-norm solution on degeneracy by dropping the
+/// last point.
+template <std::size_t D>
+BallD<D> circumball(std::span<const VecD<D>> boundary) {
+  BallD<D> ball;
+  const std::size_t k = boundary.size();
+  if (k == 0) return ball;
+  if (k == 1) return BallD<D>{boundary[0], 0.0};
+  // Center = boundary[0] + sum_i lambda_i (p_i - p_0); equidistance gives a
+  // (k-1)x(k-1) Gram system.
+  const std::size_t m = k - 1;
+  Matrix a(m, m);
+  std::vector<double> rhs(m, 0.0);
+  std::vector<VecD<D>> e(m);
+  for (std::size_t i = 0; i < m; ++i) e[i] = boundary[i + 1] - boundary[0];
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) a(i, j) = 2.0 * dot(e[i], e[j]);
+    rhs[i] = dot(e[i], e[i]);
+  }
+  auto sol = solve(std::move(a), std::move(rhs));
+  if (!sol) {
+    // Degenerate (affinely dependent); drop the last point and retry.
+    return circumball<D>(boundary.subspan(0, k - 1));
+  }
+  VecD<D> c = boundary[0];
+  for (std::size_t i = 0; i < m; ++i) c = c + (*sol)[i] * e[i];
+  double r2 = 0.0;
+  for (const auto& p : boundary) r2 = std::max(r2, dist2(c, p));
+  ball.center = c;
+  ball.radius = std::sqrt(r2);
+  return ball;
+}
+
+template <std::size_t D>
+struct MinBallResult {
+  BallD<D> ball{};
+  std::vector<VecD<D>> support;
+};
+
+namespace detail {
+
+template <std::size_t D>
+BallD<D> ball_with_boundary(const std::vector<VecD<D>>& b) {
+  return circumball<D>(std::span<const VecD<D>>(b.data(), b.size()));
+}
+
+// Welzl recursion with explicit boundary set; expected linear time after
+// shuffling, recursion depth <= |pts|.
+template <std::size_t D>
+BallD<D> welzl_rec(std::vector<VecD<D>>& pts, std::size_t limit,
+                   std::vector<VecD<D>>& boundary,
+                   std::vector<VecD<D>>& support) {
+  if (limit == 0 || boundary.size() == D + 1) {
+    support = boundary;
+    return ball_with_boundary<D>(boundary);
+  }
+  BallD<D> ball = welzl_rec<D>(pts, limit - 1, boundary, support);
+  const VecD<D>& p = pts[limit - 1];
+  if (!ball.empty() && ball.contains(p)) return ball;
+  boundary.push_back(p);
+  ball = welzl_rec<D>(pts, limit - 1, boundary, support);
+  boundary.pop_back();
+  return ball;
+}
+
+}  // namespace detail
+
+/// Smallest enclosing ball of `points` in R^D with its support set
+/// (the LP-type optimal basis, |support| <= D+1).
+template <std::size_t D>
+MinBallResult<D> min_ball(std::span<const VecD<D>> points, util::Rng& rng) {
+  MinBallResult<D> res;
+  if (points.empty()) return res;
+  std::vector<VecD<D>> pts(points.begin(), points.end());
+  rng.shuffle(pts);
+  std::vector<VecD<D>> boundary;
+  res.ball = detail::welzl_rec<D>(pts, pts.size(), boundary, res.support);
+  if (res.ball.empty() && !pts.empty()) {
+    res.ball = BallD<D>{pts[0], 0.0};
+    res.support = {pts[0]};
+  }
+  return res;
+}
+
+template <std::size_t D>
+MinBallResult<D> min_ball(std::span<const VecD<D>> points) {
+  util::Rng rng(0xba11ba11ULL);
+  return min_ball<D>(points, rng);
+}
+
+}  // namespace lpt::geom

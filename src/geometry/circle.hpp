@@ -1,0 +1,43 @@
+// Circles and circumcircles: the geometric kernel of the minimum enclosing
+// disk problem used throughout the paper's experiments (Section 5).
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec2.hpp"
+
+namespace lpt::geom {
+
+struct Circle {
+  Vec2 center{};
+  double radius = -1.0;  // radius < 0 encodes the empty disk (f(∅) = -inf)
+
+  constexpr bool empty() const noexcept { return radius < 0.0; }
+
+  /// Containment with a relative tolerance: a point on the boundary is
+  /// "inside".  Tolerance scales with radius so large instances remain
+  /// robust.
+  bool contains(Vec2 p, double eps = kEps) const noexcept {
+    if (empty()) return false;
+    const double slack = eps * (radius + 1.0);
+    const double r = radius + slack;
+    return dist2(center, p) <= r * r;
+  }
+
+  friend constexpr auto operator<=>(const Circle&, const Circle&) = default;
+
+  static constexpr double kEps = 1e-9;
+};
+
+/// Smallest circle through one point (radius 0).
+Circle circle_from(Vec2 a) noexcept;
+
+/// Smallest circle through two points (diametral circle).
+Circle circle_from(Vec2 a, Vec2 b) noexcept;
+
+/// Circumcircle of three points.  Returns the diametral circle of the two
+/// extreme points when the triple is (nearly) collinear, which is the
+/// correct smallest enclosing circle in that degenerate case.
+Circle circle_from(Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+}  // namespace lpt::geom

@@ -1,0 +1,31 @@
+// Convex hull and min-norm-point utilities (polytope distance substrate).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace lpt::geom {
+
+/// Convex hull (Andrew's monotone chain), CCW order, no duplicate endpoint.
+/// Collinear points on the hull boundary are dropped.
+std::vector<Vec2> convex_hull(std::span<const Vec2> points);
+
+/// True if point q lies inside or on the convex hull `hull` (CCW order).
+bool hull_contains(std::span<const Vec2> hull, Vec2 q, double eps = 1e-9);
+
+/// The point of conv(points) closest to the origin, with the <=2 input
+/// points supporting it (a vertex, or the two endpoints of an edge).
+struct MinNormPoint {
+  Vec2 point{};                // closest point of the hull to the origin
+  std::vector<Vec2> support;   // 0, 1 or 2 defining input points
+  double distance = 0.0;       // |point|
+};
+
+/// Exact min-norm point by brute force over hull vertices and edges.
+/// O(h) after an O(n log n) hull; the LP-type adapter only calls this on
+/// small sets so performance is irrelevant there.
+MinNormPoint min_norm_point(std::span<const Vec2> points);
+
+}  // namespace lpt::geom

@@ -1,0 +1,50 @@
+#include "geometry/linalg.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace lpt::geom {
+
+std::optional<std::vector<double>> solve(Matrix a, std::vector<double> b,
+                                         double pivot_eps) {
+  const std::size_t n = a.rows();
+  LPT_CHECK(a.cols() == n && b.size() == n);
+  // Scale tolerance by the largest entry so the singularity test is relative.
+  double scale = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      scale = std::max(scale, std::abs(a(r, c)));
+    }
+  }
+  const double tol = pivot_eps * std::max(scale, 1.0);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) <= tol) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace lpt::geom

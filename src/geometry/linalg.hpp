@@ -1,0 +1,38 @@
+// Dense small-matrix linear algebra: just enough to solve the k x k
+// circumsphere systems of the d-dimensional miniball (k <= d+1 with d a
+// small constant, per the paper's bounded-dimension setting).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace lpt::geom {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b via Gaussian elimination with partial pivoting.
+/// Returns nullopt if A is (numerically) singular.
+std::optional<std::vector<double>> solve(Matrix a, std::vector<double> b,
+                                         double pivot_eps = 1e-12);
+
+}  // namespace lpt::geom

@@ -1,0 +1,117 @@
+#include "geometry/predicates.hpp"
+
+#include <cmath>
+
+namespace lpt::geom {
+
+DD two_prod(double a, double b) noexcept {
+  const double p = a * b;
+  const double e = std::fma(a, b, -p);
+  return {p, e};
+}
+
+DD two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double bb = s - a;
+  const double e = (a - (s - bb)) + (b - bb);
+  return {s, e};
+}
+
+namespace {
+
+// Renormalize a (hi, lo) pair into a proper double-double.
+DD quick_two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double e = b - (s - a);
+  return {s, e};
+}
+
+}  // namespace
+
+DD operator+(DD a, DD b) noexcept {
+  DD s = two_sum(a.hi, b.hi);
+  const double lo = s.lo + a.lo + b.lo;
+  return quick_two_sum(s.hi, lo);
+}
+
+DD operator-(DD a, DD b) noexcept { return a + DD{-b.hi, -b.lo}; }
+
+DD operator*(DD a, DD b) noexcept {
+  DD p = two_prod(a.hi, b.hi);
+  const double lo = p.lo + a.hi * b.lo + a.lo * b.hi;
+  return quick_two_sum(p.hi, lo);
+}
+
+int orient2d_sign(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  // Fast path with Shewchuk's static filter for the 2x2 determinant
+  // (acx * bcy - acy * bcx).
+  const double acx = a.x - c.x;
+  const double bcx = b.x - c.x;
+  const double acy = a.y - c.y;
+  const double bcy = b.y - c.y;
+  const double detleft = acx * bcy;
+  const double detright = acy * bcx;
+  const double det = detleft - detright;
+  double detsum;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+    detsum = -detleft - detright;
+  } else {
+    return det > 0.0 ? 1 : (det < 0.0 ? -1 : 0);
+  }
+  // ccwerrboundA from Shewchuk: (3 + 16 eps) eps.
+  constexpr double kErrBound = 3.3306690738754716e-16;
+  if (det >= kErrBound * detsum || -det >= kErrBound * detsum) {
+    return det > 0.0 ? 1 : -1;
+  }
+  // Double-double fallback.  The subtractions (a - c) etc. may themselves
+  // round; recompute them error-free with two_sum.
+  const DD ax = two_sum(a.x, -c.x);
+  const DD ay = two_sum(a.y, -c.y);
+  const DD bx = two_sum(b.x, -c.x);
+  const DD by = two_sum(b.y, -c.y);
+  const DD d = ax * by - ay * bx;
+  return d.sign();
+}
+
+int incircle_sign(Vec2 a, Vec2 b, Vec2 c, Vec2 d) noexcept {
+  // 3x3 determinant of the lifted points relative to d.
+  const double adx = a.x - d.x, ady = a.y - d.y;
+  const double bdx = b.x - d.x, bdy = b.y - d.y;
+  const double cdx = c.x - d.x, cdy = c.y - d.y;
+
+  const double alift = adx * adx + ady * ady;
+  const double blift = bdx * bdx + bdy * bdy;
+  const double clift = cdx * cdx + cdy * cdy;
+
+  const double bcdet = bdx * cdy - bdy * cdx;
+  const double cadet = cdx * ady - cdy * adx;
+  const double abdet = adx * bdy - ady * bdx;
+
+  const double det = alift * bcdet + blift * cadet + clift * abdet;
+  const double permanent = (std::abs(bdx * cdy) + std::abs(bdy * cdx)) * alift +
+                           (std::abs(cdx * ady) + std::abs(cdy * adx)) * blift +
+                           (std::abs(adx * bdy) + std::abs(ady * bdx)) * clift;
+  // iccerrboundA from Shewchuk: (10 + 96 eps) eps.
+  constexpr double kErrBound = 1.1102230246251577e-15 * 10.000000000000002;
+  if (det > kErrBound * permanent || -det > kErrBound * permanent) {
+    return det > 0.0 ? 1 : -1;
+  }
+  // Double-double fallback.
+  const DD dax = two_sum(a.x, -d.x), day = two_sum(a.y, -d.y);
+  const DD dbx = two_sum(b.x, -d.x), dby = two_sum(b.y, -d.y);
+  const DD dcx = two_sum(c.x, -d.x), dcy = two_sum(c.y, -d.y);
+  const DD la = dax * dax + day * day;
+  const DD lb = dbx * dbx + dby * dby;
+  const DD lc = dcx * dcx + dcy * dcy;
+  const DD bc = dbx * dcy - dby * dcx;
+  const DD ca = dcx * day - dcy * dax;
+  const DD ab = dax * dby - day * dbx;
+  const DD dd = la * bc + lb * ca + lc * ab;
+  return dd.sign();
+}
+
+}  // namespace lpt::geom

@@ -1,0 +1,54 @@
+// Robust geometric predicates: sign-exact orientation and in-circle tests
+// with a Shewchuk-style floating-point filter and a double-double
+// (~106-bit) fallback.
+//
+// The LP-type solvers only branch on predicate *signs* (is a point outside
+// the disk? is a triple CCW?); a sign error in a near-degenerate input can
+// stall basis exchanges or corrupt hulls.  The fast path is a plain double
+// evaluation accepted when it clears a forward error bound; otherwise the
+// computation is repeated in compensated double-double arithmetic, which
+// resolves every case whose exact value exceeds ~1e-30 of the operand
+// scale (and ties are reported as zero).
+#pragma once
+
+#include "geometry/vec2.hpp"
+
+namespace lpt::geom {
+
+/// Double-double value: val = hi + lo with |lo| <= ulp(hi)/2.
+struct DD {
+  double hi = 0.0;
+  double lo = 0.0;
+
+  static DD from(double x) noexcept { return {x, 0.0}; }
+
+  friend DD operator+(DD a, DD b) noexcept;
+  friend DD operator-(DD a, DD b) noexcept;
+  friend DD operator*(DD a, DD b) noexcept;
+  friend DD operator-(DD a) noexcept { return {-a.hi, -a.lo}; }
+
+  int sign() const noexcept {
+    if (hi > 0.0 || (hi == 0.0 && lo > 0.0)) return 1;
+    if (hi < 0.0 || (hi == 0.0 && lo < 0.0)) return -1;
+    return 0;
+  }
+  double value() const noexcept { return hi + lo; }
+};
+
+/// Error-free product of two doubles (uses FMA).
+DD two_prod(double a, double b) noexcept;
+
+/// Error-free sum of two doubles.
+DD two_sum(double a, double b) noexcept;
+
+/// Sign of orient(a, b, c) = cross(b - a, c - a):
+/// +1 if CCW, -1 if CW, 0 if (numerically indistinguishably) collinear.
+/// Fast filtered path, double-double fallback.
+int orient2d_sign(Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+/// Sign of the in-circle determinant: +1 if d lies strictly inside the
+/// circumcircle of CCW triangle (a, b, c), -1 if outside, 0 on the circle.
+/// (For a CW triangle the sign flips, as with the classical determinant.)
+int incircle_sign(Vec2 a, Vec2 b, Vec2 c, Vec2 d) noexcept;
+
+}  // namespace lpt::geom

@@ -1,0 +1,87 @@
+// 2D vector/point primitives and orientation predicates.
+//
+// Points double as LP-type *elements* for the minimum-enclosing-disk and
+// polytope-distance problems, so they are kept trivially copyable and small
+// (16 bytes ~ one O(log n)-bit gossip message for coordinates of polynomial
+// precision, matching the paper's message model).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace lpt::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept {
+    return {s * a.x, s * a.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept { return s * a; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) noexcept {
+    return {a.x / s, a.y / s};
+  }
+  constexpr Vec2& operator+=(Vec2 b) noexcept {
+    x += b.x;
+    y += b.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 b) noexcept {
+    x -= b.x;
+    y -= b.y;
+    return *this;
+  }
+
+  /// Lexicographic order: deterministic tie-breaking for bases (Alg. 3
+  /// assumes a total order on bases; we derive it from element order).
+  friend constexpr auto operator<=>(const Vec2&, const Vec2&) = default;
+};
+
+constexpr double dot(Vec2 a, Vec2 b) noexcept { return a.x * b.x + a.y * b.y; }
+constexpr double cross(Vec2 a, Vec2 b) noexcept { return a.x * b.y - a.y * b.x; }
+constexpr double norm2(Vec2 a) noexcept { return dot(a, a); }
+inline double norm(Vec2 a) noexcept { return std::sqrt(norm2(a)); }
+inline double dist(Vec2 a, Vec2 b) noexcept { return norm(a - b); }
+constexpr double dist2(Vec2 a, Vec2 b) noexcept { return norm2(a - b); }
+
+/// Perpendicular (rotate 90 degrees CCW).
+constexpr Vec2 perp(Vec2 a) noexcept { return {-a.y, a.x}; }
+
+/// Twice the signed area of triangle (a, b, c): > 0 iff CCW.
+constexpr double orient(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return cross(b - a, c - a);
+}
+
+/// Squared distance from point p to segment [a, b].
+double point_segment_dist2(Vec2 p, Vec2 a, Vec2 b) noexcept;
+
+/// Closest point to the origin on segment [a, b].
+Vec2 closest_point_on_segment_to_origin(Vec2 a, Vec2 b) noexcept;
+
+inline double point_segment_dist2(Vec2 p, Vec2 a, Vec2 b) noexcept {
+  const Vec2 ab = b - a;
+  const double len2 = norm2(ab);
+  if (len2 <= 0.0) return dist2(p, a);
+  double t = dot(p - a, ab) / len2;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return dist2(p, a + t * ab);
+}
+
+inline Vec2 closest_point_on_segment_to_origin(Vec2 a, Vec2 b) noexcept {
+  const Vec2 ab = b - a;
+  const double len2 = norm2(ab);
+  if (len2 <= 0.0) return a;
+  double t = -dot(a, ab) / len2;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return a + t * ab;
+}
+
+}  // namespace lpt::geom

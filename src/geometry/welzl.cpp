@@ -1,0 +1,56 @@
+#include "geometry/welzl.hpp"
+
+namespace lpt::geom {
+
+namespace {
+
+// Smallest disk enclosing pts[0..limit) with q on the boundary.
+Circle with_one(std::span<const Vec2> pts, std::size_t limit, Vec2 q,
+                std::vector<Vec2>& support) {
+  Circle c = circle_from(q);
+  support = {q};
+  for (std::size_t j = 0; j < limit; ++j) {
+    if (c.contains(pts[j])) continue;
+    // Smallest disk enclosing pts[0..j) with pts[j] and q on the boundary.
+    c = circle_from(pts[j], q);
+    support = {pts[j], q};
+    for (std::size_t k = 0; k < j; ++k) {
+      if (c.contains(pts[k])) continue;
+      c = circle_from(pts[k], pts[j], q);
+      support = {pts[k], pts[j], q};
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+MinDiskResult min_disk(std::span<const Vec2> points, util::Rng& rng) {
+  MinDiskResult res;
+  if (points.empty()) return res;
+  std::vector<Vec2> pts(points.begin(), points.end());
+  rng.shuffle(pts);
+  res.disk = circle_from(pts[0]);
+  res.support = {pts[0]};
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (!res.disk.contains(pts[i])) {
+      res.disk = with_one(pts, i, pts[i], res.support);
+    }
+  }
+  return res;
+}
+
+MinDiskResult min_disk(std::span<const Vec2> points) {
+  util::Rng rng(0x5eed5eed5eedULL);
+  return min_disk(points, rng);
+}
+
+bool encloses_all(const Circle& disk, std::span<const Vec2> points,
+                  double eps) {
+  for (const auto& p : points) {
+    if (!disk.contains(p, eps)) return false;
+  }
+  return true;
+}
+
+}  // namespace lpt::geom

@@ -1,0 +1,36 @@
+// Welzl's algorithm for the smallest enclosing disk of a 2D point set,
+// returning both the disk and its support set (the optimal basis in LP-type
+// terms, |basis| <= 3).  Expected linear time after a random shuffle.
+//
+// This is the local "solve f(S) for small S" primitive that the paper
+// assumes each node can evaluate (Section 1.1), and also the sequential
+// exact oracle the distributed algorithms are validated against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/circle.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::geom {
+
+struct MinDiskResult {
+  Circle disk{};                // empty() if the input set is empty
+  std::vector<Vec2> support;    // 0..3 points on the boundary defining disk
+};
+
+/// Smallest enclosing disk of `points`.  The input is copied and shuffled
+/// with `rng` (Welzl's expected-linear-time randomization).  Deterministic
+/// given the rng state.
+MinDiskResult min_disk(std::span<const Vec2> points, util::Rng& rng);
+
+/// Convenience overload with a fixed internal seed (used by oracles where
+/// the answer is unique and the seed is irrelevant).
+MinDiskResult min_disk(std::span<const Vec2> points);
+
+/// True if `disk` encloses every point of `points` (with tolerance).
+bool encloses_all(const Circle& disk, std::span<const Vec2> points,
+                  double eps = Circle::kEps);
+
+}  // namespace lpt::geom

@@ -1,0 +1,83 @@
+// Stabilizing consensus with the power of two choices — the median-rule
+// dynamics of Doerr, Goldberg, Minder, Sauerwald, Scheideler (SPAA 2011),
+// reference [8] of the paper's gossip-protocol lineage.
+//
+// Every node holds a value; per round it pulls the values of two uniformly
+// random nodes and adopts the *median* of (own, first, second).  The
+// dynamics converge to a single consensus value within the initial value
+// range in O(log n) rounds w.h.p., tolerate O(sqrt(n)) adversarial
+// crashes, and the consensus value concentrates around the median of the
+// initial values — a building block for gossip-style coordination
+// (e.g. agreeing on a parameter estimate produced by push-sum).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "gossip/mailbox.hpp"
+#include "gossip/network.hpp"
+
+namespace lpt::gossip {
+
+template <typename T>
+class MedianConsensus {
+ public:
+  MedianConsensus(Network& net, std::vector<T> initial)
+      : net_(&net), chan_(net), values_(std::move(initial)) {
+    LPT_CHECK(values_.size() == net.size());
+  }
+
+  /// One round: every awake node pulls two random values and adopts the
+  /// median of {own, a, b}.
+  void round() {
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      if (net_->asleep(v)) continue;
+      chan_.request(v);
+      chan_.request(v);
+    }
+    chan_.resolve([this](NodeId target) -> std::optional<T> {
+      return values_[target];
+    });
+    std::vector<T> next = values_;
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      const auto& got = chan_.responses(v);
+      if (got.size() < 2) continue;  // lost responses: keep own value
+      T a = got[0];
+      T b = got[1];
+      T own = values_[v];
+      // median of three
+      T lo = std::min(a, b), hi = std::max(a, b);
+      next[v] = std::max(lo, std::min(own, hi));
+    }
+    values_ = std::move(next);
+  }
+
+  const T& value(NodeId v) const noexcept { return values_[v]; }
+  const std::vector<T>& values() const noexcept { return values_; }
+
+  bool converged() const noexcept {
+    for (const auto& v : values_) {
+      if (v != values_[0]) return false;
+    }
+    return true;
+  }
+
+  /// Run until consensus or `max_rounds`; returns rounds used.
+  std::size_t run(std::size_t max_rounds) {
+    std::size_t t = 0;
+    while (t < max_rounds && !converged()) {
+      net_->begin_round();
+      round();
+      ++t;
+    }
+    return t;
+  }
+
+ private:
+  Network* net_;
+  PullChannel<T> chan_;
+  std::vector<T> values_;
+};
+
+}  // namespace lpt::gossip

@@ -1,0 +1,7 @@
+// hypercube.hpp is header-only (templates); this unit anchors the module in
+// the library archive.
+#include "gossip/hypercube.hpp"
+
+namespace lpt::gossip {
+// (intentionally empty)
+}  // namespace lpt::gossip

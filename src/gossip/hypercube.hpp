@@ -1,0 +1,75 @@
+// Hypercube collective-operation emulator.
+//
+// Section 1.1 of the paper notes that Clarkson's algorithm yields an
+// O(d log^2 n) distributed algorithm on a hypercube because every iteration
+// can be executed in O(log n) communication rounds.  This module provides
+// that baseline substrate: an n = 2^k node hypercube where each collective
+// (broadcast, all-reduce, prefix-sum) costs exactly k rounds — the textbook
+// dimension-by-dimension schedule — with the data movement done directly
+// and only the *round cost* modeled, which is all the baseline's round
+// complexity depends on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace lpt::gossip {
+
+class Hypercube {
+ public:
+  explicit Hypercube(std::size_t n) : n_(n), dim_(util::ceil_log2(n)) {
+    LPT_CHECK_MSG(util::is_pow2(n), "Hypercube size must be a power of two");
+  }
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t dimension() const noexcept { return dim_; }
+  std::size_t rounds_used() const noexcept { return rounds_; }
+
+  /// Broadcast root's value to everyone: costs dimension() rounds.
+  template <typename T>
+  void broadcast(std::vector<T>& values, std::size_t root) {
+    LPT_CHECK(values.size() == n_ && root < n_);
+    for (auto& v : values) v = values[root];
+    rounds_ += dim_;
+  }
+
+  /// All-reduce with a binary op: costs dimension() rounds.
+  template <typename T, typename Op>
+  T all_reduce(const std::vector<T>& values, T init, Op op) {
+    LPT_CHECK(values.size() == n_);
+    T acc = init;
+    for (const auto& v : values) acc = op(acc, v);
+    rounds_ += dim_;
+    return acc;
+  }
+
+  /// Exclusive prefix sum; returns the total.  Costs dimension() rounds.
+  template <typename T>
+  T prefix_sum(std::vector<T>& values) {
+    LPT_CHECK(values.size() == n_);
+    T acc{};
+    for (auto& v : values) {
+      const T x = v;
+      v = acc;
+      acc += x;
+    }
+    rounds_ += dim_;
+    return acc;
+  }
+
+  /// Route k point-to-point messages (any h-relation with h = O(1) routes
+  /// in O(log n) rounds on a hypercube via Ranade/Valiant-style routing).
+  void route_messages() { rounds_ += dim_; }
+
+ private:
+  std::size_t n_;
+  std::size_t dim_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace lpt::gossip

@@ -1,0 +1,123 @@
+// Round-buffered push delivery and pull request/response channels.
+//
+// Mailbox<M>:    push(from, msg) buffers msg for a uniformly random node;
+//                deliver() routes all buffered messages into per-node
+//                inboxes (the paper: "messages sent in round i are received
+//                at the beginning of round i+1").
+//
+// PullChannel<A>: request(from) records a pull aimed at a uniformly random
+//                node; resolve(responder) invokes the protocol's answer
+//                function on each target and hands responses back to the
+//                requesters.  The sampling procedures of Sections 2.1 and 4
+//                are built on this channel.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gossip/network.hpp"
+
+namespace lpt::gossip {
+
+/// Wire-size customization point: number of payload bytes a message of type
+/// M occupies.  Specialize or overload for message types carrying dynamic
+/// payloads; the default is the trivially-copyable size.
+template <typename M>
+std::size_t wire_size(const M&) noexcept {
+  return sizeof(M);
+}
+
+template <typename M>
+class Mailbox {
+ public:
+  explicit Mailbox(Network& net) : net_(&net), inboxes_(net.size()) {}
+
+  /// Push `msg` from node `from` to a uniformly random node (delivered at
+  /// the next deliver() call).  Meters one push op on `from`.
+  void push(NodeId from, M msg) {
+    const NodeId to = net_->random_peer();
+    net_->meter().add_push(from, wire_size(msg));
+    outbox_.emplace_back(to, std::move(msg));
+  }
+
+  /// Push to an explicitly chosen node (used by protocols that answer a
+  /// previous message; still metered as one push op).
+  void push_to(NodeId from, NodeId to, M msg) {
+    net_->meter().add_push(from, wire_size(msg));
+    outbox_.emplace_back(to, std::move(msg));
+  }
+
+  /// Route all buffered messages into inboxes (start of the next round).
+  /// Under fault injection each message is independently lost in transit
+  /// with the network's push_loss probability.
+  void deliver() {
+    for (auto& ib : inboxes_) ib.clear();
+    for (auto& [to, msg] : outbox_) {
+      if (net_->drop_push()) continue;
+      inboxes_[to].push_back(std::move(msg));
+    }
+    outbox_.clear();
+  }
+
+  const std::vector<M>& inbox(NodeId v) const noexcept { return inboxes_[v]; }
+
+  /// Total messages currently buffered for delivery.
+  std::size_t pending() const noexcept { return outbox_.size(); }
+
+ private:
+  Network* net_;
+  std::vector<std::pair<NodeId, M>> outbox_;
+  std::vector<std::vector<M>> inboxes_;
+};
+
+template <typename A>
+class PullChannel {
+ public:
+  explicit PullChannel(Network& net)
+      : net_(&net), responses_(net.size()), answered_(net.size(), 0) {}
+
+  /// Node `from` pulls from a uniformly random node.  Meters one pull op.
+  void request(NodeId from) {
+    net_->meter().add_pull(from, 0);
+    requests_.emplace_back(from, net_->random_peer());
+  }
+
+  /// Answer all outstanding requests.  `responder(target) -> std::optional<A>`
+  /// is the protocol-defined answer of node `target`; nullopt models "no
+  /// reply" (e.g. an empty node in the Section 2.1 sampler).  Response
+  /// payload bytes are metered on the responder's outgoing link.
+  template <typename F>
+  void resolve(F&& responder) {
+    for (auto& r : responses_) r.clear();
+    std::fill(answered_.begin(), answered_.end(), std::uint32_t{0});
+    for (const auto& [from, target] : requests_) {
+      if (net_->asleep(target) || net_->drop_response()) continue;
+      std::optional<A> ans = responder(target);
+      if (ans) {
+        net_->meter().add_response_bytes(wire_size(*ans));
+        ++answered_[target];
+        responses_[from].push_back(std::move(*ans));
+      }
+    }
+    requests_.clear();
+  }
+
+  const std::vector<A>& responses(NodeId v) const noexcept {
+    return responses_[v];
+  }
+
+  /// How many requests node v answered in the last resolve() (for load
+  /// diagnostics; the paper's work measure counts initiated ops).
+  std::uint32_t answered(NodeId v) const noexcept { return answered_[v]; }
+
+ private:
+  Network* net_;
+  std::vector<std::pair<NodeId, NodeId>> requests_;
+  std::vector<std::vector<A>> responses_;
+  std::vector<std::uint32_t> answered_;
+};
+
+}  // namespace lpt::gossip

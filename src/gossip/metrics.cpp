@@ -1,0 +1,49 @@
+#include "gossip/metrics.hpp"
+
+#include <algorithm>
+
+namespace lpt::gossip {
+
+void WorkMeter::begin_round() {
+  if (dirty_) {
+    history_.push_back(cur_);
+    cur_ = RoundStats{};
+    std::fill(node_work_.begin(), node_work_.end(), 0u);
+  }
+  dirty_ = true;
+}
+
+void WorkMeter::finish() {
+  if (dirty_) {
+    history_.push_back(cur_);
+    cur_ = RoundStats{};
+    std::fill(node_work_.begin(), node_work_.end(), 0u);
+    dirty_ = false;
+  }
+}
+
+std::uint32_t WorkMeter::max_work_per_round() const noexcept {
+  std::uint32_t m = cur_.max_node_work;
+  for (const auto& r : history_) m = std::max(m, r.max_node_work);
+  return m;
+}
+
+std::uint64_t WorkMeter::total_push_ops() const noexcept {
+  std::uint64_t s = cur_.push_ops;
+  for (const auto& r : history_) s += r.push_ops;
+  return s;
+}
+
+std::uint64_t WorkMeter::total_pull_ops() const noexcept {
+  std::uint64_t s = cur_.pull_ops;
+  for (const auto& r : history_) s += r.pull_ops;
+  return s;
+}
+
+std::uint64_t WorkMeter::total_bytes() const noexcept {
+  std::uint64_t s = cur_.bytes;
+  for (const auto& r : history_) s += r.bytes;
+  return s;
+}
+
+}  // namespace lpt::gossip

@@ -1,0 +1,73 @@
+// Communication-work accounting for the gossip model.
+//
+// The paper measures (a) rounds and (b) per-node per-round *work* = number
+// of push and pull operations a node executes (Section 1.2).  WorkMeter
+// tracks exactly that, plus bytes on the wire, so every bench can report
+// "max work per node per round" next to the theorem's bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lpt::gossip {
+
+using NodeId = std::uint32_t;
+
+struct RoundStats {
+  std::uint64_t push_ops = 0;       // total pushes this round
+  std::uint64_t pull_ops = 0;       // total pulls this round
+  std::uint64_t bytes = 0;          // total payload bytes this round
+  std::uint32_t max_node_work = 0;  // max (push+pull) of any single node
+};
+
+class WorkMeter {
+ public:
+  explicit WorkMeter(std::size_t n) : node_work_(n, 0) {}
+
+  /// Close the current round (if any work happened) and start a new one.
+  void begin_round();
+
+  /// Flush the in-progress round into the history.
+  void finish();
+
+  void add_push(NodeId v, std::size_t bytes) noexcept {
+    ++cur_.push_ops;
+    cur_.bytes += bytes;
+    bump(v);
+  }
+  void add_pull(NodeId v, std::size_t bytes) noexcept {
+    ++cur_.pull_ops;
+    cur_.bytes += bytes;
+    bump(v);
+  }
+
+  /// Bytes sent while *answering* a pull.  Answering is not a push/pull
+  /// operation of the responder under the paper's work definition
+  /// (Section 1.2 counts operations a node executes), so only the wire
+  /// bytes are accounted.
+  void add_response_bytes(std::size_t bytes) noexcept { cur_.bytes += bytes; }
+
+  std::size_t rounds() const noexcept { return history_.size(); }
+  const std::vector<RoundStats>& history() const noexcept { return history_; }
+
+  /// Max over all closed rounds of the max per-node work in that round.
+  std::uint32_t max_work_per_round() const noexcept;
+
+  std::uint64_t total_push_ops() const noexcept;
+  std::uint64_t total_pull_ops() const noexcept;
+  std::uint64_t total_bytes() const noexcept;
+
+ private:
+  void bump(NodeId v) noexcept {
+    const std::uint32_t w = ++node_work_[v];
+    if (w > cur_.max_node_work) cur_.max_node_work = w;
+  }
+
+  std::vector<std::uint32_t> node_work_;  // work of each node, current round
+  RoundStats cur_{};
+  std::vector<RoundStats> history_;
+  bool dirty_ = false;
+};
+
+}  // namespace lpt::gossip

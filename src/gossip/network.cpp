@@ -1,0 +1,8 @@
+// network.hpp is header-only; this translation unit exists so the library
+// archive always carries the gossip module and to anchor its vtable-free
+// types for faster incremental builds.
+#include "gossip/network.hpp"
+
+namespace lpt::gossip {
+// (intentionally empty)
+}  // namespace lpt::gossip

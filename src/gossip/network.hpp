@@ -1,0 +1,99 @@
+// The uniform gossip network simulator (the paper's model, Section 1.2).
+//
+// A fixed anonymous node set v_1..v_n operates in synchronous rounds.  Per
+// round a node may execute any number of *push* operations (send a message
+// to a node chosen uniformly at random) and *pull* operations (ask a node
+// chosen uniformly at random for a message).  The number of such operations
+// is the node's communication work for the round.
+//
+// The simulator's job is to (1) choose peers uniformly at random from a
+// seeded stream, (2) enforce round-buffered delivery for pushes, and
+// (3) meter per-node work and bytes.  Algorithm code must do all cross-node
+// communication through Mailbox / PullChannel; node logic never touches
+// another node's state directly, preserving the model's information flow.
+#pragma once
+
+#include <cstddef>
+
+#include "gossip/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::gossip {
+
+/// Fault-injection knobs for the "stability under stress and disruptions"
+/// claim of Section 1.2.  All faults preserve the algorithms' correctness
+/// invariants (no element is ever destroyed at its home node):
+///   * push_loss: each pushed message is independently lost in transit,
+///   * response_loss: each pull response is independently lost,
+///   * sleep_probability: each node independently skips a whole round
+///     (neither initiates operations nor answers pulls).
+struct FaultModel {
+  double push_loss = 0.0;
+  double response_loss = 0.0;
+  double sleep_probability = 0.0;
+
+  bool any() const noexcept {
+    return push_loss > 0.0 || response_loss > 0.0 || sleep_probability > 0.0;
+  }
+};
+
+class Network {
+ public:
+  Network(std::size_t n, util::Rng rng, FaultModel faults = {})
+      : n_(n), rng_(rng), meter_(n), faults_(faults), asleep_(n, 0) {
+    LPT_CHECK_MSG(n >= 1, "Network needs at least one node");
+  }
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Uniformly random node id (a node may draw itself: the uniform gossip
+  /// model samples from the full node set).
+  NodeId random_peer() noexcept {
+    return static_cast<NodeId>(rng_.below(n_));
+  }
+
+  util::Rng& rng() noexcept { return rng_; }
+  WorkMeter& meter() noexcept { return meter_; }
+  const WorkMeter& meter() const noexcept { return meter_; }
+  const FaultModel& faults() const noexcept { return faults_; }
+
+  /// Advance the synchronous round counter (and the work meter with it);
+  /// re-draws which nodes sleep through the new round.
+  void begin_round() {
+    meter_.begin_round();
+    ++round_;
+    if (faults_.sleep_probability > 0.0) {
+      for (auto& a : asleep_) {
+        a = rng_.bernoulli(faults_.sleep_probability) ? 1 : 0;
+      }
+    }
+  }
+
+  /// True if node v sleeps through the current round (fault injection).
+  bool asleep(NodeId v) const noexcept { return asleep_[v] != 0; }
+
+  /// Fault draw: should this pushed message be dropped in transit?
+  bool drop_push() noexcept {
+    return faults_.push_loss > 0.0 && rng_.bernoulli(faults_.push_loss);
+  }
+
+  /// Fault draw: should this pull response be dropped?
+  bool drop_response() noexcept {
+    return faults_.response_loss > 0.0 &&
+           rng_.bernoulli(faults_.response_loss);
+  }
+
+  /// Rounds started so far.
+  std::size_t round() const noexcept { return round_; }
+
+ private:
+  std::size_t n_;
+  util::Rng rng_;
+  WorkMeter meter_;
+  FaultModel faults_;
+  std::vector<std::uint8_t> asleep_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace lpt::gossip

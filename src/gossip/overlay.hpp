@@ -1,0 +1,49 @@
+// Overlay-network emulation cost model (paper Section 1.2):
+//
+//   "any algorithm with runtime T and maximum work W in the gossip model
+//    can be emulated by overlay networks in O(T + log n) time and with
+//    maximum work O(W log n) w.h.p. (since it is easy to set up
+//    (near-)random overlay edges in hypercubic networks in O(log n)
+//    time)."
+//
+// The library's engines report (rounds, max work/round) in the gossip
+// model; this header translates those numbers into the corresponding
+// overlay-network deployment costs, so a user evaluating e.g. a P2P
+// deployment can read off the emulated bounds directly from a
+// DistributedRunStats.
+#pragma once
+
+#include <cstddef>
+
+#include "core/result.hpp"
+#include "util/math.hpp"
+
+namespace lpt::gossip {
+
+struct OverlayCost {
+  std::size_t rounds = 0;    // O(T + log n): setup pipeline + emulation
+  std::size_t max_work = 0;  // O(W log n): each random edge costs log n hops
+};
+
+/// Emulation cost of a gossip execution with `rounds` rounds and per-round
+/// per-node work `max_work` on an n-node hypercubic overlay.  `c_setup`
+/// and `c_route` are the (constant) hidden factors; defaults are the
+/// standard 1 for round pipelining and 1 hop-multiplier per edge.
+constexpr OverlayCost overlay_emulation_cost(std::size_t rounds,
+                                             std::size_t max_work,
+                                             std::size_t n,
+                                             std::size_t c_setup = 1,
+                                             std::size_t c_route = 1) {
+  const std::size_t log_n = util::ceil_log2(n ? n : 1) + 1;
+  return OverlayCost{rounds + c_setup * log_n,
+                     c_route * max_work * log_n};
+}
+
+/// Convenience overload taking an engine's stats record.
+inline OverlayCost overlay_emulation_cost(
+    const core::DistributedRunStats& stats, std::size_t n) {
+  return overlay_emulation_cost(stats.rounds_to_first,
+                                stats.max_work_per_round, n);
+}
+
+}  // namespace lpt::gossip

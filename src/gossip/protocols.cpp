@@ -1,0 +1,27 @@
+#include "gossip/protocols.hpp"
+
+namespace lpt::gossip {
+
+PushSum::PushSum(Network& net, std::vector<double> values,
+                 std::vector<double> weights)
+    : net_(&net), mail_(net), x_(std::move(values)), w_(std::move(weights)) {
+  LPT_CHECK(x_.size() == net.size() && w_.size() == net.size());
+}
+
+double estimate_network_size(Network& net, std::size_t rounds,
+                             NodeId observer) {
+  if (rounds == 0) {
+    // Push-sum contracts the estimate error by a constant factor per
+    // round; 4 * 40 rounds is a conservative constant-factor budget for
+    // any plausible n (the caller only needs log n up to a constant).
+    rounds = 160;
+  }
+  PushSum ps = PushSum::counting(net);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    net.begin_round();
+    ps.round();
+  }
+  return ps.estimate(observer);
+}
+
+}  // namespace lpt::gossip

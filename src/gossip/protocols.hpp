@@ -1,0 +1,213 @@
+// Classic gossip protocols the paper builds on (Section 1.2 cites rumor
+// spreading [Karp et al., FOCS'00] and gossip-based aggregation
+// [Kempe-Dobra-Gehrke, FOCS'03]):
+//
+//   * RumorSpread<T>: push-pull rumor spreading; informs all n nodes of a
+//     value in O(log n) rounds w.h.p. with O(1) work per node per round.
+//     Used to disseminate a found solution (e.g. Algorithm 6's hitting
+//     set) once one node holds it.
+//
+//   * PushSum: gossip aggregation; every node's estimate converges to
+//     sum(values)/sum(weights) at an exponential rate.  With all values 1
+//     and a single unit weight it estimates n — providing the
+//     constant-factor estimate of log n the paper assumes nodes possess
+//     (Section 1.4), from nothing but anonymous gossip.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gossip/mailbox.hpp"
+#include "gossip/network.hpp"
+#include "util/assert.hpp"
+
+namespace lpt::gossip {
+
+template <typename T>
+class RumorSpread {
+ public:
+  explicit RumorSpread(Network& net)
+      : net_(&net),
+        push_mail_(net),
+        pull_chan_(net),
+        value_(net.size()),
+        informed_(net.size(), 0) {}
+
+  /// Node v originates (or learns out-of-band) the rumor.
+  void start(NodeId v, T value) {
+    if (!informed_[v]) {
+      value_[v] = std::move(value);
+      informed_[v] = 1;
+    }
+  }
+
+  /// One synchronous push-pull round: informed nodes push the rumor to one
+  /// random node; uninformed nodes pull from one random node.  First rumor
+  /// received wins (rumors are assumed consistent, as in our use cases
+  /// where the rumor is the verified optimal solution).
+  void round() {
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      if (net_->asleep(v)) continue;
+      if (informed_[v]) {
+        push_mail_.push(v, value_[v]);
+      } else {
+        pull_chan_.request(v);
+      }
+    }
+    pull_chan_.resolve([this](NodeId target) -> std::optional<T> {
+      if (!informed_[target]) return std::nullopt;
+      return value_[target];
+    });
+    push_mail_.deliver();
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      if (net_->asleep(v) || informed_[v]) {
+        // Sleeping nodes miss this round's messages; already-informed
+        // nodes ignore duplicates.
+        continue;
+      }
+      const auto& pushed = push_mail_.inbox(v);
+      if (!pushed.empty()) {
+        value_[v] = pushed.front();
+        informed_[v] = 1;
+        continue;
+      }
+      const auto& pulled = pull_chan_.responses(v);
+      if (!pulled.empty()) {
+        value_[v] = pulled.front();
+        informed_[v] = 1;
+      }
+    }
+  }
+
+  bool informed(NodeId v) const noexcept { return informed_[v] != 0; }
+  const T& value(NodeId v) const noexcept { return value_[v]; }
+
+  std::size_t informed_count() const noexcept {
+    std::size_t c = 0;
+    for (auto i : informed_) c += i;
+    return c;
+  }
+  bool all_informed() const noexcept {
+    return informed_count() == informed_.size();
+  }
+
+ private:
+  Network* net_;
+  Mailbox<T> push_mail_;
+  PullChannel<T> pull_chan_;
+  std::vector<T> value_;
+  std::vector<std::uint8_t> informed_;
+};
+
+/// Push-sum aggregation (Kempe-Dobra-Gehrke).  Mass conservation makes the
+/// per-node ratio x_v / w_v converge to sum(x) / sum(w) exponentially fast
+/// (diffusion speed O(log n + log 1/eps) rounds for relative error eps).
+class PushSum {
+ public:
+  struct Share {
+    double x = 0.0;
+    double w = 0.0;
+  };
+
+  PushSum(Network& net, std::vector<double> values,
+          std::vector<double> weights);
+
+  /// Counting configuration: every node contributes value 1, node 0 holds
+  /// the unit weight, so every estimate converges to n.
+  static PushSum counting(Network& net) {
+    std::vector<double> values(net.size(), 1.0);
+    std::vector<double> weights(net.size(), 0.0);
+    weights[0] = 1.0;
+    return PushSum(net, std::move(values), std::move(weights));
+  }
+
+  /// Averaging configuration: estimates converge to the mean of `values`.
+  static PushSum averaging(Network& net, std::vector<double> values) {
+    std::vector<double> weights(net.size(), 1.0);
+    return PushSum(net, std::move(values), std::move(weights));
+  }
+
+  /// One push-sum round: each node keeps half its (x, w) mass and pushes
+  /// the other half to a uniformly random node.
+  ///
+  /// NOTE on faults: push-sum conserves mass, so a lost message would bias
+  /// the aggregate forever.  Under fault injection the protocol therefore
+  /// re-adds undelivered shares to the sender (the standard
+  /// "self-delivery" repair), which models retransmission.
+  void round() {
+    std::vector<Share> keep(x_.size());
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      if (net_->asleep(v)) {
+        keep[v] = {x_[v], w_[v]};
+        continue;
+      }
+      keep[v] = {x_[v] / 2.0, w_[v] / 2.0};
+      mail_.push_to(v, net_->random_peer(), Share{x_[v] / 2.0, w_[v] / 2.0});
+    }
+    // Mass-conserving delivery: we bypass Mailbox's lossy deliver() and
+    // route shares directly; sleeping receivers still accumulate (their
+    // mailbox drains when they wake — modeled as buffered delivery).
+    mail_.deliver_conserving();
+    for (NodeId v = 0; v < net_->size(); ++v) {
+      x_[v] = keep[v].x;
+      w_[v] = keep[v].w;
+      for (const auto& s : mail_.inbox(v)) {
+        x_[v] += s.x;
+        w_[v] += s.w;
+      }
+    }
+  }
+
+  /// Node v's current estimate of sum(x)/sum(w); NaN-free: nodes that have
+  /// not yet received weight report 0.
+  double estimate(NodeId v) const noexcept {
+    return w_[v] > 0.0 ? x_[v] / w_[v] : 0.0;
+  }
+
+  double total_mass() const noexcept {
+    double s = 0.0;
+    for (double x : x_) s += x;
+    return s;
+  }
+
+ private:
+  // Mass-conserving point-to-point mail (push-sum must never lose shares;
+  // see the NOTE in round()).
+  class DirectMail {
+   public:
+    explicit DirectMail(Network& net) : net_(&net), inboxes_(net.size()) {}
+
+    void push_to(NodeId from, NodeId to, Share s) {
+      net_->meter().add_push(from, sizeof(Share));
+      outbox_.emplace_back(to, s);
+    }
+
+    void deliver_conserving() {
+      for (auto& ib : inboxes_) ib.clear();
+      for (auto& [to, s] : outbox_) inboxes_[to].push_back(s);
+      outbox_.clear();
+    }
+
+    const std::vector<Share>& inbox(NodeId v) const { return inboxes_[v]; }
+
+   private:
+    Network* net_;
+    std::vector<std::pair<NodeId, Share>> outbox_;
+    std::vector<std::vector<Share>> inboxes_;
+  };
+
+  Network* net_;
+  DirectMail mail_;
+  std::vector<double> x_;
+  std::vector<double> w_;
+};
+
+/// Estimate the network size by running push-sum counting for `rounds`
+/// rounds (default: enough for a constant-factor estimate w.h.p. on any
+/// n <= 2^40) and returning node `observer`'s estimate.
+double estimate_network_size(Network& net, std::size_t rounds = 0,
+                             NodeId observer = 0);
+
+}  // namespace lpt::gossip

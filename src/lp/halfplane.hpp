@@ -1,0 +1,33 @@
+// Half-plane constraints for 2-variable linear programs.
+//
+// A Halfplane is the LP-type *element* of the linear_program2d problem:
+// trivially copyable, 24 bytes, lexicographically ordered for deterministic
+// basis tie-breaking.
+#pragma once
+
+#include <compare>
+
+#include "geometry/vec2.hpp"
+
+namespace lpt::lp {
+
+/// Constraint a.x * x + a.y * y <= b.
+struct Halfplane {
+  geom::Vec2 a{};
+  double b = 0.0;
+
+  bool satisfied(geom::Vec2 p, double eps = 1e-9) const noexcept {
+    return geom::dot(a, p) <= b + eps * scale();
+  }
+
+  /// Magnitude used to make feasibility tests relative.
+  double scale() const noexcept {
+    const double n = geom::norm(a);
+    const double ab = b < 0 ? -b : b;
+    return (n > ab ? n : ab) + 1.0;
+  }
+
+  friend constexpr auto operator<=>(const Halfplane&, const Halfplane&) = default;
+};
+
+}  // namespace lpt::lp

@@ -1,0 +1,178 @@
+#include "lp/seidel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace lpt::lp {
+
+namespace {
+constexpr double kTol = 1e-9;
+
+bool approx_same(const LpValue& a, const LpValue& b) {
+  if (a.infeasible || b.infeasible) return a.infeasible == b.infeasible;
+  const double scale =
+      std::max({std::abs(a.objective), std::abs(b.objective), 1.0});
+  return std::abs(a.objective - b.objective) <= 1e-6 * scale &&
+         geom::dist(a.point, b.point) <= 1e-6 * scale;
+}
+}  // namespace
+
+Seidel2D::Seidel2D(geom::Vec2 objective, double box)
+    : c_(objective), box_(box) {
+  LPT_CHECK_MSG(box > 0.0, "Seidel2D: bounding box must be positive");
+}
+
+LpValue Seidel2D::optimum_of_box() const noexcept {
+  // Lexicographically smallest minimizer over the square [-box, box]^2.
+  geom::Vec2 p;
+  p.x = c_.x < 0.0 ? box_ : -box_;  // c.x == 0 ties break to -box (lex-min)
+  p.y = c_.y < 0.0 ? box_ : -box_;
+  return LpValue{geom::dot(c_, p), p, false};
+}
+
+std::optional<geom::Vec2> Seidel2D::solve_on_line(
+    const Halfplane& h, std::span<const Halfplane> prior,
+    std::span<const std::size_t> order, std::size_t count) const {
+  const double a2 = geom::norm2(h.a);
+  if (a2 <= 1e-24) return std::nullopt;  // degenerate unsatisfiable handled by caller
+  const geom::Vec2 p0 = (h.b / a2) * h.a;   // foot of the boundary line
+  const geom::Vec2 dir = geom::perp(h.a);   // direction along the line
+
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  auto clip = [&](geom::Vec2 ga, double gb, double gscale) -> bool {
+    const double alpha = geom::dot(ga, dir);
+    const double beta = gb - geom::dot(ga, p0);
+    if (std::abs(alpha) <= kTol * gscale * std::sqrt(a2)) {
+      return beta >= -kTol * gscale;  // parallel: feasible iff not cut off
+    }
+    const double t = beta / alpha;
+    if (alpha > 0.0) {
+      hi = std::min(hi, t);
+    } else {
+      lo = std::max(lo, t);
+    }
+    return true;
+  };
+
+  // Box edges.
+  if (!clip({1.0, 0.0}, box_, box_)) return std::nullopt;
+  if (!clip({-1.0, 0.0}, box_, box_)) return std::nullopt;
+  if (!clip({0.0, 1.0}, box_, box_)) return std::nullopt;
+  if (!clip({0.0, -1.0}, box_, box_)) return std::nullopt;
+  // Previously inserted constraints.
+  for (std::size_t k = 0; k < count; ++k) {
+    const Halfplane& g = prior[order[k]];
+    if (!clip(g.a, g.b, g.scale())) return std::nullopt;
+  }
+  if (lo > hi + kTol * (std::abs(lo) + std::abs(hi) + 1.0)) {
+    return std::nullopt;
+  }
+  if (lo > hi) hi = lo;  // collapse numerically inverted sliver
+
+  const double slope = geom::dot(c_, dir);
+  const double slope_scale = (geom::norm(c_) + 1.0) * std::sqrt(a2);
+  double t;
+  if (slope > kTol * slope_scale) {
+    t = lo;
+  } else if (slope < -kTol * slope_scale) {
+    t = hi;
+  } else {
+    // Objective constant along the line: canonical lex-min point.
+    if (dir.x > kTol * std::sqrt(a2)) {
+      t = lo;
+    } else if (dir.x < -kTol * std::sqrt(a2)) {
+      t = hi;
+    } else {
+      t = dir.y > 0.0 ? lo : hi;
+    }
+  }
+  return p0 + t * dir;
+}
+
+LpValue Seidel2D::solve(std::span<const Halfplane> constraints,
+                        util::Rng& rng) const {
+  LpValue cur = optimum_of_box();
+  std::vector<std::size_t> order(constraints.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Halfplane& h = constraints[order[i]];
+    if (h.satisfied(cur.point)) continue;
+    if (geom::norm2(h.a) <= 1e-24) {
+      // 0 . x <= b with b < 0: unsatisfiable constraint.
+      return LpValue{0.0, {}, true};
+    }
+    auto p = solve_on_line(h, constraints, order, i);
+    if (!p) return LpValue{0.0, {}, true};
+    cur.point = *p;
+    cur.objective = geom::dot(c_, cur.point);
+  }
+  return cur;
+}
+
+LpValue Seidel2D::solve(std::span<const Halfplane> constraints) const {
+  util::Rng rng(0x5e1de15e1de1ULL + constraints.size());
+  return solve(constraints, rng);
+}
+
+LpResult Seidel2D::solve_with_basis(
+    std::span<const Halfplane> constraints) const {
+  LpResult res;
+  res.value = solve(constraints);
+  if (res.value.infeasible) {
+    // Minimal infeasible witness by iterative removal (test-scale inputs
+    // only; our workload generators always produce feasible instances).
+    LPT_CHECK_MSG(constraints.size() <= 4096,
+                  "infeasible basis extraction on oversized input");
+    std::vector<Halfplane> work(constraints.begin(), constraints.end());
+    std::sort(work.begin(), work.end());
+    std::size_t i = 0;
+    while (i < work.size()) {
+      Halfplane removed = work[i];
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(i));
+      if (!solve(work).infeasible) {
+        work.insert(work.begin() + static_cast<std::ptrdiff_t>(i), removed);
+        ++i;
+      }
+    }
+    res.basis = std::move(work);
+    return res;
+  }
+  // Gather constraints binding at the canonical optimum, deterministically
+  // ordered, then find the smallest subset reproducing the optimum.
+  std::vector<Halfplane> binding;
+  for (const auto& h : constraints) {
+    const double slack = h.b - geom::dot(h.a, res.value.point);
+    if (std::abs(slack) <= 1e-6 * h.scale()) binding.push_back(h);
+  }
+  std::sort(binding.begin(), binding.end());
+  binding.erase(std::unique(binding.begin(), binding.end()), binding.end());
+
+  if (approx_same(solve({}), res.value)) return res;  // box optimum: empty basis
+  for (const auto& h : binding) {
+    const Halfplane one[] = {h};
+    if (approx_same(solve(one), res.value)) {
+      res.basis = {h};
+      return res;
+    }
+  }
+  for (std::size_t i = 0; i < binding.size(); ++i) {
+    for (std::size_t j = i + 1; j < binding.size(); ++j) {
+      const Halfplane two[] = {binding[i], binding[j]};
+      if (approx_same(solve(two), res.value)) {
+        res.basis = {binding[i], binding[j]};
+        return res;
+      }
+    }
+  }
+  // Numerical corner: fall back to all binding constraints (still small).
+  res.basis = std::move(binding);
+  return res;
+}
+
+}  // namespace lpt::lp

@@ -1,0 +1,91 @@
+// Seidel's randomized incremental algorithm for 2-variable linear programs.
+//
+//   minimize  c . x   subject to  a_i . x <= b_i  and  |x|, |y| <= box
+//
+// The implicit bounding box keeps every subproblem bounded, which is the
+// standard de-generalization used when treating fixed-dimension LP as an
+// LP-type problem (the paper, Section 1.1, assumes non-degenerate bounded
+// instances; the box plays the role of the perturbation).
+//
+// The solution is canonicalized: among optimal points, the lexicographically
+// smallest (x, then y) is returned, so every subset of constraints maps to a
+// *unique* value tuple (objective, x, y) — exactly the uniqueness assumption
+// the paper's locality argument needs.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lp/halfplane.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::lp {
+
+/// Totally ordered LP value: objective first, then the canonical point.
+/// Infeasible subsets map to the maximum value (the paper's "infinity").
+struct LpValue {
+  double objective = 0.0;
+  geom::Vec2 point{};
+  bool infeasible = false;
+
+  friend bool operator==(const LpValue& a, const LpValue& b) {
+    if (a.infeasible != b.infeasible) return false;
+    if (a.infeasible) return true;
+    return a.objective == b.objective && a.point == b.point;
+  }
+  friend bool operator<(const LpValue& a, const LpValue& b) {
+    if (a.infeasible != b.infeasible) return !a.infeasible;
+    if (a.infeasible) return false;
+    if (a.objective != b.objective) return a.objective < b.objective;
+    return a.point < b.point;
+  }
+};
+
+struct LpResult {
+  LpValue value{};
+  std::vector<Halfplane> basis;  // <= 2 input constraints defining the optimum
+};
+
+class Seidel2D {
+ public:
+  /// objective: the c of "minimize c . x".  box: half-width of the bounding
+  /// square (must exceed any coordinate of interest in the instance).
+  explicit Seidel2D(geom::Vec2 objective, double box = 1e6);
+
+  geom::Vec2 objective() const noexcept { return c_; }
+  double box() const noexcept { return box_; }
+
+  /// Solve the LP over `constraints` (plus the box).  Deterministic given
+  /// the rng state (used only for the insertion order shuffle).
+  LpValue solve(std::span<const Halfplane> constraints, util::Rng& rng) const;
+
+  /// Deterministic-seed convenience overload.
+  LpValue solve(std::span<const Halfplane> constraints) const;
+
+  /// Solve and extract a minimal defining basis (<= 2 constraints from the
+  /// input; box edges are implicit and never reported).
+  LpResult solve_with_basis(std::span<const Halfplane> constraints) const;
+
+  /// Violation test: does adding h strictly increase the optimum of the set
+  /// whose canonical optimum is `v`?  Because the optimum is canonical and
+  /// unique, this is simply "h is not satisfied at v's point".
+  bool violates(const LpValue& v, const Halfplane& h) const noexcept {
+    if (v.infeasible) return false;  // f is already at its maximum
+    return !h.satisfied(v.point);
+  }
+
+ private:
+  LpValue optimum_of_box() const noexcept;
+
+  // 1D LP along the boundary line of `h`, subject to `prior` and the box.
+  // Returns nullopt if infeasible.
+  std::optional<geom::Vec2> solve_on_line(
+      const Halfplane& h, std::span<const Halfplane> prior,
+      std::span<const std::size_t> order, std::size_t count) const;
+
+  geom::Vec2 c_{};
+  double box_ = 1e6;
+};
+
+}  // namespace lpt::lp

@@ -1,0 +1,69 @@
+#include "problems/linear_program2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lpt::problems {
+
+LinearProgram2D::Solution LinearProgram2D::solve(
+    std::span<const Element> s) const {
+  auto res = solver_.solve_with_basis(s);
+  Solution sol;
+  sol.basis = std::move(res.basis);
+  std::sort(sol.basis.begin(), sol.basis.end());
+  sol.basis.erase(std::unique(sol.basis.begin(), sol.basis.end()),
+                  sol.basis.end());
+  // Canonicalize: re-derive the value from the sorted basis so Solutions
+  // with equal bases are bit-identical (the basis determines the optimum).
+  sol.value = res.value.infeasible ? res.value : solver_.solve(sol.basis);
+  return sol;
+}
+
+LinearProgram2D::Solution LinearProgram2D::from_basis(
+    std::span<const Element> b) const {
+  if (b.size() <= 2) {
+    Solution sol;
+    sol.basis.assign(b.begin(), b.end());
+    std::sort(sol.basis.begin(), sol.basis.end());
+    sol.basis.erase(std::unique(sol.basis.begin(), sol.basis.end()),
+                    sol.basis.end());
+    sol.value = solver_.solve(sol.basis);
+    // Constraints slack at the small-set optimum are not part of the basis.
+    std::vector<Element> binding;
+    for (const auto& h : sol.basis) {
+      const double slack = h.b - geom::dot(h.a, sol.value.point);
+      if (std::abs(slack) <= 1e-6 * h.scale()) binding.push_back(h);
+    }
+    if (binding.size() != sol.basis.size()) {
+      sol.basis = std::move(binding);
+      sol.value = solver_.solve(sol.basis);
+    }
+    return sol;
+  }
+  return solve(b);
+}
+
+bool LinearProgram2D::value_less(const Solution& a,
+                                 const Solution& b) const noexcept {
+  if (a.value.infeasible != b.value.infeasible) return !a.value.infeasible;
+  if (a.value.infeasible) return false;
+  const double scale = std::max(
+      {std::abs(a.value.objective), std::abs(b.value.objective), 1.0});
+  if (a.value.objective < b.value.objective - 1e-9 * scale) return true;
+  if (b.value.objective < a.value.objective - 1e-9 * scale) return false;
+  // Same objective: order by the canonical point (unique-solution order).
+  if (geom::dist(a.value.point, b.value.point) <= 1e-9 * scale) return false;
+  return a.value.point < b.value.point;
+}
+
+bool LinearProgram2D::same_value(const Solution& a,
+                                 const Solution& b) const noexcept {
+  if (a.value.infeasible != b.value.infeasible) return false;
+  if (a.value.infeasible) return true;
+  const double scale = std::max(
+      {std::abs(a.value.objective), std::abs(b.value.objective), 1.0});
+  return std::abs(a.value.objective - b.value.objective) <= 1e-9 * scale &&
+         geom::dist(a.value.point, b.value.point) <= 1e-9 * scale;
+}
+
+}  // namespace lpt::problems

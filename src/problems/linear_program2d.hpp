@@ -1,0 +1,47 @@
+// Fixed-dimension linear programming as an LP-type problem (paper §1.1).
+//
+// H = half-plane constraints, f(S) = canonical optimum of "minimize c.x
+// subject to S" inside an implicit bounding box.  Combinatorial dimension =
+// number of variables = 2.  The LP substrate is Seidel's algorithm (src/lp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/seidel.hpp"
+
+namespace lpt::problems {
+
+struct Lp2dSolution {
+  lp::LpValue value{};
+  std::vector<lp::Halfplane> basis;  // sorted, <= 2 constraints
+
+  friend bool operator==(const Lp2dSolution&, const Lp2dSolution&) = default;
+};
+
+class LinearProgram2D {
+ public:
+  using Element = lp::Halfplane;
+  using Solution = Lp2dSolution;
+
+  explicit LinearProgram2D(geom::Vec2 objective, double box = 1e6)
+      : solver_(objective, box) {}
+
+  std::size_t dimension() const noexcept { return 2; }
+
+  Solution solve(std::span<const Element> s) const;
+  Solution from_basis(std::span<const Element> b) const;
+
+  bool violates(const Solution& sol, const Element& e) const noexcept {
+    return solver_.violates(sol.value, e);
+  }
+  bool value_less(const Solution& a, const Solution& b) const noexcept;
+  bool same_value(const Solution& a, const Solution& b) const noexcept;
+
+  const lp::Seidel2D& solver() const noexcept { return solver_; }
+
+ private:
+  lp::Seidel2D solver_;
+};
+
+}  // namespace lpt::problems

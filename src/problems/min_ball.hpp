@@ -1,0 +1,109 @@
+// Smallest enclosing ball in R^D as an LP-type problem (dimension D+1).
+//
+// The d-dimensional generalisation of MinDisk (paper Section 1.1: "for d
+// dimensions, at most d+1 points are sufficient"); lets the tests and
+// benches exercise the engines at several combinatorial dimensions.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "geometry/ball.hpp"
+
+namespace lpt::problems {
+
+template <std::size_t D>
+struct MinBallSolution {
+  geom::BallD<D> ball{};
+  std::vector<geom::VecD<D>> basis;  // sorted support, <= D+1 points
+
+  friend bool operator==(const MinBallSolution&,
+                         const MinBallSolution&) = default;
+};
+
+template <std::size_t D>
+class MinBall {
+ public:
+  using Element = geom::VecD<D>;
+  using Solution = MinBallSolution<D>;
+
+  std::size_t dimension() const noexcept { return D + 1; }
+
+  Solution solve(std::span<const Element> s) const {
+    Solution sol;
+    if (s.empty()) return sol;
+    util::Rng rng(0x6a11 + s.size());
+    auto mb = geom::min_ball<D>(s, rng);
+    sol.basis = std::move(mb.support);
+    canonicalize(sol);
+    return sol;
+  }
+
+  Solution from_basis(std::span<const Element> b) const {
+    if (b.size() > D + 1) return solve(b);
+    Solution sol;
+    sol.basis.assign(b.begin(), b.end());
+    canonicalize(sol);
+    return sol;
+  }
+
+  bool violates(const Solution& sol, const Element& e) const noexcept {
+    return !sol.ball.contains(e);
+  }
+  bool value_less(const Solution& a, const Solution& b) const noexcept {
+    return a.ball.radius < b.ball.radius - tol(a, b);
+  }
+  bool same_value(const Solution& a, const Solution& b) const noexcept {
+    const double d = a.ball.radius - b.ball.radius;
+    return (d < 0 ? -d : d) <= tol(a, b);
+  }
+
+ private:
+  static double tol(const Solution& a, const Solution& b) noexcept {
+    const double m =
+        a.ball.radius > b.ball.radius ? a.ball.radius : b.ball.radius;
+    return 1e-9 * (m + 1.0);
+  }
+
+  /// Sort/dedupe the support and re-derive the ball deterministically:
+  /// exact min ball of <= D+1 points by best enclosing circumball over
+  /// subsets (2^(D+1) subsets of a constant-size set).
+  void canonicalize(Solution& sol) const {
+    auto& b = sol.basis;
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    if (b.empty()) {
+      sol.ball = geom::BallD<D>{};
+      return;
+    }
+    const std::size_t k = b.size();
+    geom::BallD<D> best{};
+    std::vector<Element> subset;
+    std::vector<Element> chosen_support;
+    for (std::uint32_t mask = 1; mask < (1u << k); ++mask) {
+      subset.clear();
+      for (std::size_t i = 0; i < k; ++i) {
+        if (mask & (1u << i)) subset.push_back(b[i]);
+      }
+      auto ball = geom::circumball<D>(
+          std::span<const Element>(subset.data(), subset.size()));
+      if (ball.empty()) continue;
+      bool covers = true;
+      for (const auto& p : b) {
+        if (!ball.contains(p)) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers && (best.empty() || ball.radius < best.radius)) {
+        best = ball;
+        chosen_support = subset;
+      }
+    }
+    sol.ball = best;
+    sol.basis = std::move(chosen_support);
+  }
+};
+
+}  // namespace lpt::problems

@@ -1,0 +1,111 @@
+#include "problems/min_disk.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lpt::problems {
+
+namespace {
+
+// Deterministic seed from the input so solve() is reproducible regardless
+// of caller threading (FNV-1a over a size/extremes fingerprint).
+std::uint64_t fingerprint(std::span<const geom::Vec2> s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    h = (h ^ bits) * 0x100000001b3ULL;
+  };
+  mix(static_cast<double>(s.size()));
+  if (!s.empty()) {
+    mix(s.front().x);
+    mix(s.front().y);
+    mix(s.back().x);
+    mix(s.back().y);
+    mix(s[s.size() / 2].x);
+  }
+  return h;
+}
+
+// Canonical smallest enclosing disk of <= 3 (sorted, deduped) points.
+geom::Circle disk_of_small(std::span<const geom::Vec2> pts) {
+  switch (pts.size()) {
+    case 0:
+      return geom::Circle{};  // empty disk
+    case 1:
+      return geom::circle_from(pts[0]);
+    case 2:
+      return geom::circle_from(pts[0], pts[1]);
+    default: {
+      // Try each diametral pair; the smallest valid one wins, else the
+      // circumcircle through all three.
+      geom::Circle best{};
+      bool found = false;
+      for (int drop = 2; drop >= 0; --drop) {
+        const geom::Vec2 a = pts[(drop + 1) % 3];
+        const geom::Vec2 b = pts[(drop + 2) % 3];
+        const geom::Circle c = geom::circle_from(a, b);
+        if (c.contains(pts[static_cast<std::size_t>(drop)]) &&
+            (!found || c.radius < best.radius)) {
+          best = c;
+          found = true;
+        }
+      }
+      if (found) return best;
+      return geom::circle_from(pts[0], pts[1], pts[2]);
+    }
+  }
+}
+
+}  // namespace
+
+MinDisk::Solution MinDisk::solve(std::span<const Element> s) const {
+  Solution sol;
+  if (s.empty()) return sol;
+  util::Rng rng(fingerprint(s));
+  auto md = geom::min_disk(s, rng);
+  sol.basis = std::move(md.support);
+  std::sort(sol.basis.begin(), sol.basis.end());
+  sol.basis.erase(std::unique(sol.basis.begin(), sol.basis.end()),
+                  sol.basis.end());
+  sol.disk = disk_of_small(sol.basis);
+  return sol;
+}
+
+MinDisk::Solution MinDisk::from_basis(std::span<const Element> b) const {
+  if (b.size() <= 3) {
+    Solution sol;
+    sol.basis.assign(b.begin(), b.end());
+    std::sort(sol.basis.begin(), sol.basis.end());
+    sol.basis.erase(std::unique(sol.basis.begin(), sol.basis.end()),
+                    sol.basis.end());
+    // A received "basis" may contain non-support points (e.g. B u {h} from
+    // the MSW exchange step); reduce to the true support via solve if the
+    // direct disk does not match.
+    sol.disk = disk_of_small(sol.basis);
+    if (geom::encloses_all(sol.disk, sol.basis)) {
+      // Drop interior points from the basis (diametral-pair case).
+      if (sol.basis.size() == 3) {
+        for (std::size_t i = 0; i < 3; ++i) {
+          std::vector<geom::Vec2> two;
+          for (std::size_t j = 0; j < 3; ++j) {
+            if (j != i) two.push_back(sol.basis[j]);
+          }
+          const auto c = disk_of_small(two);
+          if (c.radius >= sol.disk.radius - 1e-12 * (sol.disk.radius + 1.0) &&
+              c.contains(sol.basis[i])) {
+            sol.basis = std::move(two);
+            sol.disk = c;
+            break;
+          }
+        }
+      }
+      return sol;
+    }
+  }
+  return solve(b);
+}
+
+}  // namespace lpt::problems

@@ -1,0 +1,61 @@
+// Smallest enclosing disk as an LP-type problem (paper Sections 1.1 and 5).
+//
+// H = points in the plane, f(S) = radius of the smallest disk enclosing S.
+// Combinatorial dimension 3 (at most 3 points determine the disk).  This is
+// the problem the paper's experimental evaluation (Figures 1-3) runs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/circle.hpp"
+#include "geometry/welzl.hpp"
+
+namespace lpt::problems {
+
+struct MinDiskSolution {
+  geom::Circle disk{};             // empty() encodes f(∅) = -infinity
+  std::vector<geom::Vec2> basis;   // sorted support set, |basis| <= 3
+
+  friend bool operator==(const MinDiskSolution& a,
+                         const MinDiskSolution& b) = default;
+};
+
+class MinDisk {
+ public:
+  using Element = geom::Vec2;
+  using Solution = MinDiskSolution;
+
+  std::size_t dimension() const noexcept { return 3; }
+
+  /// Canonical optimal solution: Welzl to find the support, then the disk is
+  /// re-derived from the *sorted* support so equal bases give bit-identical
+  /// Solutions (see the canonicality contract in core/lp_type.hpp).
+  Solution solve(std::span<const Element> s) const;
+
+  /// Canonical solve for a (candidate) basis of <= 3 points received over
+  /// the wire; also correct for any small point set.
+  Solution from_basis(std::span<const Element> b) const;
+
+  bool violates(const Solution& sol, const Element& e) const noexcept {
+    // Empty disk: f(∅) < f({e}) always.  Otherwise: e outside the disk.
+    return !sol.disk.contains(e);
+  }
+
+  bool value_less(const Solution& a, const Solution& b) const noexcept {
+    return a.disk.radius < b.disk.radius - tol(a, b);
+  }
+  bool same_value(const Solution& a, const Solution& b) const noexcept {
+    const double d = a.disk.radius - b.disk.radius;
+    return (d < 0 ? -d : d) <= tol(a, b);
+  }
+
+ private:
+  static double tol(const Solution& a, const Solution& b) noexcept {
+    const double m = a.disk.radius > b.disk.radius ? a.disk.radius
+                                                   : b.disk.radius;
+    return 1e-9 * (m + 1.0);
+  }
+};
+
+}  // namespace lpt::problems

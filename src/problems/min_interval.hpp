@@ -1,0 +1,59 @@
+// Smallest enclosing interval on the line — the minimal non-trivial
+// LP-type problem (combinatorial dimension 2: the basis is {min, max}).
+//
+// Useful as the d = 2 point of the dimension ablation and as the simplest
+// possible worked example of the problem-adapter contract (everything is
+// exact in double arithmetic; no tolerances needed).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+namespace lpt::problems {
+
+struct MinIntervalSolution {
+  double lo = 0.0;
+  double hi = -1.0;             // hi < lo encodes f(∅) = -infinity
+  std::vector<double> basis;    // sorted, {lo} or {lo, hi}
+
+  bool empty() const noexcept { return hi < lo; }
+  double length() const noexcept { return empty() ? -1.0 : hi - lo; }
+
+  friend bool operator==(const MinIntervalSolution&,
+                         const MinIntervalSolution&) = default;
+};
+
+class MinInterval {
+ public:
+  using Element = double;
+  using Solution = MinIntervalSolution;
+
+  std::size_t dimension() const noexcept { return 2; }
+
+  Solution solve(std::span<const Element> s) const {
+    Solution sol;
+    if (s.empty()) return sol;
+    const auto [mn, mx] = std::minmax_element(s.begin(), s.end());
+    sol.lo = *mn;
+    sol.hi = *mx;
+    sol.basis = (*mn == *mx) ? std::vector<double>{*mn}
+                             : std::vector<double>{*mn, *mx};
+    return sol;
+  }
+
+  Solution from_basis(std::span<const Element> b) const { return solve(b); }
+
+  bool violates(const Solution& sol, const Element& e) const noexcept {
+    if (sol.empty()) return true;
+    return e < sol.lo || e > sol.hi;
+  }
+  bool value_less(const Solution& a, const Solution& b) const noexcept {
+    return a.length() < b.length();
+  }
+  bool same_value(const Solution& a, const Solution& b) const noexcept {
+    return a.length() == b.length();
+  }
+};
+
+}  // namespace lpt::problems

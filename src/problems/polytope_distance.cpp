@@ -1,0 +1,84 @@
+#include "problems/polytope_distance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace lpt::problems {
+
+namespace {
+
+// Witness triangle of input points containing the origin, for the interior
+// case: fan-triangulate the hull from vertex 0 and locate the origin.
+std::vector<geom::Vec2> origin_triangle(const std::vector<geom::Vec2>& hull) {
+  const geom::Vec2 o{0.0, 0.0};
+  for (std::size_t i = 1; i + 1 < hull.size(); ++i) {
+    const geom::Vec2 a = hull[0];
+    const geom::Vec2 b = hull[i];
+    const geom::Vec2 c = hull[i + 1];
+    const double s1 = geom::orient(a, b, o);
+    const double s2 = geom::orient(b, c, o);
+    const double s3 = geom::orient(c, a, o);
+    const double eps = 1e-12;
+    if ((s1 >= -eps && s2 >= -eps && s3 >= -eps) ||
+        (s1 <= eps && s2 <= eps && s3 <= eps)) {
+      return {a, b, c};
+    }
+  }
+  // Origin on the boundary / degenerate hull: fall back to closest pair.
+  return {};
+}
+
+}  // namespace
+
+PolytopeDistance::Solution PolytopeDistance::solve(
+    std::span<const Element> s) const {
+  Solution sol;
+  if (s.empty()) return sol;
+  auto mnp = geom::min_norm_point(s);
+  sol.distance = mnp.distance;
+  sol.point = mnp.point;
+  sol.basis = std::move(mnp.support);
+  if (sol.distance == 0.0 && sol.basis.empty()) {
+    auto hull = geom::convex_hull(s);
+    sol.basis = origin_triangle(hull);
+    if (sol.basis.empty()) {
+      // Origin on the hull boundary: it is the closest point; find the
+      // segment (or vertex) realizing it.
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < hull.size(); ++i) {
+        const geom::Vec2 a = hull[i];
+        const geom::Vec2 b = hull[(i + 1) % hull.size()];
+        const double d2 = geom::point_segment_dist2({0.0, 0.0}, a, b);
+        if (d2 < best) {
+          best = d2;
+          sol.basis = {a, b};
+        }
+      }
+    }
+  }
+  std::sort(sol.basis.begin(), sol.basis.end());
+  sol.basis.erase(std::unique(sol.basis.begin(), sol.basis.end()),
+                  sol.basis.end());
+  // Canonicalize the witness point from the sorted basis.
+  if (sol.distance > 0.0) {
+    if (sol.basis.size() == 1) {
+      sol.point = sol.basis[0];
+    } else if (sol.basis.size() == 2) {
+      sol.point =
+          geom::closest_point_on_segment_to_origin(sol.basis[0], sol.basis[1]);
+    }
+    sol.distance = geom::norm(sol.point);
+  } else {
+    sol.point = {0.0, 0.0};
+  }
+  return sol;
+}
+
+PolytopeDistance::Solution PolytopeDistance::from_basis(
+    std::span<const Element> b) const {
+  return solve(b);  // solve() is already exact and canonical on small sets
+}
+
+}  // namespace lpt::problems

@@ -1,0 +1,66 @@
+// Polytope distance as an LP-type problem (mentioned in the paper's
+// abstract): distance from the origin to the convex hull of a point set.
+//
+// f(S) = -dist(0, conv(S)) so that f is monotonically increasing (adding
+// points can only move the hull closer to the origin).  Combinatorial
+// dimension 3 in the plane: the optimum is witnessed by a vertex, an edge,
+// or — when the origin is inside the hull — a triangle containing it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/convex.hpp"
+
+namespace lpt::problems {
+
+struct PolytopeDistanceSolution {
+  double distance = -1.0;          // < 0 encodes f(∅) (= -infinity)
+  geom::Vec2 point{};              // closest hull point to the origin
+  std::vector<geom::Vec2> basis;   // sorted witness set, <= 3 points
+
+  bool empty() const noexcept { return distance < 0.0; }
+
+  friend bool operator==(const PolytopeDistanceSolution&,
+                         const PolytopeDistanceSolution&) = default;
+};
+
+class PolytopeDistance {
+ public:
+  using Element = geom::Vec2;
+  using Solution = PolytopeDistanceSolution;
+
+  std::size_t dimension() const noexcept { return 3; }
+
+  Solution solve(std::span<const Element> s) const;
+  Solution from_basis(std::span<const Element> b) const;
+
+  /// h improves (violates) sol iff it lies strictly on the origin side of
+  /// the supporting hyperplane through sol.point: <h, x*> < <x*, x*>.
+  bool violates(const Solution& sol, const Element& e) const noexcept {
+    if (sol.empty()) return true;        // f(∅) < f({e}) always
+    if (sol.distance == 0.0) return false;  // global optimum reached
+    const double lhs = geom::dot(e, sol.point);
+    const double rhs = geom::norm2(sol.point);
+    return lhs < rhs - 1e-9 * (rhs + 1.0);
+  }
+
+  // f = -distance: larger distance means smaller f.
+  bool value_less(const Solution& a, const Solution& b) const noexcept {
+    if (a.empty() || b.empty()) return a.empty() && !b.empty();
+    return a.distance > b.distance + tol(a, b);
+  }
+  bool same_value(const Solution& a, const Solution& b) const noexcept {
+    if (a.empty() || b.empty()) return a.empty() == b.empty();
+    const double d = a.distance - b.distance;
+    return (d < 0 ? -d : d) <= tol(a, b);
+  }
+
+ private:
+  static double tol(const Solution& a, const Solution& b) noexcept {
+    const double m = a.distance > b.distance ? a.distance : b.distance;
+    return 1e-9 * (m + 1.0);
+  }
+};
+
+}  // namespace lpt::problems

@@ -1,0 +1,69 @@
+#include "problems/set_cover.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lpt::problems {
+
+std::shared_ptr<SetSystem> dual_of_set_cover(const SetSystem& inst) {
+  // Dual universe: one element per set of the primal.  Dual sets: for each
+  // primal element i, M_i = indices of primal sets containing i.
+  std::vector<std::vector<std::uint32_t>> dual_sets;
+  dual_sets.reserve(inst.universe_size());
+  for (std::uint32_t i = 0; i < inst.universe_size(); ++i) {
+    const auto& m = inst.sets_containing(i);
+    LPT_CHECK_MSG(!m.empty(),
+                  "set cover instance leaves an element uncovered");
+    dual_sets.push_back(m);
+  }
+  return std::make_shared<SetSystem>(inst.set_count(), std::move(dual_sets));
+}
+
+bool is_set_cover(const SetSystem& inst,
+                  std::span<const std::uint32_t> chosen) {
+  std::vector<std::uint8_t> covered(inst.universe_size(), 0);
+  std::size_t count = 0;
+  for (auto j : chosen) {
+    if (j >= inst.set_count()) return false;
+    for (auto x : inst.set(j)) {
+      if (!covered[x]) {
+        covered[x] = 1;
+        ++count;
+      }
+    }
+  }
+  return count == inst.universe_size();
+}
+
+std::vector<std::uint32_t> greedy_set_cover(const SetSystem& inst) {
+  std::vector<std::uint8_t> covered(inst.universe_size(), 0);
+  std::size_t remaining = inst.universe_size();
+  std::vector<std::uint32_t> chosen;
+  while (remaining > 0) {
+    std::uint32_t best = UINT32_MAX;
+    std::size_t best_gain = 0;
+    for (std::uint32_t j = 0; j < inst.set_count(); ++j) {
+      std::size_t gain = 0;
+      for (auto x : inst.set(j)) {
+        if (!covered[x]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = j;
+      }
+    }
+    LPT_CHECK_MSG(best != UINT32_MAX, "greedy_set_cover: uncoverable element");
+    chosen.push_back(best);
+    for (auto x : inst.set(best)) {
+      if (!covered[x]) {
+        covered[x] = 1;
+        --remaining;
+      }
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace lpt::problems

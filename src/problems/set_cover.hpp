@@ -1,0 +1,29 @@
+// Set cover via hitting-set duality (paper Section 1.4 / end of Section 4).
+//
+// Given (X, S) with union(S) = X, a set cover corresponds to a hitting set
+// of the dual system (Y, M): Y = set indices {0..s-1}, M_i = { j : i ∈ S_j }
+// for each element i of X.  The paper solves set cover by running the
+// Hitting Set Algorithm on the dual; this module provides the transform and
+// quality baselines on the primal side.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "problems/hitting_set_problem.hpp"
+
+namespace lpt::problems {
+
+/// Build the dual hitting-set system of a set-cover instance.
+/// Requires every element of X to be covered by at least one set.
+std::shared_ptr<SetSystem> dual_of_set_cover(const SetSystem& cover_instance);
+
+/// Verify that choosing the sets `chosen` (indices into S) covers X.
+bool is_set_cover(const SetSystem& instance,
+                  std::span<const std::uint32_t> chosen);
+
+/// Classic greedy set cover (ln n approximation) — quality baseline.
+std::vector<std::uint32_t> greedy_set_cover(const SetSystem& instance);
+
+}  // namespace lpt::problems

@@ -1,0 +1,39 @@
+// Assertion macros that stay active in release builds for invariants that
+// guard simulation correctness (an incorrect simulator silently produces
+// wrong science; we prefer a loud abort).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lpt::util::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "LPT_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace lpt::util::detail
+
+/// Always-on invariant check.
+#define LPT_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::lpt::util::detail::assert_fail(#expr, __FILE__, __LINE__, "");    \
+    }                                                                     \
+  } while (0)
+
+/// Always-on invariant check with message.
+#define LPT_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::lpt::util::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only check (compiled out under NDEBUG).
+#ifdef NDEBUG
+#define LPT_DCHECK(expr) ((void)0)
+#else
+#define LPT_DCHECK(expr) LPT_CHECK(expr)
+#endif

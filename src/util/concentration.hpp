@@ -1,0 +1,62 @@
+// Concentration bounds used throughout the paper's analysis, as callable
+// utilities: classic Chernoff/Hoeffding tails and the paper's Theorem 8
+// (a Chernoff-Hoeffding bound for k-wise negatively correlated variables,
+// after Schmidt-Siegel-Srinivasan), which powers Lemmas 7 and 11.
+//
+// The benches evaluate these bounds next to measured tails so that every
+// "w.h.p." claim in the paper has a number attached in EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+namespace lpt::util {
+
+/// Multiplicative Chernoff upper tail for a sum of independent [0,1]
+/// variables with mean mu:  P[X >= (1+delta) mu] <= exp(-min(d^2,d) mu/3).
+inline double chernoff_upper_tail(double mu, double delta) {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  return std::exp(-std::min(delta * delta, delta) * mu / 3.0);
+}
+
+/// Multiplicative Chernoff lower tail:
+/// P[X <= (1-delta) mu] <= exp(-delta^2 mu / 2), delta in (0, 1].
+inline double chernoff_lower_tail(double mu, double delta) {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  return std::exp(-delta * delta * mu / 2.0);
+}
+
+/// Hoeffding bound for n independent variables in [lo, hi]:
+/// P[X - E[X] >= t] <= exp(-2 t^2 / (n (hi - lo)^2)).
+inline double hoeffding_tail(std::size_t n, double lo, double hi, double t) {
+  if (n == 0 || hi <= lo || t <= 0.0) return 1.0;
+  const double range = hi - lo;
+  return std::exp(-2.0 * t * t / (static_cast<double>(n) * range * range));
+}
+
+/// Theorem 8 of the paper: variables X_i in [0, C] whose size-s product
+/// moments are bounded by q^s for all s <= k; with mu = q n and
+/// k >= ceil(mu delta):  P[X >= (1+delta) mu] <= exp(-min(d^2,d) mu/(3C)).
+/// Returns the bound value (the caller is responsible for checking the
+/// k >= ceil(mu delta) applicability condition, exposed separately below).
+inline double theorem8_tail(double mu, double delta, double c_range) {
+  if (mu <= 0.0 || delta <= 0.0 || c_range <= 0.0) return 1.0;
+  return std::exp(-std::min(delta * delta, delta) * mu / (3.0 * c_range));
+}
+
+/// Applicability condition of Theorem 8.
+inline bool theorem8_applicable(double mu, double delta, double k) {
+  return k >= std::ceil(mu * delta);
+}
+
+/// Empirical tail: fraction of samples >= threshold.
+inline double empirical_tail(std::span<const double> samples,
+                             double threshold) {
+  if (samples.empty()) return 0.0;
+  std::size_t c = 0;
+  for (double s : samples) c += (s >= threshold) ? 1 : 0;
+  return static_cast<double>(c) / static_cast<double>(samples.size());
+}
+
+}  // namespace lpt::util

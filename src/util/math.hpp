@@ -1,0 +1,41 @@
+// Small integer/float math helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lpt::util {
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  return x <= 1 ? 0u : 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Integer power.
+constexpr std::uint64_t ipow(std::uint64_t base, std::uint32_t exp) noexcept {
+  std::uint64_t r = 1;
+  while (exp) {
+    if (exp & 1u) r *= base;
+    base *= base;
+    exp >>= 1u;
+  }
+  return r;
+}
+
+/// True if x is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace lpt::util

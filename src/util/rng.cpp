@@ -1,0 +1,76 @@
+#include "util/rng.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lpt::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) k = n;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Robert Floyd's sampling algorithm: iterate j over the last k slots.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = below(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+WeightedSampler::WeightedSampler(std::size_t n, double initial_weight)
+    : n_(n), weights_(n, initial_weight), tree_(n + 1, 0.0) {
+  // Build Fenwick tree in O(n).
+  for (std::size_t i = 1; i <= n_; ++i) {
+    tree_[i] += weights_[i - 1];
+    std::size_t parent = i + (i & (~i + 1));
+    if (parent <= n_) tree_[parent] += tree_[i];
+  }
+  total_ = static_cast<double>(n) * initial_weight;
+}
+
+void WeightedSampler::add(std::size_t i, double delta) {
+  for (std::size_t j = i + 1; j <= n_; j += j & (~j + 1)) tree_[j] += delta;
+  total_ += delta;
+}
+
+void WeightedSampler::scale(std::size_t i, double factor) {
+  const double delta = weights_[i] * (factor - 1.0);
+  weights_[i] *= factor;
+  add(i, delta);
+}
+
+void WeightedSampler::set(std::size_t i, double w) {
+  const double delta = w - weights_[i];
+  weights_[i] = w;
+  add(i, delta);
+}
+
+std::size_t WeightedSampler::sample(Rng& rng) const {
+  if (n_ == 0 || total_ <= 0.0) {
+    throw std::logic_error("WeightedSampler::sample on empty/zero-mass set");
+  }
+  double target = rng.uniform() * total_;
+  // Descend the Fenwick tree to find the smallest prefix exceeding target.
+  std::size_t idx = 0;
+  std::size_t bit = 1;
+  while ((bit << 1) <= n_) bit <<= 1;
+  for (; bit != 0; bit >>= 1) {
+    const std::size_t next = idx + bit;
+    if (next <= n_ && tree_[next] < target) {
+      idx = next;
+      target -= tree_[next];
+    }
+  }
+  // idx is 0-based index of the sampled element; clamp for FP edge cases.
+  return idx < n_ ? idx : n_ - 1;
+}
+
+}  // namespace lpt::util

@@ -1,0 +1,175 @@
+// Deterministic random number generation for the gossip simulator.
+//
+// Everything in this repository that is random flows through lpt::util::Rng,
+// a xoshiro256** engine seeded through SplitMix64.  Simulations are
+// reproducible given a seed, and independent per-node / per-repetition
+// streams are derived with Rng::child(), which hashes the parent state with
+// a stream index so sibling streams are statistically independent.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lpt::util {
+
+/// SplitMix64 step: used for seeding and for deriving child streams.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna. Small state, very fast, passes
+/// BigCrush; ideal for simulations issuing billions of draws.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  Rng() : Rng(0x853c49e6748fea9bULL) {}
+
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent stream (e.g. one per node, per repetition).
+  Rng child(std::uint64_t stream) const noexcept {
+    std::uint64_t sm = state_[0] ^ rotl(state_[3], 13) ^
+                       (0x9e3779b97f4a7c15ULL * (stream + 1));
+    Rng r;
+    for (auto& w : r.state_) w = splitmix64(sm);
+    return r;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // bound == 0 is a caller bug; treated as 1 to stay total.
+    if (bound <= 1) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), uniformly.
+  /// Floyd's algorithm; O(k) expected for hash-based membership.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Weighted index sampling with mutable weights (used by sequential
+/// Clarkson, whose multiplicities double over time).  Implemented as a
+/// Fenwick tree over weights: sample in O(log n), update in O(log n).
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::size_t n, double initial_weight = 1.0);
+
+  std::size_t size() const noexcept { return n_; }
+  double total() const noexcept { return total_; }
+  double weight(std::size_t i) const noexcept { return weights_[i]; }
+
+  /// Multiply weight of item i by factor.
+  void scale(std::size_t i, double factor);
+
+  /// Set weight of item i.
+  void set(std::size_t i, double w);
+
+  /// Draw one index proportional to weight.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  void add(std::size_t i, double delta);
+
+  std::size_t n_;
+  std::vector<double> weights_;  // raw weights
+  std::vector<double> tree_;     // Fenwick partial sums (1-based)
+  double total_ = 0.0;
+};
+
+}  // namespace lpt::util

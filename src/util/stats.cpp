@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lpt::util {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need buckets > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::size_t>(
+      q * static_cast<double>(total_ - 1));
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return bucket_lo(i);
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%10.3f | ", bucket_lo(i));
+    out += buf;
+    const std::size_t bar =
+        peak ? counts_[i] * width / peak : 0;
+    out.append(bar, '#');
+    std::snprintf(buf, sizeof buf, " %zu\n", counts_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need >= 2 matching points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit f;
+  if (denom == 0.0) {
+    f.slope = 0.0;
+    f.intercept = sy / n;
+    f.r2 = 0.0;
+    return f;
+  }
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0;
+  const double mean_y = sy / n;
+  double ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double log2d(double x) { return std::log2(x); }
+
+}  // namespace lpt::util

@@ -1,0 +1,75 @@
+// Streaming statistics used to aggregate simulation measurements:
+// running moments (Welford), min/max, histograms, and ordinary least
+// squares for fitting the rounds ~ a * log2(n) + b lines of Figures 2-3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lpt::util {
+
+/// Numerically stable running mean / variance / extrema (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge buckets. Used for per-node work distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return total_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  double bucket_lo(std::size_t i) const noexcept;
+  double quantile(double q) const noexcept;  // approximate, from buckets
+
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+/// OLS over the given points. Requires xs.size() == ys.size() >= 2.
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Exact sample quantile (sorts a copy).
+double quantile(std::vector<double> values, double q);
+
+/// Convenience: log base 2.
+double log2d(double x);
+
+}  // namespace lpt::util

@@ -1,0 +1,44 @@
+// Plain-text table / CSV emission for the benchmark harnesses.  Every bench
+// binary prints the same rows the paper's figures plot, via this module, so
+// output formats stay uniform across experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lpt::util {
+
+/// Column-aligned ASCII table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  Table& add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment and a header separator.
+  std::string str() const;
+
+  /// Render as CSV (RFC-ish; quotes cells containing commas).
+  std::string csv() const;
+
+  /// Print str() to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed precision double -> string.
+std::string fmt(double v, int precision = 3);
+
+/// Format helper: integer -> string.
+std::string fmt(std::size_t v);
+std::string fmt(int v);
+
+}  // namespace lpt::util

@@ -1,0 +1,55 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Simulation repetitions (independent seeds) are embarrassingly parallel;
+// the benchmark harnesses dispatch them through this pool.  On a single-core
+// machine the pool degrades gracefully to sequential execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lpt::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, n), distributing across the pool and blocking
+/// until completion.  body must be safe to call concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Global default pool (lazily constructed, sized to the hardware).
+ThreadPool& default_pool();
+
+}  // namespace lpt::util

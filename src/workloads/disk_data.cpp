@@ -1,0 +1,102 @@
+#include "workloads/disk_data.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace lpt::workloads {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Uniform point in the disk of the given radius around the origin.
+geom::Vec2 uniform_in_disk(util::Rng& rng, double radius) {
+  const double r = radius * std::sqrt(rng.uniform());
+  const double a = rng.uniform(0.0, 2.0 * kPi);
+  return {r * std::cos(a), r * std::sin(a)};
+}
+}  // namespace
+
+std::string dataset_name(DiskDataset d) {
+  switch (d) {
+    case DiskDataset::kDuoDisk:
+      return "duo-disk";
+    case DiskDataset::kTripleDisk:
+      return "triple-disk";
+    case DiskDataset::kTriangle:
+      return "triangle";
+    case DiskDataset::kHull:
+      return "hull";
+  }
+  return "?";
+}
+
+std::size_t dataset_basis_size(DiskDataset d) {
+  return d == DiskDataset::kDuoDisk ? 2 : 3;
+}
+
+std::vector<geom::Vec2> generate_disk_dataset(DiskDataset d, std::size_t n,
+                                              util::Rng& rng) {
+  LPT_CHECK(n >= 1);
+  std::vector<geom::Vec2> pts;
+  pts.reserve(n);
+  switch (d) {
+    case DiskDataset::kDuoDisk: {
+      // Two diametral points define the unit disk; the rest is strictly
+      // inside, so the optimal basis has size 2 (Figure 1a).
+      pts.push_back({-1.0, 0.0});
+      if (n >= 2) pts.push_back({1.0, 0.0});
+      while (pts.size() < n) pts.push_back(uniform_in_disk(rng, 0.995));
+      break;
+    }
+    case DiskDataset::kTripleDisk: {
+      // An equilateral triple on the unit circle defines the disk; basis
+      // size 3 (Figure 1b).
+      for (int k = 0; k < 3 && pts.size() < n; ++k) {
+        const double a = kPi / 2.0 + 2.0 * kPi * k / 3.0;
+        pts.push_back({std::cos(a), std::sin(a)});
+      }
+      while (pts.size() < n) pts.push_back(uniform_in_disk(rng, 0.995));
+      break;
+    }
+    case DiskDataset::kTriangle: {
+      // Points uniform in a fixed acute triangle (Figure 1c); the triangle
+      // vertices themselves are included so the basis is the 3 vertices.
+      const geom::Vec2 a{-1.0, -0.7};
+      const geom::Vec2 b{1.0, -0.7};
+      const geom::Vec2 c{0.0, 1.1};
+      pts.push_back(a);
+      if (n >= 2) pts.push_back(b);
+      if (n >= 3) pts.push_back(c);
+      while (pts.size() < n) {
+        double u = rng.uniform();
+        double v = rng.uniform();
+        if (u + v > 1.0) {
+          u = 1.0 - u;
+          v = 1.0 - v;
+        }
+        // Shrink slightly toward the centroid to keep samples interior.
+        const geom::Vec2 q = a + u * (b - a) + v * (c - a);
+        const geom::Vec2 g = (1.0 / 3.0) * (a + b + c);
+        pts.push_back(g + 0.999 * (q - g));
+      }
+      break;
+    }
+    case DiskDataset::kHull: {
+      // Perturbed vertices of a regular n-gon (Figure 1d): every point is
+      // near the boundary, the hull is large, the basis still has size <= 3.
+      for (std::size_t k = 0; k < n; ++k) {
+        const double a = 2.0 * kPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+        const double ra = a + rng.uniform(-0.3, 0.3) /
+                                  static_cast<double>(n);
+        const double rr = 1.0 + rng.uniform(-1e-3, 1e-3);
+        pts.push_back({rr * std::cos(ra), rr * std::sin(ra)});
+      }
+      break;
+    }
+  }
+  return pts;
+}
+
+}  // namespace lpt::workloads

@@ -1,0 +1,36 @@
+// The four minimum-enclosing-disk datasets of the paper's evaluation
+// (Figure 1): duo-disk, triple-disk, triangle, and hull.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::workloads {
+
+enum class DiskDataset : std::uint8_t {
+  kDuoDisk,     // 2 points span the solution disk, rest uniform inside
+  kTripleDisk,  // 3 points on the solution disk, rest uniform inside
+  kTriangle,    // points uniform in a triangle
+  kHull,        // perturbed vertices of a regular polygon
+};
+
+inline constexpr DiskDataset kAllDiskDatasets[] = {
+    DiskDataset::kDuoDisk, DiskDataset::kTripleDisk, DiskDataset::kTriangle,
+    DiskDataset::kHull};
+
+/// Paper's dataset names (Figure 1 captions).
+std::string dataset_name(DiskDataset d);
+
+/// Size of the optimal basis each dataset is designed to have (Section 5
+/// attributes the round-constant difference to exactly this).
+std::size_t dataset_basis_size(DiskDataset d);
+
+/// Generate an n-point instance of the given dataset.
+std::vector<geom::Vec2> generate_disk_dataset(DiskDataset d, std::size_t n,
+                                              util::Rng& rng);
+
+}  // namespace lpt::workloads

@@ -1,0 +1,105 @@
+#include "workloads/hs_data.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace lpt::workloads {
+
+PlantedHs generate_planted_hitting_set(std::size_t universe, std::size_t sets,
+                                       std::size_t d, std::size_t set_size,
+                                       util::Rng& rng) {
+  LPT_CHECK(d >= 1 && universe >= d * (set_size + 1) && sets >= d);
+  PlantedHs out;
+
+  // Shuffle the universe; the first d elements are the planted hitting set,
+  // the next d*set_size form the d disjoint private pools of the core sets.
+  std::vector<std::uint32_t> ids(universe);
+  std::iota(ids.begin(), ids.end(), 0u);
+  rng.shuffle(ids);
+  out.planted.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(d));
+
+  std::vector<std::vector<std::uint32_t>> s;
+  s.reserve(sets);
+  std::size_t pool = d;
+  for (std::size_t i = 0; i < d; ++i) {
+    // Core set i: planted_i plus its private pool — pairwise disjoint, so
+    // any hitting set needs >= d elements.
+    std::vector<std::uint32_t> core{out.planted[i]};
+    for (std::size_t k = 0; k < set_size; ++k) core.push_back(ids[pool++]);
+    s.push_back(std::move(core));
+  }
+  while (s.size() < sets) {
+    // Filler sets: one random planted element plus random others, so the
+    // planted set remains a hitting set of everything.
+    std::vector<std::uint32_t> filler{out.planted[rng.below(d)]};
+    for (std::size_t k = 1; k <= set_size; ++k) {
+      filler.push_back(ids[rng.below(universe)]);
+    }
+    s.push_back(std::move(filler));
+  }
+  out.system = std::make_shared<problems::SetSystem>(universe, std::move(s));
+  std::sort(out.planted.begin(), out.planted.end());
+  return out;
+}
+
+std::shared_ptr<problems::SetSystem> generate_interval_ranges(
+    std::size_t universe, std::size_t sets, std::size_t min_len,
+    std::size_t max_len, util::Rng& rng) {
+  LPT_CHECK(universe >= 1 && min_len >= 1 && max_len >= min_len &&
+            max_len <= universe);
+  std::vector<std::vector<std::uint32_t>> s;
+  s.reserve(sets);
+  for (std::size_t j = 0; j < sets; ++j) {
+    const std::size_t len = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_len),
+                        static_cast<std::int64_t>(max_len)));
+    const std::size_t start = rng.below(universe - len + 1);
+    std::vector<std::uint32_t> interval(len);
+    std::iota(interval.begin(), interval.end(),
+              static_cast<std::uint32_t>(start));
+    s.push_back(std::move(interval));
+  }
+  return std::make_shared<problems::SetSystem>(universe, std::move(s));
+}
+
+PlantedCover generate_planted_set_cover(std::size_t universe,
+                                        std::size_t sets, std::size_t d,
+                                        util::Rng& rng) {
+  LPT_CHECK(d >= 1 && sets >= d && universe >= 2 * d);
+  PlantedCover out;
+  // Partition X into d blocks; block i (containing sentinel element i) is
+  // cover set i.  Sentinels appear in no other set, so every cover must
+  // take all d cover sets — the minimum cover size is exactly d.
+  std::vector<std::uint32_t> ids(universe);
+  std::iota(ids.begin(), ids.end(), 0u);
+  rng.shuffle(ids);
+  std::vector<std::vector<std::uint32_t>> s(d);
+  for (std::size_t i = 0; i < universe; ++i) {
+    s[i % d].push_back(ids[i]);
+  }
+  // Sentinel of block i = the first id assigned to it.
+  std::vector<std::uint32_t> sentinel(d);
+  for (std::size_t i = 0; i < d; ++i) sentinel[i] = s[i].front();
+
+  while (s.size() < sets) {
+    // Filler sets: random non-sentinel elements only.
+    std::vector<std::uint32_t> filler;
+    const std::size_t len = 1 + rng.below(universe / d + 1);
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::uint32_t e = ids[rng.below(universe)];
+      if (std::find(sentinel.begin(), sentinel.end(), e) == sentinel.end()) {
+        filler.push_back(e);
+      }
+    }
+    if (filler.empty()) filler.push_back(s[0][1 % s[0].size()]);
+    s.push_back(std::move(filler));
+  }
+  out.instance = std::make_shared<problems::SetSystem>(universe, std::move(s));
+  out.planted_cover.resize(d);
+  std::iota(out.planted_cover.begin(), out.planted_cover.end(), 0u);
+  return out;
+}
+
+}  // namespace lpt::workloads

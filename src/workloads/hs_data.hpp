@@ -1,0 +1,42 @@
+// Set-system generators for the hitting set / set cover experiments.
+#pragma once
+
+#include <memory>
+
+#include "problems/hitting_set_problem.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::workloads {
+
+/// Planted instance with minimum hitting set size exactly d:
+/// d pairwise-disjoint "core" sets force >= d elements, and the d planted
+/// elements (one per core set) hit every set.  The remaining s - d sets
+/// each contain >= 1 planted element plus `extra` random elements.
+struct PlantedHs {
+  std::shared_ptr<problems::SetSystem> system;
+  std::vector<std::uint32_t> planted;  // an optimal hitting set, |.| = d
+};
+
+PlantedHs generate_planted_hitting_set(std::size_t universe, std::size_t sets,
+                                       std::size_t d, std::size_t set_size,
+                                       util::Rng& rng);
+
+/// 1-D interval range space: universe {0..n-1} as points on a line, each
+/// set a random interval of ids (a simple geometric range space; the paper
+/// motivates hitting set via geometric ranges).
+std::shared_ptr<problems::SetSystem> generate_interval_ranges(
+    std::size_t universe, std::size_t sets, std::size_t min_len,
+    std::size_t max_len, util::Rng& rng);
+
+/// Random set-cover instance whose cover uses the planted construction on
+/// the dual side (so the minimum cover size is exactly d).
+struct PlantedCover {
+  std::shared_ptr<problems::SetSystem> instance;  // primal (X, S)
+  std::vector<std::uint32_t> planted_cover;       // optimal cover, |.| = d
+};
+
+PlantedCover generate_planted_set_cover(std::size_t universe,
+                                        std::size_t sets, std::size_t d,
+                                        util::Rng& rng);
+
+}  // namespace lpt::workloads

@@ -1,0 +1,37 @@
+#include "workloads/lp_data.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace lpt::workloads {
+
+LpInstance generate_lp_instance(std::size_t n, util::Rng& rng) {
+  LPT_CHECK(n >= 2);
+  LpInstance inst;
+  inst.objective = {0.0, 1.0};  // minimize y
+  const geom::Vec2 t{rng.uniform(-5.0, 5.0), rng.uniform(-5.0, 5.0)};
+  inst.optimum = t;
+  inst.optimal_value = geom::dot(inst.objective, t);
+
+  // Two binding constraints forming a V with apex at t:
+  //   y >= t.y - s1 (x - t.x)  and  y >= t.y + s2 (x - t.x),  s1, s2 > 0.
+  // As halfplanes a.x <= b:  (-s1, -1).(x,y) <= (-s1, -1).t  etc.
+  const double s1 = rng.uniform(0.2, 3.0);
+  const double s2 = rng.uniform(0.2, 3.0);
+  const geom::Vec2 n1{-s1, -1.0};
+  const geom::Vec2 n2{s2, -1.0};
+  inst.constraints.push_back({n1, geom::dot(n1, t)});
+  inst.constraints.push_back({n2, geom::dot(n2, t)});
+
+  // Non-binding constraints: random direction, positive slack at t.
+  while (inst.constraints.size() < n) {
+    const double a = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const geom::Vec2 dir{std::cos(a), std::sin(a)};
+    const double slack = rng.uniform(0.05, 4.0);
+    inst.constraints.push_back({dir, geom::dot(dir, t) + slack});
+  }
+  return inst;
+}
+
+}  // namespace lpt::workloads

@@ -1,0 +1,26 @@
+// Random feasible 2-variable LP instances with a known unique optimum.
+//
+// Construction: two "V" constraints meet at a planted vertex and support
+// the objective direction, so the planted vertex is the unique optimum; all
+// other constraints keep the vertex feasible with positive slack (adding
+// constraints can only raise the minimum, so the optimum is preserved).
+#pragma once
+
+#include <vector>
+
+#include "lp/halfplane.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::workloads {
+
+struct LpInstance {
+  std::vector<lp::Halfplane> constraints;
+  geom::Vec2 objective{};        // minimize objective . x
+  geom::Vec2 optimum{};          // planted optimal vertex
+  double optimal_value = 0.0;
+};
+
+/// n-constraint instance; optimum planted at a random point in [-5,5]^2.
+LpInstance generate_lp_instance(std::size_t n, util::Rng& rng);
+
+}  // namespace lpt::workloads

@@ -1,0 +1,104 @@
+// Tests for the Section 1.4 doubling search on an unknown combinatorial
+// dimension, and for the dimension_override engine knob it relies on.
+#include <gtest/gtest.h>
+
+#include "core/auto_dimension.hpp"
+#include "problems/min_disk.hpp"
+#include "problems/polytope_distance.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+
+namespace lpt {
+namespace {
+
+using problems::MinDisk;
+using workloads::DiskDataset;
+
+TEST(DimensionOverride, RunningWithLargerDStillCorrect) {
+  // Overestimating d only makes samples larger / filtering gentler; the
+  // algorithm stays correct.
+  MinDisk p;
+  util::Rng rng(1);
+  const std::size_t n = 256;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 3;
+  cfg.dimension_override = 6;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+TEST(DimensionOverride, UnderestimatingDNeverProducesWrongOutput) {
+  // With d' = 1 the sample has size 6 < the true basis-size regime; the
+  // run may need more rounds or hit its cap, but any result that claims
+  // success must be the true optimum, and termination outputs (if any)
+  // must be correct — Lemma 12 does not depend on d.
+  MinDisk p;
+  util::Rng rng(2);
+  const std::size_t n = 256;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 5;
+  cfg.dimension_override = 1;
+  cfg.run_termination = true;
+  cfg.max_rounds = 200;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  if (res.stats.reached_optimum) {
+    EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+  }
+  EXPECT_TRUE(res.stats.all_outputs_correct);
+}
+
+class AutoDimension : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutoDimension, FindsOptimumWithoutKnowingD) {
+  MinDisk p;
+  util::Rng rng(GetParam());
+  const std::size_t n = 256;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  core::LowLoadConfig base;
+  base.seed = static_cast<std::uint64_t>(GetParam()) * 17 + 3;
+  const auto res = core::run_low_load_auto_dimension(p, pts, n, base);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+  // The doubling search must stop by the first power of two >= d = 3.
+  EXPECT_LE(res.d_used, 4u);
+  EXPECT_LE(res.stages, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutoDimension, ::testing::Range(1, 6));
+
+TEST(AutoDimension, WorksOnPolytopeDistance) {
+  problems::PolytopeDistance p;
+  util::Rng rng(9);
+  const std::size_t n = 256;
+  std::vector<geom::Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(1.0, 6.0), rng.uniform(-4.0, 4.0)});
+  }
+  core::LowLoadConfig base;
+  base.seed = 11;
+  const auto res = core::run_low_load_auto_dimension(p, pts, n, base);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+TEST(AutoDimension, TotalRoundsAccumulateAcrossStages) {
+  MinDisk p;
+  util::Rng rng(10);
+  const std::size_t n = 128;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, n, rng);
+  core::LowLoadConfig base;
+  base.seed = 13;
+  const auto res = core::run_low_load_auto_dimension(p, pts, n, base);
+  ASSERT_TRUE(res.success);
+  EXPECT_GE(res.total_rounds, res.stats.rounds_to_all_output);
+}
+
+}  // namespace
+}  // namespace lpt

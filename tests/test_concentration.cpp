@@ -1,0 +1,154 @@
+// Tests for the concentration-bound utilities (including the paper's
+// Theorem 8) and the median-rule consensus protocol (paper reference [8]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gossip/consensus.hpp"
+#include "util/concentration.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lpt {
+namespace {
+
+TEST(Concentration, ChernoffBoundsAreProbabilities) {
+  for (double mu : {0.5, 5.0, 50.0}) {
+    for (double delta : {0.1, 1.0, 3.0}) {
+      const double u = util::chernoff_upper_tail(mu, delta);
+      EXPECT_GT(u, 0.0);
+      EXPECT_LE(u, 1.0);
+      const double l = util::chernoff_lower_tail(mu, std::min(delta, 1.0));
+      EXPECT_GT(l, 0.0);
+      EXPECT_LE(l, 1.0);
+    }
+  }
+  EXPECT_EQ(util::chernoff_upper_tail(-1.0, 0.5), 1.0);  // degenerate inputs
+  EXPECT_EQ(util::chernoff_upper_tail(5.0, 0.0), 1.0);
+}
+
+TEST(Concentration, ChernoffUpperHoldsEmpirically) {
+  // Binomial(n = 200, p = 0.1): mu = 20.
+  util::Rng rng(1);
+  const double mu = 20.0;
+  constexpr int kTrials = 20000;
+  for (double delta : {0.5, 1.0}) {
+    int exceed = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      int x = 0;
+      for (int i = 0; i < 200; ++i) x += rng.bernoulli(0.1) ? 1 : 0;
+      if (x >= (1.0 + delta) * mu) ++exceed;
+    }
+    const double measured = static_cast<double>(exceed) / kTrials;
+    EXPECT_LE(measured, util::chernoff_upper_tail(mu, delta) * 1.05 + 1e-4)
+        << "delta = " << delta;
+  }
+}
+
+TEST(Concentration, ChernoffLowerHoldsEmpirically) {
+  util::Rng rng(2);
+  const double mu = 50.0;  // Binomial(500, 0.1)
+  constexpr int kTrials = 20000;
+  int below = 0;
+  const double delta = 0.4;
+  for (int t = 0; t < kTrials; ++t) {
+    int x = 0;
+    for (int i = 0; i < 500; ++i) x += rng.bernoulli(0.1) ? 1 : 0;
+    if (x <= (1.0 - delta) * mu) ++below;
+  }
+  EXPECT_LE(static_cast<double>(below) / kTrials,
+            util::chernoff_lower_tail(mu, delta) * 1.05 + 1e-4);
+}
+
+TEST(Concentration, HoeffdingHoldsEmpirically) {
+  util::Rng rng(3);
+  constexpr int kTrials = 20000;
+  const std::size_t n = 100;
+  const double t_dev = 15.0;
+  int exceed = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += rng.uniform();
+    if (sum - n * 0.5 >= t_dev) ++exceed;
+  }
+  EXPECT_LE(static_cast<double>(exceed) / kTrials,
+            util::hoeffding_tail(n, 0.0, 1.0, t_dev) * 1.1 + 1e-4);
+}
+
+TEST(Concentration, Theorem8ReducesToChernoffForUnitRange) {
+  // With C = 1 the Theorem 8 bound is the classic Chernoff bound (full
+  // independence implies every k-wise product-moment condition).
+  EXPECT_DOUBLE_EQ(util::theorem8_tail(10.0, 0.5, 1.0),
+                   util::chernoff_upper_tail(10.0, 0.5));
+  // Larger per-variable range C weakens the exponent by 1/C.
+  EXPECT_GT(util::theorem8_tail(10.0, 0.5, 4.0),
+            util::theorem8_tail(10.0, 0.5, 1.0));
+  EXPECT_TRUE(util::theorem8_applicable(10.0, 0.5, 5.0));
+  EXPECT_FALSE(util::theorem8_applicable(10.0, 0.5, 4.0));
+}
+
+TEST(Concentration, EmpiricalTailHelper) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(util::empirical_tail(xs, 3.0), 0.6);
+  EXPECT_DOUBLE_EQ(util::empirical_tail(xs, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::empirical_tail({}, 1.0), 0.0);
+}
+
+TEST(MedianConsensus, ReachesConsensusLogarithmically) {
+  const std::size_t n = 1024;
+  gossip::Network net(n, util::Rng(5));
+  util::Rng vals(6);
+  std::vector<double> initial(n);
+  for (auto& x : initial) x = vals.uniform(0.0, 100.0);
+  auto sorted = initial;
+  std::sort(sorted.begin(), sorted.end());
+
+  gossip::MedianConsensus<double> mc(net, initial);
+  const std::size_t rounds = mc.run(40 * util::ceil_log2(n));
+  ASSERT_TRUE(mc.converged());
+  EXPECT_LE(rounds, 12 * util::ceil_log2(n));
+  // The consensus value concentrates near the median (central third).
+  const double v = mc.value(0);
+  EXPECT_GE(v, sorted[n / 3]);
+  EXPECT_LE(v, sorted[2 * n / 3]);
+}
+
+TEST(MedianConsensus, ConsensusValueIsAnInitialValue) {
+  const std::size_t n = 128;
+  gossip::Network net(n, util::Rng(7));
+  std::vector<int> initial(n);
+  for (std::size_t v = 0; v < n; ++v) initial[v] = static_cast<int>(v);
+  gossip::MedianConsensus<int> mc(net, initial);
+  mc.run(500);
+  ASSERT_TRUE(mc.converged());
+  EXPECT_GE(mc.value(0), 0);
+  EXPECT_LT(mc.value(0), static_cast<int>(n));
+}
+
+TEST(MedianConsensus, AlreadyUnanimousIsStable) {
+  const std::size_t n = 64;
+  gossip::Network net(n, util::Rng(8));
+  gossip::MedianConsensus<int> mc(net, std::vector<int>(n, 9));
+  EXPECT_TRUE(mc.converged());
+  EXPECT_EQ(mc.run(10), 0u);
+  EXPECT_EQ(mc.value(13), 9);
+}
+
+TEST(MedianConsensus, SurvivesSleepersAndLoss) {
+  const std::size_t n = 256;
+  gossip::FaultModel f;
+  f.sleep_probability = 0.2;
+  f.response_loss = 0.2;
+  gossip::Network net(n, util::Rng(9), f);
+  util::Rng vals(10);
+  std::vector<double> initial(n);
+  for (auto& x : initial) x = vals.normal();
+  gossip::MedianConsensus<double> mc(net, initial);
+  mc.run(200 * util::ceil_log2(n));
+  EXPECT_TRUE(mc.converged());
+}
+
+}  // namespace
+}  // namespace lpt

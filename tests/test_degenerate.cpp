@@ -1,0 +1,176 @@
+// Degenerate-input robustness suite: identical points, collinear clouds,
+// huge and tiny coordinate scales, duplicated constraints — pushed through
+// the solvers and the full distributed engines.  A production library must
+// not wedge or return garbage on any of these.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/clarkson.hpp"
+#include "core/high_load.hpp"
+#include "core/low_load.hpp"
+#include "core/msw.hpp"
+#include "geometry/welzl.hpp"
+#include "problems/linear_program2d.hpp"
+#include "problems/min_disk.hpp"
+#include "util/rng.hpp"
+
+namespace lpt {
+namespace {
+
+using problems::MinDisk;
+
+TEST(Degenerate, AllIdenticalPoints) {
+  MinDisk p;
+  std::vector<geom::Vec2> pts(200, geom::Vec2{2.5, -1.5});
+  const auto sol = p.solve(pts);
+  EXPECT_DOUBLE_EQ(sol.disk.radius, 0.0);
+  EXPECT_EQ(sol.basis.size(), 1u);
+
+  util::Rng rng(1);
+  const auto cl = core::clarkson_solve(p, pts, rng);
+  EXPECT_TRUE(cl.stats.converged);
+  EXPECT_DOUBLE_EQ(cl.solution.disk.radius, 0.0);
+
+  core::LowLoadConfig cfg;
+  cfg.seed = 2;
+  const auto res = core::run_low_load(p, pts, 64, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum);
+}
+
+TEST(Degenerate, CollinearCloud) {
+  MinDisk p;
+  std::vector<geom::Vec2> pts;
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.uniform(-1.0, 1.0);
+    pts.push_back({t, 2.0 * t});  // on the line y = 2x
+  }
+  const auto sol = p.solve(pts);
+  // Min disk of a segment: diametral circle of the extremes.
+  EXPECT_LE(sol.basis.size(), 2u);
+  EXPECT_TRUE(geom::encloses_all(sol.disk, pts));
+
+  core::HighLoadConfig cfg;
+  cfg.seed = 5;
+  const auto res = core::run_high_load(p, pts, 64, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, sol));
+}
+
+TEST(Degenerate, CocircularPoints) {
+  MinDisk p;
+  std::vector<geom::Vec2> pts;
+  for (int k = 0; k < 64; ++k) {
+    const double a = 2.0 * 3.14159265358979323846 * k / 64;
+    pts.push_back({std::cos(a), std::sin(a)});
+  }
+  const auto sol = p.solve(pts);
+  EXPECT_NEAR(sol.disk.radius, 1.0, 1e-9);
+  EXPECT_TRUE(geom::encloses_all(sol.disk, pts));
+
+  util::Rng rng(7);
+  const auto msw = core::msw_solve(p, pts, rng);
+  EXPECT_TRUE(p.same_value(msw.solution, sol));
+}
+
+TEST(Degenerate, HugeCoordinateScale) {
+  MinDisk p;
+  util::Rng rng(9);
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({1e12 + rng.uniform(-1e6, 1e6),
+                   -3e12 + rng.uniform(-1e6, 1e6)});
+  }
+  const auto sol = p.solve(pts);
+  EXPECT_TRUE(geom::encloses_all(sol.disk, pts));
+
+  core::LowLoadConfig cfg;
+  cfg.seed = 11;
+  const auto res = core::run_low_load(p, pts, 64, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, sol));
+}
+
+TEST(Degenerate, TinyCoordinateScale) {
+  MinDisk p;
+  util::Rng rng(13);
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.uniform(-1e-9, 1e-9), rng.uniform(-1e-9, 1e-9)});
+  }
+  const auto sol = p.solve(pts);
+  EXPECT_TRUE(geom::encloses_all(sol.disk, pts));
+  EXPECT_LT(sol.disk.radius, 3e-9);
+}
+
+TEST(Degenerate, TwoPointInstanceThroughEngines) {
+  MinDisk p;
+  std::vector<geom::Vec2> pts{{-1, 0}, {1, 0}};
+  core::LowLoadConfig lcfg;
+  lcfg.seed = 15;
+  const auto low = core::run_low_load(p, pts, 8, lcfg);
+  ASSERT_TRUE(low.stats.reached_optimum);
+  EXPECT_NEAR(low.solution.disk.radius, 1.0, 1e-12);
+
+  core::HighLoadConfig hcfg;
+  hcfg.seed = 17;
+  const auto high = core::run_high_load(p, pts, 8, hcfg);
+  ASSERT_TRUE(high.stats.reached_optimum);
+  EXPECT_NEAR(high.solution.disk.radius, 1.0, 1e-12);
+}
+
+TEST(Degenerate, DuplicatedLpConstraints) {
+  problems::LinearProgram2D p({0.0, 1.0});
+  // y >= 1 five times plus padding.
+  std::vector<lp::Halfplane> cs(5, lp::Halfplane{{0.0, -1.0}, -1.0});
+  cs.push_back({{1.0, 0.0}, 100.0});
+  const auto sol = p.solve(cs);
+  ASSERT_FALSE(sol.value.infeasible);
+  EXPECT_NEAR(sol.value.objective, 1.0, 1e-9);
+  EXPECT_LE(sol.basis.size(), 2u);
+
+  util::Rng rng(19);
+  const auto cl = core::clarkson_solve(p, cs, rng);
+  EXPECT_TRUE(cl.stats.converged);
+  EXPECT_NEAR(cl.solution.value.objective, 1.0, 1e-9);
+}
+
+TEST(Degenerate, ParallelBindingConstraints) {
+  problems::LinearProgram2D p({0.0, 1.0});
+  // Two identical-direction constraints, the tighter one binds.
+  std::vector<lp::Halfplane> cs{{{0.0, -1.0}, -1.0},   // y >= 1
+                                {{0.0, -1.0}, -2.0}};  // y >= 2
+  const auto sol = p.solve(cs);
+  EXPECT_NEAR(sol.value.objective, 2.0, 1e-9);
+  EXPECT_EQ(sol.basis.size(), 1u);
+  EXPECT_NEAR(sol.basis[0].b, -2.0, 1e-12);
+}
+
+TEST(Degenerate, WelzlManyDuplicatesOfBasis) {
+  // The multiplicity-doubling dynamics create exactly this input shape:
+  // many copies of few values.
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({-1, 0});
+    pts.push_back({1, 0});
+    pts.push_back({0, 1});
+  }
+  MinDisk p;
+  const auto sol = p.solve(pts);
+  EXPECT_TRUE(geom::encloses_all(sol.disk, pts));
+  EXPECT_NEAR(sol.disk.radius, 1.0, 1e-9);
+}
+
+TEST(Degenerate, MoreNodesThanElementsEverywhere) {
+  MinDisk p;
+  std::vector<geom::Vec2> pts{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}};
+  core::LowLoadConfig cfg;
+  cfg.seed = 21;
+  const auto res = core::run_low_load(p, pts, 512, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,147 @@
+// Fault-injection tests for the distributed engines: the gossip algorithms
+// must still find the optimum under message loss and sleeping nodes (the
+// Section 1.2 claim that gossip protocols are stable under stress and
+// disruptions), at the cost of extra rounds.
+#include <gtest/gtest.h>
+
+#include "core/high_load.hpp"
+#include "core/hitting_set.hpp"
+#include "core/low_load.hpp"
+#include "problems/min_disk.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+#include "workloads/hs_data.hpp"
+
+namespace lpt {
+namespace {
+
+using problems::MinDisk;
+using workloads::DiskDataset;
+
+class FaultMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  // Fault scenarios: {push_loss, response_loss, sleep_probability}.
+  gossip::FaultModel scenario() const {
+    gossip::FaultModel f;
+    switch (std::get<0>(GetParam())) {
+      case 0:
+        f.push_loss = 0.2;
+        break;
+      case 1:
+        f.response_loss = 0.2;
+        break;
+      case 2:
+        f.sleep_probability = 0.2;
+        break;
+      case 3:
+        f.push_loss = 0.1;
+        f.response_loss = 0.1;
+        f.sleep_probability = 0.1;
+        break;
+    }
+    return f;
+  }
+  int seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(FaultMatrix, LowLoadStillFindsOptimum) {
+  MinDisk p;
+  util::Rng rng(seed());
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed()) * 7 + 1;
+  cfg.faults = scenario();
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+TEST_P(FaultMatrix, HighLoadStillFindsOptimum) {
+  MinDisk p;
+  util::Rng rng(100 + seed());
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+  core::HighLoadConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed()) * 11 + 1;
+  cfg.faults = scenario();
+  const auto res = core::run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+TEST_P(FaultMatrix, HittingSetStillFindsValidAnswer) {
+  util::Rng rng(200 + seed());
+  const std::size_t n = 512;
+  const auto inst = workloads::generate_planted_hitting_set(n, 32, 2, 4, rng);
+  problems::HittingSetProblem p(inst.system);
+  core::HittingSetConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed()) * 13 + 1;
+  cfg.hitting_set_size = 2;
+  cfg.faults = scenario();
+  const auto res = core::run_hitting_set(p, n, cfg);
+  ASSERT_TRUE(res.valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultMatrix,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(1, 4)));
+
+TEST(Faults, TerminationProtocolSafeUnderLoss) {
+  // Even with heavy loss, no node may output a wrong value.
+  MinDisk p;
+  util::Rng rng(33);
+  const std::size_t n = 256;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 77;
+  cfg.run_termination = true;
+  cfg.faults.push_loss = 0.3;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(res.stats.all_outputs_correct);
+}
+
+TEST(Faults, OriginalsNeverLostUnderFaults) {
+  // Message loss destroys copies in flight, never originals: the run must
+  // still end with at least |H| elements in the system and a correct
+  // answer, because H_0 is pinned at its home nodes.
+  MinDisk p;
+  util::Rng rng(44);
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kHull, n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 55;
+  cfg.faults.push_loss = 0.5;
+  cfg.faults.sleep_probability = 0.2;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_GE(res.stats.final_total_elements, pts.size());
+}
+
+TEST(Faults, ModerateLossCostsRoundsNotCorrectness) {
+  MinDisk p;
+  util::Rng rng(66);
+  const std::size_t n = 2048;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+
+  core::HighLoadConfig clean;
+  clean.seed = 5;
+  const auto r0 = core::run_high_load(p, pts, n, clean);
+
+  core::HighLoadConfig lossy = clean;
+  lossy.faults.push_loss = 0.4;
+  const auto r1 = core::run_high_load(p, pts, n, lossy);
+
+  ASSERT_TRUE(r0.stats.reached_optimum);
+  ASSERT_TRUE(r1.stats.reached_optimum);
+  EXPECT_GE(r1.stats.rounds_to_first, r0.stats.rounds_to_first);
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,281 @@
+// Unit and property tests for the geometry substrate: vectors, circles,
+// Welzl minidisk, d-dimensional miniball, convex hull, min-norm point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/ball.hpp"
+#include "geometry/circle.hpp"
+#include "geometry/convex.hpp"
+#include "geometry/linalg.hpp"
+#include "geometry/vec2.hpp"
+#include "geometry/welzl.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ((a + b), (Vec2{4, 1}));
+  EXPECT_EQ((a - b), (Vec2{-2, 3}));
+  EXPECT_EQ((2.0 * a), (Vec2{2, 4}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Vec2, OrientSign) {
+  EXPECT_GT(orient({0, 0}, {1, 0}, {0, 1}), 0.0);  // CCW
+  EXPECT_LT(orient({0, 0}, {0, 1}, {1, 0}), 0.0);  // CW
+  EXPECT_DOUBLE_EQ(orient({0, 0}, {1, 1}, {2, 2}), 0.0);  // collinear
+}
+
+TEST(Vec2, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(point_segment_dist2({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_dist2({5, 0}, {-1, 0}, {1, 0}), 16.0);
+  EXPECT_DOUBLE_EQ(point_segment_dist2({3, 4}, {0, 0}, {0, 0}), 25.0);
+}
+
+TEST(Vec2, ClosestPointOnSegmentToOrigin) {
+  const Vec2 c = closest_point_on_segment_to_origin({1, -1}, {1, 1});
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 0.0, 1e-12);
+  const Vec2 v = closest_point_on_segment_to_origin({2, 3}, {5, 7});
+  EXPECT_NEAR(v.x, 2.0, 1e-12);  // clamped to endpoint
+}
+
+TEST(Circle, TwoPointCircleIsDiametral) {
+  const Circle c = circle_from({-1, 0}, {1, 0});
+  EXPECT_NEAR(c.center.x, 0.0, 1e-12);
+  EXPECT_NEAR(c.radius, 1.0, 1e-12);
+}
+
+TEST(Circle, CircumcircleEquilateral) {
+  const double h = std::sqrt(3.0) / 2.0;
+  const Circle c = circle_from({-0.5, 0}, {0.5, 0}, {0.0, h});
+  EXPECT_NEAR(c.center.x, 0.0, 1e-9);
+  EXPECT_NEAR(c.radius, 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(Circle, CollinearFallsBackToDiametral) {
+  const Circle c = circle_from({0, 0}, {1, 0}, {2, 0});
+  EXPECT_NEAR(c.radius, 1.0, 1e-9);
+  EXPECT_TRUE(c.contains({0, 0}));
+  EXPECT_TRUE(c.contains({2, 0}));
+}
+
+TEST(Circle, EmptyDiskContainsNothing) {
+  const Circle c{};
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.contains({0, 0}));
+}
+
+TEST(Circle, CircumcircleContainsDefiningPoints) {
+  util::Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const Vec2 a{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 b{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 c{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Circle k = circle_from(a, b, c);
+    EXPECT_TRUE(k.contains(a));
+    EXPECT_TRUE(k.contains(b));
+    EXPECT_TRUE(k.contains(c));
+  }
+}
+
+class WelzlProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelzlProperty, EnclosesAllAndSupportOnBoundary) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 3 + rng.below(200);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  }
+  const auto res = min_disk(pts, rng);
+  EXPECT_TRUE(encloses_all(res.disk, pts));
+  ASSERT_GE(res.support.size(), 1u);
+  ASSERT_LE(res.support.size(), 3u);
+  for (const auto& s : res.support) {
+    EXPECT_NEAR(dist(res.disk.center, s), res.disk.radius,
+                1e-7 * (res.disk.radius + 1.0));
+  }
+}
+
+TEST_P(WelzlProperty, MatchesBruteForceOnSmallSets) {
+  util::Rng rng(1000 + GetParam());
+  const std::size_t n = 1 + rng.below(8);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  }
+  const auto res = min_disk(pts, rng);
+  // Brute force: the minimum disk is defined by a pair or a triple.
+  double best = res.disk.radius + 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Circle c1 = circle_from(pts[i]);
+    if (encloses_all(c1, pts)) best = std::min(best, c1.radius);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Circle c2 = circle_from(pts[i], pts[j]);
+      if (encloses_all(c2, pts)) best = std::min(best, c2.radius);
+      for (std::size_t k = j + 1; k < n; ++k) {
+        const Circle c3 = circle_from(pts[i], pts[j], pts[k]);
+        if (encloses_all(c3, pts)) best = std::min(best, c3.radius);
+      }
+    }
+  }
+  EXPECT_NEAR(res.disk.radius, best, 1e-7 * (best + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelzlProperty, ::testing::Range(1, 41));
+
+TEST(Welzl, DuplicatedPointsHandled) {
+  std::vector<Vec2> pts{{1, 1}, {1, 1}, {1, 1}, {2, 2}};
+  util::Rng rng(3);
+  const auto res = min_disk(pts, rng);
+  EXPECT_NEAR(res.disk.radius, std::sqrt(2.0) / 2.0, 1e-9);
+}
+
+TEST(Welzl, SinglePoint) {
+  std::vector<Vec2> pts{{3, 4}};
+  const auto res = min_disk(pts);
+  EXPECT_DOUBLE_EQ(res.disk.radius, 0.0);
+  EXPECT_EQ(res.disk.center, (Vec2{3, 4}));
+}
+
+TEST(Welzl, EmptyInputGivesEmptyDisk) {
+  const auto res = min_disk(std::span<const Vec2>{});
+  EXPECT_TRUE(res.disk.empty());
+  EXPECT_TRUE(res.support.empty());
+}
+
+TEST(Linalg, SolvesWellConditionedSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  auto x = solve(std::move(a), {5, 10});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, DetectsSingularity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_FALSE(solve(std::move(a), {1, 2}).has_value());
+}
+
+TEST(Linalg, PartialPivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  auto x = solve(std::move(a), {2, 3});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Ball3, CircumballOfSimplex) {
+  using V = VecD<3>;
+  std::vector<V> pts{{{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}};
+  const auto b = circumball<3>(pts);
+  EXPECT_NEAR(b.radius, 1.0, 1e-9);
+  for (const auto& p : pts) {
+    EXPECT_NEAR(dist2(b.center, p), 1.0, 1e-9);
+  }
+}
+
+class MiniballProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniballProperty, EnclosesAllPoints3D) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 4 + rng.below(80);
+  std::vector<VecD<3>> pts(n);
+  for (auto& p : pts) {
+    for (int k = 0; k < 3; ++k) p[k] = rng.uniform(-3, 3);
+  }
+  const auto res = min_ball<3>(pts, rng);
+  ASSERT_FALSE(res.ball.empty());
+  for (const auto& p : pts) EXPECT_TRUE(res.ball.contains(p, 1e-7));
+  ASSERT_LE(res.support.size(), 4u);
+  for (const auto& s : res.support) {
+    EXPECT_NEAR(std::sqrt(dist2(res.ball.center, s)), res.ball.radius,
+                1e-6 * (res.ball.radius + 1.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiniballProperty, ::testing::Range(1, 21));
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  std::vector<Vec2> pts{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.7}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHull, CollinearInput) {
+  std::vector<Vec2> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHull, ContainsQueries) {
+  std::vector<Vec2> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const auto hull = convex_hull(pts);
+  EXPECT_TRUE(hull_contains(hull, {1, 1}));
+  EXPECT_TRUE(hull_contains(hull, {0, 0}));
+  EXPECT_TRUE(hull_contains(hull, {2, 1}));
+  EXPECT_FALSE(hull_contains(hull, {3, 1}));
+  EXPECT_FALSE(hull_contains(hull, {-0.1, 1}));
+}
+
+TEST(MinNormPoint, VertexCase) {
+  std::vector<Vec2> pts{{1, 1}, {2, 1}, {1.5, 3}};
+  const auto r = min_norm_point(pts);
+  EXPECT_NEAR(r.distance, std::sqrt(2.0), 1e-9);
+  ASSERT_EQ(r.support.size(), 1u);
+  EXPECT_EQ(r.support[0], (Vec2{1, 1}));
+}
+
+TEST(MinNormPoint, EdgeCase) {
+  std::vector<Vec2> pts{{1, -1}, {1, 1}, {5, 0}};
+  const auto r = min_norm_point(pts);
+  EXPECT_NEAR(r.distance, 1.0, 1e-9);
+  EXPECT_EQ(r.support.size(), 2u);
+}
+
+TEST(MinNormPoint, OriginInsideHull) {
+  std::vector<Vec2> pts{{-1, -1}, {1, -1}, {0, 2}};
+  const auto r = min_norm_point(pts);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+class MinNormProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinNormProperty, MatchesDenseSampling) {
+  util::Rng rng(GetParam());
+  std::vector<Vec2> pts;
+  const std::size_t n = 3 + rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.5, 5), rng.uniform(-5, 5)});
+  }
+  const auto r = min_norm_point(pts);
+  // Check optimality via the supporting-hyperplane condition:
+  // every input point q satisfies <q, x*> >= |x*|^2.
+  for (const auto& q : pts) {
+    EXPECT_GE(dot(q, r.point), norm2(r.point) - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinNormProperty, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace lpt::geom

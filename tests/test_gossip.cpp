@@ -1,0 +1,190 @@
+// Tests for the gossip-model simulator substrate: work metering, mailboxes,
+// pull channels, and the hypercube collective emulator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gossip/hypercube.hpp"
+#include "gossip/mailbox.hpp"
+#include "gossip/metrics.hpp"
+#include "gossip/network.hpp"
+
+namespace lpt::gossip {
+namespace {
+
+Network make_net(std::size_t n, std::uint64_t seed = 1) {
+  return Network(n, util::Rng(seed));
+}
+
+TEST(WorkMeter, TracksPerRoundMaxWork) {
+  WorkMeter m(3);
+  m.begin_round();
+  m.add_push(0, 8);
+  m.add_push(0, 8);
+  m.add_pull(1, 0);
+  m.begin_round();
+  m.add_push(2, 4);
+  m.finish();
+  ASSERT_EQ(m.rounds(), 2u);
+  EXPECT_EQ(m.history()[0].max_node_work, 2u);
+  EXPECT_EQ(m.history()[1].max_node_work, 1u);
+  EXPECT_EQ(m.max_work_per_round(), 2u);
+  EXPECT_EQ(m.total_push_ops(), 3u);
+  EXPECT_EQ(m.total_pull_ops(), 1u);
+  EXPECT_EQ(m.total_bytes(), 20u);
+}
+
+TEST(WorkMeter, WorkResetsEachRound) {
+  WorkMeter m(1);
+  for (int r = 0; r < 5; ++r) {
+    m.begin_round();
+    m.add_push(0, 1);
+  }
+  m.finish();
+  EXPECT_EQ(m.max_work_per_round(), 1u);
+}
+
+TEST(Network, PeersAreUniform) {
+  auto net = make_net(16, 7);
+  std::vector<int> counts(16, 0);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) ++counts[net.random_peer()];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 16, kDraws / 16 * 0.15);
+}
+
+TEST(Network, RoundCounterAdvances) {
+  auto net = make_net(4);
+  EXPECT_EQ(net.round(), 0u);
+  net.begin_round();
+  net.begin_round();
+  EXPECT_EQ(net.round(), 2u);
+}
+
+TEST(Mailbox, DeliversAllPushedMessages) {
+  auto net = make_net(8, 3);
+  Mailbox<int> mb(net);
+  net.begin_round();
+  for (int i = 0; i < 100; ++i) mb.push(0, i);
+  EXPECT_EQ(mb.pending(), 100u);
+  mb.deliver();
+  EXPECT_EQ(mb.pending(), 0u);
+  std::size_t received = 0;
+  for (NodeId v = 0; v < 8; ++v) received += mb.inbox(v).size();
+  EXPECT_EQ(received, 100u);
+}
+
+TEST(Mailbox, InboxClearedOnNextDelivery) {
+  auto net = make_net(2, 3);
+  Mailbox<int> mb(net);
+  net.begin_round();
+  mb.push(0, 42);
+  mb.deliver();
+  mb.deliver();  // second round: nothing pushed
+  EXPECT_TRUE(mb.inbox(0).empty());
+  EXPECT_TRUE(mb.inbox(1).empty());
+}
+
+TEST(Mailbox, PushToTargetsExplicitNode) {
+  auto net = make_net(4, 3);
+  Mailbox<int> mb(net);
+  net.begin_round();
+  mb.push_to(0, 3, 9);
+  mb.deliver();
+  ASSERT_EQ(mb.inbox(3).size(), 1u);
+  EXPECT_EQ(mb.inbox(3)[0], 9);
+}
+
+TEST(Mailbox, MetersWorkOnSender) {
+  auto net = make_net(4, 3);
+  Mailbox<double> mb(net);
+  net.begin_round();
+  mb.push(2, 1.5);
+  mb.push(2, 2.5);
+  net.meter().finish();
+  EXPECT_EQ(net.meter().total_push_ops(), 2u);
+  EXPECT_EQ(net.meter().total_bytes(), 2 * sizeof(double));
+}
+
+TEST(PullChannel, RoutesResponsesToRequester) {
+  auto net = make_net(8, 5);
+  PullChannel<int> ch(net);
+  net.begin_round();
+  for (int k = 0; k < 20; ++k) ch.request(1);
+  ch.resolve([](NodeId target) { return std::optional<int>(static_cast<int>(target)); });
+  EXPECT_EQ(ch.responses(1).size(), 20u);
+  EXPECT_TRUE(ch.responses(0).empty());
+  for (int v : ch.responses(1)) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 8);
+  }
+}
+
+TEST(PullChannel, NulloptModelsNoReply) {
+  auto net = make_net(4, 5);
+  PullChannel<int> ch(net);
+  net.begin_round();
+  for (int k = 0; k < 10; ++k) ch.request(0);
+  ch.resolve([](NodeId) { return std::optional<int>(); });
+  EXPECT_TRUE(ch.responses(0).empty());
+  net.meter().finish();
+  EXPECT_EQ(net.meter().total_pull_ops(), 10u);
+  EXPECT_EQ(net.meter().total_push_ops(), 0u);  // no replies sent
+}
+
+TEST(PullChannel, ClearsBetweenResolves) {
+  auto net = make_net(4, 5);
+  PullChannel<int> ch(net);
+  net.begin_round();
+  ch.request(0);
+  ch.resolve([](NodeId) { return std::optional<int>(1); });
+  EXPECT_EQ(ch.responses(0).size(), 1u);
+  ch.resolve([](NodeId) { return std::optional<int>(1); });
+  EXPECT_TRUE(ch.responses(0).empty());
+}
+
+struct DynamicMsg {
+  std::vector<int> payload;
+  friend std::size_t wire_size(const DynamicMsg& m) noexcept {
+    return m.payload.size() * sizeof(int);
+  }
+};
+
+TEST(Mailbox, WireSizeCustomizationPoint) {
+  auto net = make_net(2, 5);
+  Mailbox<DynamicMsg> mb(net);
+  net.begin_round();
+  mb.push(0, DynamicMsg{{1, 2, 3}});
+  net.meter().finish();
+  EXPECT_EQ(net.meter().total_bytes(), 3 * sizeof(int));
+}
+
+TEST(Hypercube, RequiresPowerOfTwo) {
+  EXPECT_DEATH(Hypercube(12), "power of two");
+}
+
+TEST(Hypercube, CollectiveRoundCosts) {
+  Hypercube hc(16);
+  EXPECT_EQ(hc.dimension(), 4u);
+  std::vector<int> vals(16);
+  std::iota(vals.begin(), vals.end(), 0);
+  hc.broadcast(vals, 3);
+  EXPECT_EQ(hc.rounds_used(), 4u);
+  for (int v : vals) EXPECT_EQ(v, 3);
+  const int total = hc.all_reduce(vals, 0, [](int a, int b) { return a + b; });
+  EXPECT_EQ(total, 3 * 16);
+  EXPECT_EQ(hc.rounds_used(), 8u);
+  hc.route_messages();
+  EXPECT_EQ(hc.rounds_used(), 12u);
+}
+
+TEST(Hypercube, PrefixSumIsExclusive) {
+  Hypercube hc(8);
+  std::vector<int> vals(8, 2);
+  const int total = hc.prefix_sum(vals);
+  EXPECT_EQ(total, 16);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(vals[i], static_cast<int>(2 * i));
+  EXPECT_EQ(hc.rounds_used(), 3u);
+}
+
+}  // namespace
+}  // namespace lpt::gossip

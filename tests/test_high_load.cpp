@@ -1,0 +1,200 @@
+// Integration and property tests for the High-Load Clarkson engine
+// (Algorithm 5, Theorem 4) and its accelerated variant (Section 3.1).
+#include <gtest/gtest.h>
+
+#include "core/high_load.hpp"
+#include "problems/linear_program2d.hpp"
+#include "problems/min_disk.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+#include "workloads/lp_data.hpp"
+
+namespace lpt {
+namespace {
+
+using core::HighLoadConfig;
+using core::run_high_load;
+using problems::MinDisk;
+using workloads::DiskDataset;
+
+class HighLoadOnDatasets
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HighLoadOnDatasets, FindsOptimum) {
+  const auto [dataset_idx, seed] = GetParam();
+  const auto dataset = workloads::kAllDiskDatasets[dataset_idx];
+  util::Rng rng(seed);
+  const std::size_t n = 256;
+  const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
+  MinDisk p;
+  HighLoadConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed) * 101 + 3;
+  const auto res = run_high_load(p, pts, n, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum)
+      << workloads::dataset_name(dataset);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HighLoadOnDatasets,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(1, 4)));
+
+TEST(HighLoad, HighlyLoadedRegime) {
+  // |H| = 16 n log n-ish: the regime Theorem 4 actually targets.
+  MinDisk p;
+  util::Rng rng(2);
+  const std::size_t n = 64;
+  const auto pts = workloads::generate_disk_dataset(
+      DiskDataset::kTripleDisk, 16 * n, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 5;
+  const auto res = run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  // |H(v_i)| concentrates around m/n (paper: (1 +/- eps) m/n w.h.p.).
+  EXPECT_GE(res.extras.max_local_elements, pts.size() / n / 2);
+}
+
+TEST(HighLoad, RoundsScaleLogarithmically) {
+  MinDisk p;
+  util::Rng rng(3);
+  const std::size_t n = 2048;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 7;
+  const auto res = run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  // Paper Section 5: about 1.1 log2(n); allow a generous factor.
+  EXPECT_LE(res.stats.rounds_to_first, 5 * util::ceil_log2(n));
+}
+
+TEST(HighLoad, AcceleratedVariantIsFaster) {
+  // Section 3.1: pushing the basis C times trades work for rounds.
+  MinDisk p;
+  util::Rng rng(4);
+  const std::size_t n = 4096;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  std::size_t rounds_c1 = 0, rounds_c4 = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    HighLoadConfig cfg;
+    cfg.seed = seed;
+    cfg.push_copies = 1;
+    const auto r1 = run_high_load(p, pts, n, cfg);
+    ASSERT_TRUE(r1.stats.reached_optimum);
+    rounds_c1 += r1.stats.rounds_to_first;
+    cfg.push_copies = 4;
+    const auto r4 = run_high_load(p, pts, n, cfg);
+    ASSERT_TRUE(r4.stats.reached_optimum);
+    rounds_c4 += r4.stats.rounds_to_first;
+  }
+  EXPECT_LT(rounds_c4, rounds_c1);
+}
+
+TEST(HighLoad, AcceleratedWorkScalesWithC) {
+  MinDisk p;
+  util::Rng rng(5);
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 11;
+  cfg.push_copies = 1;
+  const auto r1 = run_high_load(p, pts, n, cfg);
+  cfg.push_copies = 8;
+  const auto r8 = run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(r1.stats.reached_optimum);
+  ASSERT_TRUE(r8.stats.reached_optimum);
+  // Basis pushes alone go from 1 to 8 per node per round.
+  EXPECT_GT(r8.stats.max_work_per_round, r1.stats.max_work_per_round);
+}
+
+TEST(HighLoad, LoadGrowthIsBounded) {
+  // After T rounds |H(V)| <= |H| + O(T C d n log n) w.h.p. (Section 3).
+  MinDisk p;
+  util::Rng rng(6);
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 13;
+  const auto res = run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  const std::size_t t = res.stats.rounds_to_first;
+  const std::size_t d = p.dimension();
+  const std::size_t bound =
+      pts.size() + 8 * t * d * n * (util::ceil_log2(n) + 1);
+  EXPECT_LE(res.stats.max_total_elements, bound);
+}
+
+TEST(HighLoad, SingleWPushStaysSmall) {
+  // Lemma 15: |W_i| = O(d log n) w.h.p. for every received basis.
+  MinDisk p;
+  util::Rng rng(7);
+  const std::size_t n = 1024;
+  const auto pts = workloads::generate_disk_dataset(
+      DiskDataset::kTripleDisk, 4 * n, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 17;
+  const auto res = run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  const std::size_t d = p.dimension();
+  EXPECT_LE(res.extras.max_single_w, 12 * d * (util::ceil_log2(n) + 1));
+}
+
+TEST(HighLoad, WithTerminationAllNodesOutputCorrectly) {
+  MinDisk p;
+  util::Rng rng(8);
+  const std::size_t n = 128;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 19;
+  cfg.run_termination = true;
+  const auto res = run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(res.stats.all_outputs_correct);
+  EXPECT_GE(res.stats.rounds_to_all_output, res.stats.rounds_to_first);
+}
+
+TEST(HighLoad, WorksOnLpProblem) {
+  util::Rng rng(9);
+  const std::size_t n = 256;
+  const auto inst = workloads::generate_lp_instance(2 * n, rng);
+  problems::LinearProgram2D p(inst.objective);
+  HighLoadConfig cfg;
+  cfg.seed = 23;
+  const auto res = run_high_load(p, inst.constraints, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_NEAR(res.solution.value.objective, inst.optimal_value, 1e-6);
+}
+
+TEST(HighLoad, DeterministicGivenSeed) {
+  MinDisk p;
+  util::Rng rng(10);
+  const std::size_t n = 128;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kHull, n, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 29;
+  const auto a = run_high_load(p, pts, n, cfg);
+  const auto b = run_high_load(p, pts, n, cfg);
+  EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
+  EXPECT_EQ(a.stats.total_push_ops, b.stats.total_push_ops);
+}
+
+TEST(HighLoad, SingleNodeSolvesImmediately) {
+  MinDisk p;
+  util::Rng rng(11);
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, 64, rng);
+  HighLoadConfig cfg;
+  cfg.seed = 31;
+  const auto res = run_high_load(p, pts, 1, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_EQ(res.stats.rounds_to_first, 1u);
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,164 @@
+// Integration tests for the distributed Hitting Set Algorithm (Algorithm 6,
+// Theorem 5) and the set-cover reduction.
+#include <gtest/gtest.h>
+
+#include "core/hitting_set.hpp"
+#include "problems/set_cover.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "workloads/hs_data.hpp"
+
+namespace lpt {
+namespace {
+
+using core::HittingSetConfig;
+using core::run_hitting_set;
+using problems::HittingSetProblem;
+
+class HittingSetPlanted : public ::testing::TestWithParam<int> {};
+
+TEST_P(HittingSetPlanted, FindsValidHittingSetOfBoundedSize) {
+  util::Rng rng(GetParam());
+  const std::size_t d = 1 + rng.below(4);
+  const std::size_t n = 512;
+  const std::size_t s = 64;
+  const auto inst = workloads::generate_planted_hitting_set(n, s, d, 6, rng);
+  HittingSetProblem p(inst.system);
+  HittingSetConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) * 13 + 1;
+  cfg.hitting_set_size = d;
+  const auto res = run_hitting_set(p, n, cfg);
+  ASSERT_TRUE(res.valid) << "d=" << d;
+  // Theorem 5: size O(d log(ds)); the algorithm returns at most r elements.
+  EXPECT_LE(res.hitting_set.size(),
+            core::hitting_set_sample_size(d, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HittingSetPlanted, ::testing::Range(1, 11));
+
+TEST(HittingSet, RoundsScaleLogarithmically) {
+  util::Rng rng(50);
+  const std::size_t n = 2048;
+  const auto inst = workloads::generate_planted_hitting_set(n, 64, 3, 6, rng);
+  HittingSetProblem p(inst.system);
+  HittingSetConfig cfg;
+  cfg.seed = 3;
+  cfg.hitting_set_size = 3;
+  const auto res = run_hitting_set(p, n, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_LE(res.stats.rounds_to_first,
+            30 * 3 * (util::ceil_log2(n) + 2));
+}
+
+TEST(HittingSet, DoublingSearchFindsDWithoutBeingTold) {
+  util::Rng rng(51);
+  const std::size_t n = 512;
+  const auto inst = workloads::generate_planted_hitting_set(n, 48, 4, 5, rng);
+  HittingSetProblem p(inst.system);
+  HittingSetConfig cfg;
+  cfg.seed = 5;
+  cfg.hitting_set_size = 0;  // unknown d: Section 1.4's doubling search
+  const auto res = run_hitting_set(p, n, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_GE(res.d_used, 1u);
+  EXPECT_LE(res.d_used, 8u);  // found within one doubling of the true d=4
+}
+
+TEST(HittingSet, WorkPerRoundMatchesTheorem5) {
+  util::Rng rng(52);
+  const std::size_t n = 1024;
+  const std::size_t s = 64;
+  const std::size_t d = 2;
+  const auto inst = workloads::generate_planted_hitting_set(n, s, d, 6, rng);
+  HittingSetProblem p(inst.system);
+  HittingSetConfig cfg;
+  cfg.seed = 7;
+  cfg.hitting_set_size = d;
+  const auto res = run_hitting_set(p, n, cfg);
+  ASSERT_TRUE(res.valid);
+  // Theorem 5: O(d log(ds) + log n) per round; sampler pulls dominate.
+  const std::size_t r = core::hitting_set_sample_size(d, s);
+  const std::size_t bound = 4 * (r + util::ceil_log2(n) + 1) + 64;
+  EXPECT_LE(res.stats.max_work_per_round, bound);
+}
+
+TEST(HittingSet, LoadStaysBounded) {
+  // Lemma 20 + the cap argument: |X(V)| = O(n log^2 n) always.
+  util::Rng rng(53);
+  const std::size_t n = 1024;
+  const auto inst = workloads::generate_planted_hitting_set(n, 48, 3, 6, rng);
+  HittingSetProblem p(inst.system);
+  HittingSetConfig cfg;
+  cfg.seed = 9;
+  cfg.hitting_set_size = 3;
+  const auto res = run_hitting_set(p, n, cfg);
+  ASSERT_TRUE(res.valid);
+  const std::size_t log_n = util::ceil_log2(n) + 1;
+  EXPECT_LE(res.stats.max_total_elements, 8 * n * log_n);
+}
+
+TEST(HittingSet, IntervalRangeSpace) {
+  util::Rng rng(54);
+  const std::size_t n = 512;
+  const auto sys = workloads::generate_interval_ranges(n, 40, 16, 128, rng);
+  HittingSetProblem p(sys);
+  const auto greedy = p.greedy_hitting_set();
+  HittingSetConfig cfg;
+  cfg.seed = 11;
+  cfg.hitting_set_size = greedy.size();  // upper bound on d
+  const auto res = run_hitting_set(p, n, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(p.is_hitting_set(res.hitting_set));
+}
+
+TEST(HittingSet, SingletonSets) {
+  // Every set has one element: the only hitting set is all of them.
+  auto sys = std::make_shared<problems::SetSystem>(
+      8, std::vector<std::vector<std::uint32_t>>{{0}, {3}, {5}});
+  HittingSetProblem p(sys);
+  HittingSetConfig cfg;
+  cfg.seed = 13;
+  cfg.hitting_set_size = 3;
+  const auto res = run_hitting_set(p, 16, cfg);
+  ASSERT_TRUE(res.valid);
+  for (std::uint32_t e : {0u, 3u, 5u}) {
+    EXPECT_NE(std::find(res.hitting_set.begin(), res.hitting_set.end(), e),
+              res.hitting_set.end());
+  }
+}
+
+TEST(HittingSet, DeterministicGivenSeed) {
+  util::Rng rng(55);
+  const auto inst = workloads::generate_planted_hitting_set(256, 32, 2, 5, rng);
+  HittingSetProblem p(inst.system);
+  HittingSetConfig cfg;
+  cfg.seed = 15;
+  cfg.hitting_set_size = 2;
+  const auto a = run_hitting_set(p, 256, cfg);
+  const auto b = run_hitting_set(p, 256, cfg);
+  EXPECT_EQ(a.hitting_set, b.hitting_set);
+  EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
+}
+
+TEST(SetCoverViaDual, DistributedCoverIsValid) {
+  util::Rng rng(56);
+  const std::size_t universe = 256;
+  const std::size_t sets = 32;
+  const std::size_t d = 3;
+  const auto inst =
+      workloads::generate_planted_set_cover(universe, sets, d, rng);
+  const auto dual = problems::dual_of_set_cover(*inst.instance);
+  HittingSetProblem p(dual);
+  HittingSetConfig cfg;
+  cfg.seed = 17;
+  cfg.hitting_set_size = d;
+  // Dual universe = the primal's set indices: n = sets.
+  const auto res = run_hitting_set(p, sets, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(problems::is_set_cover(*inst.instance, res.hitting_set));
+  EXPECT_LE(res.hitting_set.size(),
+            core::hitting_set_sample_size(d, dual->set_count()));
+}
+
+}  // namespace
+}  // namespace lpt

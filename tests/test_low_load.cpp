@@ -1,0 +1,237 @@
+// Integration and property tests for the Low-Load Clarkson engine
+// (Algorithms 2 and 4, Theorem 3).
+#include <gtest/gtest.h>
+
+#include "core/low_load.hpp"
+#include "problems/linear_program2d.hpp"
+#include "problems/min_disk.hpp"
+#include "problems/polytope_distance.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+#include "workloads/lp_data.hpp"
+
+namespace lpt {
+namespace {
+
+using core::LowLoadConfig;
+using core::run_low_load;
+using problems::MinDisk;
+using workloads::DiskDataset;
+
+class LowLoadOnDatasets
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LowLoadOnDatasets, FindsOptimum) {
+  const auto [dataset_idx, seed] = GetParam();
+  const auto dataset = workloads::kAllDiskDatasets[dataset_idx];
+  util::Rng rng(seed);
+  const std::size_t n = 256;
+  const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
+  MinDisk p;
+  LowLoadConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed) * 77 + 1;
+  const auto res = run_low_load(p, pts, n, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum)
+      << workloads::dataset_name(dataset);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LowLoadOnDatasets,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(1, 4)));
+
+TEST(LowLoad, TinyInstancesFinishInOneRound) {
+  // Figure 2 caption: test instances of size < 2^8 finish in one round.
+  MinDisk p;
+  util::Rng rng(3);
+  for (std::size_t n : {2ul, 8ul, 32ul, 64ul}) {
+    const auto pts =
+        workloads::generate_disk_dataset(DiskDataset::kDuoDisk, n, rng);
+    LowLoadConfig cfg;
+    cfg.seed = 11 + n;
+    const auto res = run_low_load(p, pts, n, cfg);
+    ASSERT_TRUE(res.stats.reached_optimum) << n;
+    EXPECT_EQ(res.stats.rounds_to_first, 1u) << n;
+  }
+}
+
+TEST(LowLoad, RoundsScaleLogarithmically) {
+  MinDisk p;
+  util::Rng rng(4);
+  const std::size_t n = 2048;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 99;
+  const auto res = run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  // Paper Section 5: about 1.7 log2(n) rounds; allow a generous factor.
+  EXPECT_LE(res.stats.rounds_to_first, 6 * util::ceil_log2(n));
+}
+
+TEST(LowLoad, LoadStaysLinearInH0) {
+  // Lemma 9: |H(V)| = O(|H_0|) throughout the run.
+  MinDisk p;
+  util::Rng rng(5);
+  const std::size_t n = 1024;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 123;
+  const auto res = run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  // |H_0| <= n + |H| (pull-phase seeds); the lemma's constant is 5.
+  EXPECT_LE(res.stats.max_total_elements, 6 * (n + pts.size()));
+}
+
+TEST(LowLoad, WorkPerRoundMatchesTheorem3) {
+  MinDisk p;
+  util::Rng rng(6);
+  const std::size_t n = 1024;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 7;
+  const auto res = run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  // Theorem 3: O(d^2 + log n) per round.  The sampler issues
+  // c(6 d^2 + log n) pulls — the dominant term; allow constant 4.
+  const std::size_t d = p.dimension();
+  const std::size_t bound = 4 * (6 * d * d + util::ceil_log2(n) + 1) + 64;
+  EXPECT_LE(res.stats.max_work_per_round, bound);
+}
+
+TEST(LowLoad, StrictSamplingStillSucceedsOnLargeInstances) {
+  MinDisk p;
+  util::Rng rng(7);
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 31;
+  cfg.strict_sampling = true;
+  cfg.sampler_c = 3.0;
+  const auto res = run_low_load(p, pts, n, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum);
+  // Lemma 11: sampling succeeds w.h.p.; failures must be rare.
+  EXPECT_LE(res.stats.sampling_failures,
+            res.stats.sampling_attempts / 10 + 1);
+}
+
+TEST(LowLoad, IdealizedSamplingMatchesPullBased) {
+  MinDisk p;
+  util::Rng rng(8);
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 17;
+  cfg.sampling = core::SamplingMode::kIdealized;
+  const auto res = run_low_load(p, pts, n, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum);
+}
+
+TEST(LowLoad, FewerElementsThanNodesUsesPullPhase) {
+  // Section 2.3: |H| < n — empty nodes pull a seed element first.
+  MinDisk p;
+  util::Rng rng(9);
+  const std::size_t n = 512;
+  const auto pts = workloads::generate_disk_dataset(
+      DiskDataset::kTripleDisk, 100, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 13;
+  const auto res = run_low_load(p, pts, n, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+  // Seed copies enter H_0: the total grows beyond |H| but stays O(n log n).
+  EXPECT_LE(res.stats.max_total_elements, 8 * n);
+}
+
+TEST(LowLoad, MoreElementsThanNodes) {
+  // |H| = 4n (still O(n log n)): the lightly loaded regime's upper end.
+  MinDisk p;
+  util::Rng rng(10);
+  const std::size_t n = 256;
+  const auto pts = workloads::generate_disk_dataset(
+      DiskDataset::kTriangle, 4 * n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 19;
+  const auto res = run_low_load(p, pts, n, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum);
+}
+
+TEST(LowLoad, WithTerminationAllNodesOutputCorrectly) {
+  MinDisk p;
+  util::Rng rng(11);
+  const std::size_t n = 256;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 23;
+  cfg.run_termination = true;
+  const auto res = run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(res.stats.all_outputs_correct);
+  EXPECT_GT(res.stats.rounds_to_all_output, res.stats.rounds_to_first);
+  // Lemma 12: the gap is O(log n) (maturity + spread).
+  EXPECT_LE(res.stats.rounds_to_all_output,
+            res.stats.rounds_to_first + 10 * (util::ceil_log2(n) + 2));
+}
+
+TEST(LowLoad, SingleNode) {
+  MinDisk p;
+  util::Rng rng(12);
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, 50, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 29;
+  const auto res = run_low_load(p, pts, 1, cfg);
+  EXPECT_TRUE(res.stats.reached_optimum);
+  EXPECT_EQ(res.stats.rounds_to_first, 1u);
+}
+
+TEST(LowLoad, WorksOnLpProblem) {
+  util::Rng rng(13);
+  const std::size_t n = 256;
+  const auto inst = workloads::generate_lp_instance(n, rng);
+  problems::LinearProgram2D p(inst.objective);
+  LowLoadConfig cfg;
+  cfg.seed = 37;
+  const auto res = run_low_load(p, inst.constraints, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_NEAR(res.solution.value.objective, inst.optimal_value, 1e-6);
+}
+
+TEST(LowLoad, WorksOnPolytopeDistance) {
+  util::Rng rng(14);
+  problems::PolytopeDistance p;
+  const std::size_t n = 256;
+  std::vector<geom::Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(1.0, 6.0), rng.uniform(-4.0, 4.0)});
+  }
+  LowLoadConfig cfg;
+  cfg.seed = 41;
+  const auto res = run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+TEST(LowLoad, DeterministicGivenSeed) {
+  MinDisk p;
+  util::Rng rng(15);
+  const std::size_t n = 128;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  LowLoadConfig cfg;
+  cfg.seed = 43;
+  const auto a = run_low_load(p, pts, n, cfg);
+  const auto b = run_low_load(p, pts, n, cfg);
+  EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
+  EXPECT_EQ(a.stats.total_push_ops, b.stats.total_push_ops);
+  EXPECT_EQ(a.stats.total_pull_ops, b.stats.total_pull_ops);
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,169 @@
+// Tests for the fixed-dimension LP substrate (Seidel's algorithm).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/seidel.hpp"
+#include "util/rng.hpp"
+#include "workloads/lp_data.hpp"
+
+namespace lpt::lp {
+namespace {
+
+TEST(Seidel, UnconstrainedGivesBoxCorner) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  const auto v = s.solve(std::span<const Halfplane>{});
+  EXPECT_FALSE(v.infeasible);
+  EXPECT_DOUBLE_EQ(v.point.y, -100.0);
+}
+
+TEST(Seidel, SingleConstraintBinds) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  // y >= 3  <=>  -y <= -3.
+  const Halfplane h{{0.0, -1.0}, -3.0};
+  const auto v = s.solve(std::span<const Halfplane>(&h, 1));
+  EXPECT_FALSE(v.infeasible);
+  EXPECT_NEAR(v.point.y, 3.0, 1e-9);
+  EXPECT_NEAR(v.objective, 3.0, 1e-9);
+}
+
+TEST(Seidel, TwoConstraintVertex) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  // y >= x and y >= -x: optimum at the origin.
+  const Halfplane c1{{1.0, -1.0}, 0.0};
+  const Halfplane c2{{-1.0, -1.0}, 0.0};
+  std::vector<Halfplane> cs{c1, c2};
+  const auto v = s.solve(cs);
+  EXPECT_NEAR(v.point.x, 0.0, 1e-9);
+  EXPECT_NEAR(v.point.y, 0.0, 1e-9);
+}
+
+TEST(Seidel, InfeasibleDetected) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  // y <= -1 and y >= 1.
+  std::vector<Halfplane> cs{{{0.0, 1.0}, -1.0}, {{0.0, -1.0}, -1.0}};
+  const auto v = s.solve(cs);
+  EXPECT_TRUE(v.infeasible);
+}
+
+TEST(Seidel, DegenerateZeroNormalInfeasible) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  std::vector<Halfplane> cs{{{0.0, 0.0}, -1.0}};  // 0 <= -1
+  EXPECT_TRUE(s.solve(cs).infeasible);
+}
+
+TEST(Seidel, DegenerateZeroNormalTrivial) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  std::vector<Halfplane> cs{{{0.0, 0.0}, 1.0}};  // 0 <= 1, always true
+  EXPECT_FALSE(s.solve(cs).infeasible);
+}
+
+TEST(Seidel, CanonicalLexMinUnderTies) {
+  // Objective depends only on y; the optimal edge is y = 0 for x in
+  // [-2, 2]; the canonical solution must be the lex-min point (-2, 0).
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  std::vector<Halfplane> cs{
+      {{0.0, -1.0}, 0.0},   // y >= 0
+      {{1.0, 0.0}, 2.0},    // x <= 2
+      {{-1.0, 0.0}, 2.0},   // x >= -2
+  };
+  const auto v = s.solve(cs);
+  EXPECT_NEAR(v.point.y, 0.0, 1e-9);
+  EXPECT_NEAR(v.point.x, -2.0, 1e-9);
+}
+
+TEST(Seidel, ViolationTestMatchesDefinition) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  const Halfplane base{{0.0, -1.0}, 0.0};  // y >= 0
+  const auto v = s.solve(std::span<const Halfplane>(&base, 1));
+  // A constraint satisfied at the optimum does not violate.
+  EXPECT_FALSE(s.violates(v, {{0.0, -1.0}, 1.0}));  // y >= -1
+  // A constraint cutting the optimum off violates.
+  EXPECT_TRUE(s.violates(v, {{0.0, -1.0}, -1.0}));  // y >= 1
+}
+
+TEST(Seidel, BasisOfVertexHasTwoConstraints) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  std::vector<Halfplane> cs{
+      {{1.0, -1.0}, 0.0}, {{-1.0, -1.0}, 0.0}, {{0.0, -1.0}, -50.0}};
+  const auto r = s.solve_with_basis(cs);
+  EXPECT_EQ(r.basis.size(), 2u);
+  // Re-solving the basis alone reproduces the optimum.
+  const auto v2 = s.solve(r.basis);
+  EXPECT_NEAR(v2.objective, r.value.objective, 1e-9);
+}
+
+TEST(Seidel, BasisOfInfeasibleIsSmallWitness) {
+  const Seidel2D s({0.0, 1.0}, 100.0);
+  std::vector<Halfplane> cs{
+      {{0.0, 1.0}, -1.0},   // y <= -1
+      {{0.0, -1.0}, -1.0},  // y >= 1
+      {{1.0, 0.0}, 50.0},   // padding
+      {{-1.0, 0.0}, 50.0},
+  };
+  const auto r = s.solve_with_basis(cs);
+  EXPECT_TRUE(r.value.infeasible);
+  EXPECT_LE(r.basis.size(), 3u);
+  EXPECT_TRUE(s.solve(r.basis).infeasible);
+}
+
+TEST(LpValue, Ordering) {
+  LpValue a{1.0, {0, 0}, false};
+  LpValue b{2.0, {0, 0}, false};
+  LpValue inf{0.0, {0, 0}, true};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < inf);
+  EXPECT_FALSE(inf < a);
+  EXPECT_TRUE(inf == LpValue({9.0, {1, 1}, true}));
+}
+
+class SeidelRandomInstance : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeidelRandomInstance, RecoversPlantedOptimum) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(60);
+  const auto inst = workloads::generate_lp_instance(n, rng);
+  const Seidel2D s(inst.objective, 1e6);
+  const auto v = s.solve(inst.constraints);
+  ASSERT_FALSE(v.infeasible);
+  EXPECT_NEAR(v.objective, inst.optimal_value, 1e-6);
+  EXPECT_NEAR(v.point.x, inst.optimum.x, 1e-6);
+  EXPECT_NEAR(v.point.y, inst.optimum.y, 1e-6);
+}
+
+TEST_P(SeidelRandomInstance, SolutionIsFeasible) {
+  util::Rng rng(1000 + GetParam());
+  const auto inst = workloads::generate_lp_instance(2 + rng.below(60), rng);
+  const Seidel2D s(inst.objective, 1e6);
+  const auto v = s.solve(inst.constraints);
+  for (const auto& h : inst.constraints) {
+    EXPECT_TRUE(h.satisfied(v.point, 1e-7));
+  }
+}
+
+TEST_P(SeidelRandomInstance, BasisReproducesOptimum) {
+  util::Rng rng(2000 + GetParam());
+  const auto inst = workloads::generate_lp_instance(2 + rng.below(40), rng);
+  const Seidel2D s(inst.objective, 1e6);
+  const auto r = s.solve_with_basis(inst.constraints);
+  EXPECT_LE(r.basis.size(), 2u);
+  const auto again = s.solve(r.basis);
+  EXPECT_NEAR(again.objective, r.value.objective, 1e-6);
+}
+
+TEST_P(SeidelRandomInstance, OrderInvariance) {
+  util::Rng rng(3000 + GetParam());
+  auto inst = workloads::generate_lp_instance(2 + rng.below(40), rng);
+  const Seidel2D s(inst.objective, 1e6);
+  const auto v1 = s.solve(inst.constraints);
+  rng.shuffle(inst.constraints);
+  const auto v2 = s.solve(inst.constraints);
+  EXPECT_NEAR(v1.objective, v2.objective, 1e-7);
+  EXPECT_NEAR(v1.point.x, v2.point.x, 1e-7);
+  EXPECT_NEAR(v1.point.y, v2.point.y, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeidelRandomInstance, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace lpt::lp

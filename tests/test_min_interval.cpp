@@ -1,0 +1,141 @@
+// Tests for the minimal LP-type problem (smallest enclosing interval,
+// dimension 2), the violator-space concept split, and both of them driven
+// through the full algorithm stack (Clarkson, MSW, the gossip engines).
+#include <gtest/gtest.h>
+
+#include "core/clarkson.hpp"
+#include "core/high_load.hpp"
+#include "core/low_load.hpp"
+#include "core/msw.hpp"
+#include "problems/min_interval.hpp"
+#include "util/rng.hpp"
+
+namespace lpt {
+namespace {
+
+using problems::MinInterval;
+
+static_assert(core::ViolatorSpace<MinInterval>);
+static_assert(core::LpTypeProblem<MinInterval>);
+
+// A view of MinInterval that exposes only the violator-space primitives.
+// Its existence (and clarkson_solve accepting it) is the compile-time
+// proof that Clarkson's algorithm never touches the ordered objective.
+struct IntervalViolatorSpaceOnly {
+  using Element = MinInterval::Element;
+  using Solution = MinInterval::Solution;
+  MinInterval inner;
+
+  std::size_t dimension() const { return inner.dimension(); }
+  Solution solve(std::span<const Element> s) const { return inner.solve(s); }
+  Solution from_basis(std::span<const Element> b) const {
+    return inner.from_basis(b);
+  }
+  bool violates(const Solution& sol, const Element& e) const {
+    return inner.violates(sol, e);
+  }
+};
+
+static_assert(core::ViolatorSpace<IntervalViolatorSpaceOnly>);
+static_assert(!core::LpTypeProblem<IntervalViolatorSpaceOnly>);
+
+TEST(MinInterval, SolveBasics) {
+  MinInterval p;
+  std::vector<double> xs{3.0, -1.0, 2.0, 3.0};
+  const auto sol = p.solve(xs);
+  EXPECT_DOUBLE_EQ(sol.lo, -1.0);
+  EXPECT_DOUBLE_EQ(sol.hi, 3.0);
+  EXPECT_EQ(sol.basis, (std::vector<double>{-1.0, 3.0}));
+  EXPECT_FALSE(p.violates(sol, 0.0));
+  EXPECT_FALSE(p.violates(sol, 3.0));
+  EXPECT_TRUE(p.violates(sol, 3.0001));
+  EXPECT_TRUE(p.violates(sol, -1.0001));
+}
+
+TEST(MinInterval, SinglePointAndEmpty) {
+  MinInterval p;
+  std::vector<double> one{5.0};
+  const auto s1 = p.solve(one);
+  EXPECT_EQ(s1.basis.size(), 1u);
+  EXPECT_DOUBLE_EQ(s1.length(), 0.0);
+  const auto s0 = p.solve({});
+  EXPECT_TRUE(s0.empty());
+  EXPECT_TRUE(p.violates(s0, 0.0));
+}
+
+class MinIntervalAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinIntervalAxioms, Hold) {
+  util::Rng rng(GetParam());
+  MinInterval p;
+  std::vector<double> ground;
+  for (int i = 0; i < 12; ++i) ground.push_back(rng.uniform(-10, 10));
+  const auto rep = core::check_axioms(p, ground, 50, rng);
+  EXPECT_TRUE(rep.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinIntervalAxioms, ::testing::Range(1, 11));
+
+TEST(MinInterval, ClarksonOnViolatorSpaceViewOnly) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal());
+  IntervalViolatorSpaceOnly vs;
+  const auto res = core::clarkson_solve(vs, xs, rng);
+  ASSERT_TRUE(res.stats.converged);
+  const auto oracle = vs.inner.solve(xs);
+  EXPECT_DOUBLE_EQ(res.solution.lo, oracle.lo);
+  EXPECT_DOUBLE_EQ(res.solution.hi, oracle.hi);
+}
+
+TEST(MinInterval, MswMatchesOracle) {
+  util::Rng rng(4);
+  MinInterval p;
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(-100, 100));
+  const auto res = core::msw_solve(p, xs, rng);
+  ASSERT_TRUE(res.stats.converged);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(xs)));
+}
+
+TEST(MinInterval, LowLoadEngine) {
+  util::Rng rng(5);
+  MinInterval p;
+  const std::size_t n = 256;
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform(-5, 5));
+  core::LowLoadConfig cfg;
+  cfg.seed = 7;
+  const auto res = core::run_low_load(p, xs, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(xs)));
+  // d = 2: the sampler pulls c(6*4 + log n) — much lighter than min-disk.
+  EXPECT_LE(res.stats.max_work_per_round,
+            4 * (24 + util::ceil_log2(n) + 1) + 64);
+}
+
+TEST(MinInterval, HighLoadEngine) {
+  util::Rng rng(6);
+  MinInterval p;
+  const std::size_t n = 256;
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < 4 * n; ++i) xs.push_back(rng.normal());
+  core::HighLoadConfig cfg;
+  cfg.seed = 11;
+  const auto res = core::run_high_load(p, xs, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(xs)));
+}
+
+TEST(MinInterval, ExactValuesNoTolerance) {
+  // Everything is exact for doubles: the optimum of integers is integral.
+  MinInterval p;
+  std::vector<double> xs{1, 7, -3, 4, 4, -3};
+  const auto sol = p.solve(xs);
+  EXPECT_EQ(sol.lo, -3.0);
+  EXPECT_EQ(sol.hi, 7.0);
+  EXPECT_EQ(sol.length(), 10.0);
+}
+
+}  // namespace
+}  // namespace lpt

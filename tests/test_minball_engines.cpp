@@ -1,0 +1,117 @@
+// Distributed engines on the d-dimensional smallest enclosing ball
+// (combinatorial dimension D+1) and the set-cover engine wrapper —
+// exercising the engines away from the paper's 2D experiments.
+#include <gtest/gtest.h>
+
+#include "core/high_load.hpp"
+#include "core/low_load.hpp"
+#include "core/set_cover_engine.hpp"
+#include "problems/min_ball.hpp"
+#include "util/rng.hpp"
+#include "workloads/hs_data.hpp"
+
+namespace lpt {
+namespace {
+
+template <std::size_t D>
+std::vector<geom::VecD<D>> random_cloud(std::size_t n, util::Rng& rng) {
+  std::vector<geom::VecD<D>> pts(n);
+  for (auto& p : pts) {
+    for (std::size_t k = 0; k < D; ++k) p[k] = rng.uniform(-3.0, 3.0);
+  }
+  return pts;
+}
+
+class MinBallEngines : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinBallEngines, LowLoadSolves3D) {
+  util::Rng rng(GetParam());
+  problems::MinBall<3> p;
+  const std::size_t n = 256;
+  const auto pts = random_cloud<3>(n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) * 3 + 1;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+TEST_P(MinBallEngines, HighLoadSolves3D) {
+  util::Rng rng(100 + GetParam());
+  problems::MinBall<3> p;
+  const std::size_t n = 256;
+  const auto pts = random_cloud<3>(n, rng);
+  core::HighLoadConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) * 5 + 1;
+  const auto res = core::run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinBallEngines, ::testing::Range(1, 6));
+
+TEST(MinBallEngines, LowLoadSolves4D) {
+  util::Rng rng(7);
+  problems::MinBall<4> p;
+  EXPECT_EQ(p.dimension(), 5u);
+  const std::size_t n = 128;
+  const auto pts = random_cloud<4>(n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 11;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+}
+
+TEST(MinBallEngines, SampleSizeGrowsWithDimension) {
+  // The sampler draws 6 d^2 elements: d = 4 in 3D vs d = 3 in 2D — the
+  // work bound of Theorem 3 scales accordingly.
+  util::Rng rng(8);
+  problems::MinBall<3> p;
+  const std::size_t n = 256;
+  const auto pts = random_cloud<3>(n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 13;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  const std::size_t d = p.dimension();
+  EXPECT_LE(res.stats.max_work_per_round,
+            4 * (6 * d * d + util::ceil_log2(n) + 1) + 64);
+}
+
+TEST(SetCoverEngine, SolvesPlantedInstance) {
+  util::Rng rng(9);
+  const auto inst = workloads::generate_planted_set_cover(128, 512, 3, rng);
+  core::HittingSetConfig cfg;
+  cfg.seed = 17;
+  cfg.hitting_set_size = 3;
+  const auto res = core::run_set_cover(*inst.instance, 512, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(problems::is_set_cover(*inst.instance, res.cover));
+}
+
+TEST(SetCoverEngine, DoublingSearchWorks) {
+  util::Rng rng(10);
+  const auto inst = workloads::generate_planted_set_cover(96, 256, 2, rng);
+  core::HittingSetConfig cfg;
+  cfg.seed = 19;
+  cfg.hitting_set_size = 0;  // unknown d
+  const auto res = core::run_set_cover(*inst.instance, 256, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_GE(res.d_used, 1u);
+}
+
+TEST(SetCoverEngine, StatsArePopulated) {
+  util::Rng rng(11);
+  const auto inst = workloads::generate_planted_set_cover(64, 128, 2, rng);
+  core::HittingSetConfig cfg;
+  cfg.seed = 23;
+  cfg.hitting_set_size = 2;
+  const auto res = core::run_set_cover(*inst.instance, 128, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_GT(res.stats.total_pull_ops, 0u);
+  EXPECT_GE(res.stats.rounds_to_first, 1u);
+}
+
+}  // namespace
+}  // namespace lpt

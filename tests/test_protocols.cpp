@@ -1,0 +1,192 @@
+// Tests for the classic gossip protocols (rumor spreading, push-sum) and
+// for fault injection across the gossip substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gossip/protocols.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::gossip {
+namespace {
+
+TEST(RumorSpread, InformsEveryoneInLogarithmicRounds) {
+  const std::size_t n = 1024;
+  Network net(n, util::Rng(1));
+  RumorSpread<int> rumor(net);
+  rumor.start(17, 42);
+  std::size_t rounds = 0;
+  while (!rumor.all_informed() && rounds < 200) {
+    net.begin_round();
+    rumor.round();
+    ++rounds;
+  }
+  ASSERT_TRUE(rumor.all_informed());
+  // Push-pull rumor spreading completes in log2(n) + O(log log n) rounds
+  // w.h.p.; allow a factor ~4.
+  EXPECT_LE(rounds, 4 * util::ceil_log2(n));
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(rumor.value(v), 42);
+}
+
+TEST(RumorSpread, WorkIsConstantPerRound) {
+  const std::size_t n = 256;
+  Network net(n, util::Rng(2));
+  RumorSpread<double> rumor(net);
+  rumor.start(0, 3.14);
+  for (int t = 0; t < 40 && !rumor.all_informed(); ++t) {
+    net.begin_round();
+    rumor.round();
+  }
+  net.meter().finish();
+  // One push or one pull per node per round.
+  EXPECT_LE(net.meter().max_work_per_round(), 1u);
+}
+
+TEST(RumorSpread, SurvivesMessageLoss) {
+  const std::size_t n = 512;
+  FaultModel faults;
+  faults.push_loss = 0.3;
+  faults.response_loss = 0.3;
+  Network net(n, util::Rng(3), faults);
+  RumorSpread<int> rumor(net);
+  rumor.start(5, 7);
+  std::size_t rounds = 0;
+  while (!rumor.all_informed() && rounds < 400) {
+    net.begin_round();
+    rumor.round();
+    ++rounds;
+  }
+  EXPECT_TRUE(rumor.all_informed());
+  EXPECT_LE(rounds, 10 * util::ceil_log2(n));
+}
+
+TEST(RumorSpread, SurvivesSleepingNodes) {
+  const std::size_t n = 512;
+  FaultModel faults;
+  faults.sleep_probability = 0.25;
+  Network net(n, util::Rng(4), faults);
+  RumorSpread<int> rumor(net);
+  rumor.start(99, 1);
+  std::size_t rounds = 0;
+  while (!rumor.all_informed() && rounds < 400) {
+    net.begin_round();
+    rumor.round();
+    ++rounds;
+  }
+  EXPECT_TRUE(rumor.all_informed());
+}
+
+TEST(PushSum, CountingEstimatesN) {
+  for (std::size_t n : {16ul, 256ul, 2048ul}) {
+    Network net(n, util::Rng(5));
+    PushSum ps = PushSum::counting(net);
+    // O(log n) rounds for a constant-factor estimate; run 4 log n.
+    const std::size_t rounds = 4 * (util::ceil_log2(n) + 2);
+    for (std::size_t t = 0; t < rounds; ++t) {
+      net.begin_round();
+      ps.round();
+    }
+    const double est = ps.estimate(0);
+    EXPECT_GT(est, static_cast<double>(n) / 4.0) << n;
+    EXPECT_LT(est, static_cast<double>(n) * 4.0) << n;
+  }
+}
+
+TEST(PushSum, AveragingConvergesPrecisely) {
+  const std::size_t n = 256;
+  Network net(n, util::Rng(6));
+  util::Rng vals(7);
+  std::vector<double> values(n);
+  double sum = 0.0;
+  for (auto& x : values) {
+    x = vals.uniform(0.0, 10.0);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(n);
+  PushSum ps = PushSum::averaging(net, values);
+  for (int t = 0; t < 120; ++t) {
+    net.begin_round();
+    ps.round();
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(ps.estimate(v), mean, 1e-6 * mean);
+  }
+}
+
+TEST(PushSum, MassIsConserved) {
+  const std::size_t n = 128;
+  Network net(n, util::Rng(8));
+  PushSum ps = PushSum::counting(net);
+  const double before = ps.total_mass();
+  for (int t = 0; t < 50; ++t) {
+    net.begin_round();
+    ps.round();
+  }
+  EXPECT_NEAR(ps.total_mass(), before, 1e-9 * before);
+}
+
+TEST(PushSum, MassConservedEvenWithSleepers) {
+  const std::size_t n = 128;
+  FaultModel faults;
+  faults.sleep_probability = 0.3;
+  Network net(n, util::Rng(9), faults);
+  PushSum ps = PushSum::counting(net);
+  const double before = ps.total_mass();
+  for (int t = 0; t < 80; ++t) {
+    net.begin_round();
+    ps.round();
+  }
+  EXPECT_NEAR(ps.total_mass(), before, 1e-9 * before);
+  EXPECT_GT(ps.estimate(0), n / 4.0);
+  EXPECT_LT(ps.estimate(0), n * 4.0);
+}
+
+TEST(EstimateNetworkSize, ConstantFactorForVariousN) {
+  for (std::size_t n : {8ul, 64ul, 1024ul}) {
+    Network net(n, util::Rng(10 + n));
+    const double est = estimate_network_size(net);
+    EXPECT_GT(est, static_cast<double>(n) / 2.0) << n;
+    EXPECT_LT(est, static_cast<double>(n) * 2.0) << n;
+    // The derived log2 estimate is within +-1 of the truth — better than
+    // the constant-factor estimate the paper's algorithms require.
+    EXPECT_NEAR(std::log2(est), std::log2(static_cast<double>(n)), 1.0);
+  }
+}
+
+TEST(FaultModel, PushLossDropsExpectedFraction) {
+  const std::size_t n = 64;
+  FaultModel faults;
+  faults.push_loss = 0.5;
+  Network net(n, util::Rng(11), faults);
+  Mailbox<int> mb(net);
+  net.begin_round();
+  for (int i = 0; i < 4000; ++i) mb.push(0, i);
+  mb.deliver();
+  std::size_t received = 0;
+  for (NodeId v = 0; v < n; ++v) received += mb.inbox(v).size();
+  EXPECT_NEAR(received, 2000.0, 200.0);
+}
+
+TEST(FaultModel, SleepingNodesDoNotAnswerPulls) {
+  const std::size_t n = 16;
+  FaultModel faults;
+  faults.sleep_probability = 1.0;  // everyone sleeps
+  Network net(n, util::Rng(12), faults);
+  PullChannel<int> ch(net);
+  net.begin_round();
+  for (int k = 0; k < 50; ++k) ch.request(0);
+  ch.resolve([](NodeId) { return std::optional<int>(1); });
+  EXPECT_TRUE(ch.responses(0).empty());
+}
+
+TEST(FaultModel, DefaultIsFaultFree) {
+  FaultModel f;
+  EXPECT_FALSE(f.any());
+  Network net(8, util::Rng(13));
+  EXPECT_FALSE(net.drop_push());
+  EXPECT_FALSE(net.asleep(0));
+}
+
+}  // namespace
+}  // namespace lpt::gossip

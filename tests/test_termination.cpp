@@ -1,0 +1,155 @@
+// Tests for the Algorithm 3 termination-detection protocol (Lemma 12):
+// correct candidates spread to all nodes and are output after maturity;
+// invalid candidates are suppressed; outputs never disagree with f(H).
+#include <gtest/gtest.h>
+
+#include "core/termination.hpp"
+#include "problems/min_disk.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+
+namespace lpt {
+namespace {
+
+using core::TerminationProtocol;
+using problems::MinDisk;
+
+struct Fixture {
+  std::size_t n;
+  MinDisk p;
+  std::vector<geom::Vec2> points;
+  std::vector<std::vector<geom::Vec2>> local;  // per-node element views
+  MinDisk::Solution oracle;
+
+  Fixture(std::size_t n_nodes, std::size_t n_points, std::uint64_t seed)
+      : n(n_nodes), local(n_nodes) {
+    util::Rng rng(seed);
+    points = workloads::generate_disk_dataset(
+        workloads::DiskDataset::kTripleDisk, n_points, rng);
+    for (const auto& pt : points) local[rng.below(n)].push_back(pt);
+    oracle = p.solve(points);
+  }
+
+  std::span<const geom::Vec2> view(gossip::NodeId v) const {
+    return {local[v].data(), local[v].size()};
+  }
+};
+
+TEST(Termination, OptimalCandidateReachesAllNodes) {
+  Fixture f(64, 256, 1);
+  gossip::Network net(f.n, util::Rng(7));
+  const std::size_t maturity = 16;
+  TerminationProtocol<MinDisk> term(f.p, net, maturity);
+
+  term.inject(0, 1, f.oracle);
+  std::uint32_t t = 1;
+  for (; t < 200 && !term.all_output(); ++t) {
+    net.begin_round();
+    term.round(t, [&](gossip::NodeId v) { return f.view(v); });
+  }
+  ASSERT_TRUE(term.all_output());
+  for (gossip::NodeId v = 0; v < f.n; ++v) {
+    ASSERT_TRUE(term.output(v).has_value());
+    EXPECT_TRUE(f.p.same_value(*term.output(v), f.oracle));
+  }
+  // All outputs should land within O(log n) + maturity rounds.
+  EXPECT_LE(t, maturity + 40);
+}
+
+TEST(Termination, SuboptimalCandidateIsSuppressed) {
+  Fixture f(64, 256, 2);
+  gossip::Network net(f.n, util::Rng(8));
+  TerminationProtocol<MinDisk> term(f.p, net, 16);
+
+  // Inject a candidate computed from a strict subset missing the basis:
+  // some node holds a violator, so the entry must be invalidated.
+  std::vector<geom::Vec2> subset(f.points.begin() + 3, f.points.begin() + 40);
+  const auto bad = f.p.solve(subset);
+  ASSERT_FALSE(f.p.same_value(bad, f.oracle));
+  term.inject(5, 1, bad);
+  for (std::uint32_t t = 1; t < 120; ++t) {
+    net.begin_round();
+    term.round(t, [&](gossip::NodeId v) { return f.view(v); });
+  }
+  // No node may ever output the bad value (Lemma 12's safety direction).
+  for (gossip::NodeId v = 0; v < f.n; ++v) {
+    if (term.output(v).has_value()) {
+      EXPECT_TRUE(f.p.same_value(*term.output(v), f.oracle));
+    }
+  }
+  EXPECT_EQ(term.output_count(), 0u);
+}
+
+TEST(Termination, BestCandidatePerStampWins) {
+  Fixture f(32, 128, 3);
+  gossip::Network net(f.n, util::Rng(9));
+  TerminationProtocol<MinDisk> term(f.p, net, 12);
+
+  // Two candidates at the same stamp: the suboptimal one must lose the
+  // merge everywhere and the optimal one must be output.
+  std::vector<geom::Vec2> subset(f.points.begin(), f.points.begin() + 10);
+  const auto weak = f.p.solve(subset);
+  term.inject(3, 1, weak);
+  term.inject(4, 1, f.oracle);
+  std::uint32_t t = 1;
+  for (; t < 200 && !term.all_output(); ++t) {
+    net.begin_round();
+    term.round(t, [&](gossip::NodeId v) { return f.view(v); });
+  }
+  ASSERT_TRUE(term.all_output());
+  for (gossip::NodeId v = 0; v < f.n; ++v) {
+    EXPECT_TRUE(f.p.same_value(*term.output(v), f.oracle));
+  }
+}
+
+TEST(Termination, WorkPerRoundIsLogarithmic) {
+  Fixture f(128, 512, 4);
+  gossip::Network net(f.n, util::Rng(10));
+  const std::size_t maturity = 2 * 8;  // 2 log2(128) + margin
+  TerminationProtocol<MinDisk> term(f.p, net, maturity);
+  term.inject(0, 1, f.oracle);
+  for (std::uint32_t t = 1; t < 120 && !term.all_output(); ++t) {
+    net.begin_round();
+    term.round(t, [&](gossip::NodeId v) { return f.view(v); });
+  }
+  net.meter().finish();
+  // Each node pushes at most one copy of each live entry per round, and at
+  // most maturity entries are live: work = O(log n).
+  EXPECT_LE(net.meter().max_work_per_round(), maturity + 4);
+}
+
+TEST(Termination, MultipleInjectionsOverTimeStillConverge) {
+  Fixture f(64, 300, 5);
+  gossip::Network net(f.n, util::Rng(11));
+  TerminationProtocol<MinDisk> term(f.p, net, 14);
+  // A fresh (t, B, 1) injection every round from different nodes, like the
+  // real engines do once samples start spanning the optimum.
+  std::uint32_t t = 1;
+  for (; t < 300 && !term.all_output(); ++t) {
+    net.begin_round();
+    if (t <= 20) {
+      term.inject(t % f.n, t, f.oracle);
+    }
+    term.round(t, [&](gossip::NodeId v) { return f.view(v); });
+  }
+  ASSERT_TRUE(term.all_output());
+  for (gossip::NodeId v = 0; v < f.n; ++v) {
+    EXPECT_TRUE(f.p.same_value(*term.output(v), f.oracle));
+  }
+}
+
+TEST(Termination, SingleNodeNetwork) {
+  Fixture f(1, 16, 6);
+  gossip::Network net(1, util::Rng(12));
+  TerminationProtocol<MinDisk> term(f.p, net, 4);
+  term.inject(0, 1, f.oracle);
+  for (std::uint32_t t = 1; t < 20 && !term.all_output(); ++t) {
+    net.begin_round();
+    term.round(t, [&](gossip::NodeId v) { return f.view(v); });
+  }
+  ASSERT_TRUE(term.all_output());
+  EXPECT_TRUE(f.p.same_value(*term.output(0), f.oracle));
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,324 @@
+// Unit tests for the util substrate: RNG, weighted sampling, statistics,
+// tables, CLI parsing, math helpers, thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lpt::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.child(0);
+  Rng c2 = parent.child(1);
+  Rng c1again = parent.child(0);
+  EXPECT_EQ(c1(), c1again());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1() == c2()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversEndpoints) {
+  Rng r(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo |= (v == -3);
+    hi |= (v == 3);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng r(17);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng r(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto idx = r.sample_indices(100, 10);
+    ASSERT_EQ(idx.size(), 10u);
+    std::set<std::size_t> s(idx.begin(), idx.end());
+    EXPECT_EQ(s.size(), 10u);
+    for (auto i : idx) EXPECT_LT(i, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesClampsToN) {
+  Rng r(29);
+  auto idx = r.sample_indices(5, 10);
+  EXPECT_EQ(idx.size(), 5u);
+}
+
+TEST(WeightedSampler, UniformWeightsAreUniform) {
+  Rng r(31);
+  WeightedSampler ws(10, 1.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[ws.sample(r)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(WeightedSampler, ScaleShiftsMass) {
+  Rng r(37);
+  WeightedSampler ws(4, 1.0);
+  ws.scale(2, 8.0);  // weights: 1 1 8 1 -> item 2 has mass 8/11
+  EXPECT_DOUBLE_EQ(ws.total(), 11.0);
+  int hits = 0;
+  for (int i = 0; i < 40000; ++i) hits += (ws.sample(r) == 2) ? 1 : 0;
+  EXPECT_NEAR(hits / 40000.0, 8.0 / 11.0, 0.02);
+}
+
+TEST(WeightedSampler, SetOverridesWeight) {
+  Rng r(41);
+  WeightedSampler ws(3, 2.0);
+  ws.set(0, 0.0);
+  ws.set(1, 0.0);
+  EXPECT_DOUBLE_EQ(ws.total(), 2.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ws.sample(r), 2u);
+}
+
+TEST(WeightedSampler, RepeatedDoublingStaysConsistent) {
+  Rng r(43);
+  WeightedSampler ws(8, 1.0);
+  for (int k = 0; k < 40; ++k) ws.scale(3, 2.0);
+  // Item 3 now carries essentially all the mass.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(ws.sample(r), 3u);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  Rng r(47);
+  RunningStat whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal();
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 10.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.bucket(0), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.01);
+}
+
+TEST(Histogram, AsciiRenderingShowsBarsAndCounts) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const auto s = h.ascii(10);
+  // One line per bucket, peak bucket rendered at full width.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+  EXPECT_NE(s.find(" 2"), std::string::npos);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 2.0);
+  const auto f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataStillClose) {
+  Rng r(53);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.7 * i + 4.0 + r.normal());
+  }
+  const auto f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 1.7, 0.02);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Quantile, ExactValues) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  EXPECT_NE(t.csv().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, NumericRow) {
+  Table t({"x", "y"});
+  t.add_row_numeric({1.23456, 2.0}, 2);
+  EXPECT_NE(t.str().find("1.23"), std::string::npos);
+}
+
+TEST(Cli, ParsesAllFlagForms) {
+  // Note: a bare boolean flag must come last or be followed by another
+  // flag, since `--name value` is also accepted.
+  const char* argv[] = {"prog", "pos", "--n=128", "--reps", "5", "--verbose"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 128);
+  EXPECT_EQ(cli.get_int("reps", 0), 5);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+  EXPECT_EQ(cli.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Math, Log2Helpers) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Math, MiscHelpers) {
+  EXPECT_EQ(ceil_div(7, 3), 3u);
+  EXPECT_EQ(ceil_div(6, 3), 2u);
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 0), 1u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(65));
+  EXPECT_FALSE(is_pow2(0));
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, 64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadDegradesToSequential) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace lpt::util

@@ -1,0 +1,168 @@
+// Tests for the workload generators: the Figure 1 datasets must have the
+// documented optimal-basis structure, LP instances the planted optimum,
+// and set systems the planted minimum hitting set / cover.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/welzl.hpp"
+#include "problems/hitting_set_problem.hpp"
+#include "problems/min_disk.hpp"
+#include "problems/set_cover.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+#include "workloads/hs_data.hpp"
+#include "workloads/lp_data.hpp"
+
+namespace lpt {
+namespace {
+
+using workloads::DiskDataset;
+
+TEST(DiskData, Names) {
+  EXPECT_EQ(workloads::dataset_name(DiskDataset::kDuoDisk), "duo-disk");
+  EXPECT_EQ(workloads::dataset_name(DiskDataset::kTripleDisk), "triple-disk");
+  EXPECT_EQ(workloads::dataset_name(DiskDataset::kTriangle), "triangle");
+  EXPECT_EQ(workloads::dataset_name(DiskDataset::kHull), "hull");
+}
+
+class DiskDataProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DiskDataProperty, RightSizeAndBounded) {
+  const auto [dataset_idx, seed] = GetParam();
+  const auto dataset = workloads::kAllDiskDatasets[dataset_idx];
+  util::Rng rng(seed);
+  for (std::size_t n : {1ul, 2ul, 3ul, 10ul, 500ul}) {
+    const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
+    ASSERT_EQ(pts.size(), n);
+    for (const auto& pt : pts) {
+      EXPECT_LE(geom::norm(pt), 2.0);  // all datasets live near the unit disk
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DiskDataProperty,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(1, 4)));
+
+TEST(DiskData, DuoDiskBasisHasSizeTwo) {
+  util::Rng rng(1);
+  problems::MinDisk p;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, 500, rng);
+  const auto sol = p.solve(pts);
+  EXPECT_EQ(sol.basis.size(), 2u);
+  EXPECT_NEAR(sol.disk.radius, 1.0, 1e-9);
+}
+
+TEST(DiskData, TripleDiskBasisHasSizeThree) {
+  util::Rng rng(2);
+  problems::MinDisk p;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, 500, rng);
+  const auto sol = p.solve(pts);
+  EXPECT_EQ(sol.basis.size(), 3u);
+  EXPECT_NEAR(sol.disk.radius, 1.0, 1e-9);
+}
+
+TEST(DiskData, TriangleSamplesInsideTriangle) {
+  util::Rng rng(3);
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTriangle, 400, rng);
+  const geom::Vec2 a{-1.0, -0.7}, b{1.0, -0.7}, c{0.0, 1.1};
+  for (const auto& q : pts) {
+    EXPECT_GE(geom::orient(a, b, q), -1e-9);
+    EXPECT_GE(geom::orient(b, c, q), -1e-9);
+    EXPECT_GE(geom::orient(c, a, q), -1e-9);
+  }
+}
+
+TEST(DiskData, HullPointsNearUnitCircle) {
+  util::Rng rng(4);
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kHull, 256, rng);
+  for (const auto& q : pts) {
+    EXPECT_NEAR(geom::norm(q), 1.0, 5e-3);
+  }
+}
+
+TEST(DiskData, DatasetBasisSizesAsDocumented) {
+  EXPECT_EQ(workloads::dataset_basis_size(DiskDataset::kDuoDisk), 2u);
+  EXPECT_EQ(workloads::dataset_basis_size(DiskDataset::kTripleDisk), 3u);
+  EXPECT_EQ(workloads::dataset_basis_size(DiskDataset::kTriangle), 3u);
+  EXPECT_EQ(workloads::dataset_basis_size(DiskDataset::kHull), 3u);
+}
+
+class LpDataProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpDataProperty, PlantedOptimumIsFeasibleAndTight) {
+  util::Rng rng(GetParam());
+  const auto inst = workloads::generate_lp_instance(40, rng);
+  ASSERT_EQ(inst.constraints.size(), 40u);
+  int binding = 0;
+  for (const auto& h : inst.constraints) {
+    EXPECT_TRUE(h.satisfied(inst.optimum, 1e-9));
+    if (std::abs(h.b - geom::dot(h.a, inst.optimum)) < 1e-9) ++binding;
+  }
+  EXPECT_EQ(binding, 2);  // exactly the two V constraints bind
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpDataProperty, ::testing::Range(1, 11));
+
+class PlantedHsGenerator : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlantedHsGenerator, StructureIsCorrect) {
+  util::Rng rng(GetParam());
+  const std::size_t d = 1 + rng.below(4);
+  const auto inst =
+      workloads::generate_planted_hitting_set(200, 40, d, 5, rng);
+  ASSERT_EQ(inst.planted.size(), d);
+  ASSERT_EQ(inst.system->set_count(), 40u);
+  problems::HittingSetProblem p(inst.system);
+  EXPECT_TRUE(p.is_hitting_set(inst.planted));
+  // The first d sets are pairwise disjoint.
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      for (auto x : inst.system->set(i)) {
+        const auto& sj = inst.system->set(j);
+        EXPECT_EQ(std::find(sj.begin(), sj.end(), x), sj.end());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlantedHsGenerator, ::testing::Range(1, 11));
+
+TEST(IntervalRanges, IntervalsAreContiguous) {
+  util::Rng rng(5);
+  const auto sys = workloads::generate_interval_ranges(100, 20, 5, 30, rng);
+  ASSERT_EQ(sys->set_count(), 20u);
+  for (std::size_t j = 0; j < sys->set_count(); ++j) {
+    const auto& s = sys->set(j);
+    ASSERT_GE(s.size(), 5u);
+    ASSERT_LE(s.size(), 30u);
+    for (std::size_t k = 1; k < s.size(); ++k) {
+      EXPECT_EQ(s[k], s[k - 1] + 1);
+    }
+  }
+}
+
+TEST(PlantedCover, SentinelsForceExactCover) {
+  util::Rng rng(6);
+  const auto inst = workloads::generate_planted_set_cover(120, 20, 5, rng);
+  EXPECT_EQ(inst.planted_cover.size(), 5u);
+  EXPECT_TRUE(problems::is_set_cover(*inst.instance, inst.planted_cover));
+  // Removing any planted set breaks the cover (sentinels are unique).
+  for (std::size_t skip = 0; skip < 5; ++skip) {
+    std::vector<std::uint32_t> partial;
+    for (auto j : inst.planted_cover) {
+      if (j != skip) partial.push_back(j);
+    }
+    EXPECT_FALSE(problems::is_set_cover(*inst.instance, partial));
+  }
+}
+
+}  // namespace
+}  // namespace lpt
