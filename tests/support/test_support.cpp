@@ -1,0 +1,79 @@
+#include "support/test_support.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "geometry/welzl.hpp"
+
+namespace lpt::testsupport {
+
+util::Rng seeded_rng(std::string_view tag) {
+  // FNV-1a over the tag, folded into the golden seed so different tags give
+  // independent streams but everything stays reproducible.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ kGoldenSeed;
+  for (const char c : tag) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return util::Rng(h);
+}
+
+std::vector<geom::Vec2> golden_disk_points(workloads::DiskDataset d,
+                                           std::size_t n) {
+  util::Rng rng(kGoldenSeed);
+  return workloads::generate_disk_dataset(d, n, rng);
+}
+
+double golden_min_disk_radius(workloads::DiskDataset d, std::size_t n) {
+  const auto pts = golden_disk_points(d, n);
+  return geom::min_disk(pts).disk.radius;
+}
+
+std::vector<geom::Vec2> make_disk_points(workloads::DiskDataset d,
+                                         std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return workloads::generate_disk_dataset(d, n, rng);
+}
+
+testing::AssertionResult AssertVec2Near(const char* a_expr, const char* b_expr,
+                                        const char* tol_expr, geom::Vec2 a,
+                                        geom::Vec2 b, double tol) {
+  const double d = geom::dist(a, b);
+  if (d <= tol) return testing::AssertionSuccess();
+  std::ostringstream os;
+  os << a_expr << " = (" << a.x << ", " << a.y << ") and " << b_expr << " = ("
+     << b.x << ", " << b.y << ") differ by " << d << ", which exceeds "
+     << tol_expr << " = " << tol;
+  return testing::AssertionFailure() << os.str();
+}
+
+testing::AssertionResult AssertRelNear(const char* a_expr, const char* b_expr,
+                                       const char* tol_expr, double a, double b,
+                                       double tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  if (std::abs(a - b) <= tol * scale) return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << a_expr << " = " << a << " and " << b_expr << " = " << b
+         << " differ by " << std::abs(a - b) << ", which exceeds " << tol_expr
+         << " = " << tol << " relative to scale " << scale;
+}
+
+testing::AssertionResult AssertAllInsideDisk(
+    const char* pts_expr, const char* c_expr, const char* r_expr,
+    const char* tol_expr, const std::vector<geom::Vec2>& pts, geom::Vec2 c,
+    double r, double tol) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double d = geom::dist(c, pts[i]);
+    if (d > r + tol) {
+      return testing::AssertionFailure()
+             << pts_expr << "[" << i << "] = (" << pts[i].x << ", " << pts[i].y
+             << ") lies at distance " << d << " from " << c_expr
+             << ", outside radius " << r_expr << " = " << r << " + " << tol_expr
+             << " = " << tol;
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+}  // namespace lpt::testsupport

@@ -4,6 +4,7 @@
 
 #include "core/auto_dimension.hpp"
 #include "problems/min_disk.hpp"
+#include "support/test_support.hpp"
 #include "problems/polytope_distance.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
@@ -18,10 +19,9 @@ TEST(DimensionOverride, RunningWithLargerDStillCorrect) {
   // Overestimating d only makes samples larger / filtering gentler; the
   // algorithm stays correct.
   MinDisk p;
-  util::Rng rng(1);
   const std::size_t n = 256;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 1);
   core::LowLoadConfig cfg;
   cfg.seed = 3;
   cfg.dimension_override = 6;
@@ -36,10 +36,9 @@ TEST(DimensionOverride, UnderestimatingDNeverProducesWrongOutput) {
   // success must be the true optimum, and termination outputs (if any)
   // must be correct — Lemma 12 does not depend on d.
   MinDisk p;
-  util::Rng rng(2);
   const std::size_t n = 256;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTriangle, n, 2);
   core::LowLoadConfig cfg;
   cfg.seed = 5;
   cfg.dimension_override = 1;
@@ -56,10 +55,10 @@ class AutoDimension : public ::testing::TestWithParam<int> {};
 
 TEST_P(AutoDimension, FindsOptimumWithoutKnowingD) {
   MinDisk p;
-  util::Rng rng(GetParam());
   const std::size_t n = 256;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n,
+                                      static_cast<std::uint64_t>(GetParam()));
   core::LowLoadConfig base;
   base.seed = static_cast<std::uint64_t>(GetParam()) * 17 + 3;
   const auto res = core::run_low_load_auto_dimension(p, pts, n, base);
@@ -89,10 +88,9 @@ TEST(AutoDimension, WorksOnPolytopeDistance) {
 
 TEST(AutoDimension, TotalRoundsAccumulateAcrossStages) {
   MinDisk p;
-  util::Rng rng(10);
   const std::size_t n = 128;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kDuoDisk, n, 10);
   core::LowLoadConfig base;
   base.seed = 13;
   const auto res = core::run_low_load_auto_dimension(p, pts, n, base);

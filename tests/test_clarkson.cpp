@@ -6,10 +6,10 @@
 
 #include "core/clarkson.hpp"
 #include "core/hypercube_clarkson.hpp"
-#include "core/msw.hpp"
 #include "problems/linear_program2d.hpp"
 #include "problems/min_disk.hpp"
 #include "problems/polytope_distance.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "workloads/disk_data.hpp"
@@ -113,50 +113,11 @@ TEST(Lemma1, SamplingBoundHolds) {
   }
 }
 
-class MswOnDatasets : public ::testing::TestWithParam<int> {};
-
-TEST_P(MswOnDatasets, MatchesOracleOnAllDatasets) {
-  util::Rng rng(GetParam());
-  problems::MinDisk p;
-  for (auto dataset : workloads::kAllDiskDatasets) {
-    const auto pts = workloads::generate_disk_dataset(dataset, 300, rng);
-    const auto oracle = p.solve(pts);
-    const auto res = core::msw_solve(p, pts, rng);
-    EXPECT_TRUE(res.stats.converged);
-    EXPECT_TRUE(p.same_value(res.solution, oracle))
-        << workloads::dataset_name(dataset);
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, MswOnDatasets, ::testing::Range(1, 11));
-
-TEST(Msw, LinearViolationTestCount) {
-  util::Rng rng(7);
-  problems::MinDisk p;
-  const auto pts = workloads::generate_disk_dataset(
-      DiskDataset::kTriangle, 4000, rng);
-  const auto res = core::msw_solve(p, pts, rng);
-  ASSERT_TRUE(res.stats.converged);
-  // Gärtner-Welzl: expected linear number of violation tests at constant d.
-  EXPECT_LE(res.stats.violation_tests, 40u * pts.size());
-  EXPECT_LE(res.stats.basis_computations, 500u);
-}
-
-TEST(Msw, EmptyAndTinyInputs) {
-  problems::MinDisk p;
-  util::Rng rng(8);
-  const auto res0 = core::msw_solve(p, std::span<const geom::Vec2>{}, rng);
-  EXPECT_TRUE(res0.solution.disk.empty());
-  std::vector<geom::Vec2> one{{2, 2}};
-  const auto res1 = core::msw_solve(p, one, rng);
-  EXPECT_DOUBLE_EQ(res1.solution.disk.radius, 0.0);
-}
 
 TEST(HypercubeClarkson, MatchesOracleAndCountsRounds) {
-  util::Rng rng(9);
   problems::MinDisk p;
-  const auto pts = workloads::generate_disk_dataset(
-      DiskDataset::kTripleDisk, 1024, rng);
+  const auto pts =
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, 1024, 9);
   const auto oracle = p.solve(pts);
   const auto res = core::run_hypercube_clarkson(p, pts, 1024, 42);
   EXPECT_TRUE(res.converged);

@@ -1,0 +1,48 @@
+// Smoke test: every example binary must run to completion with exit code 0.
+// The binary directory is injected by CMake as LPT_EXAMPLES_BIN_DIR.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace lpt {
+namespace {
+
+int run_example(const std::string& name) {
+#ifdef _WIN32
+  const std::string cmd =
+      std::string(LPT_EXAMPLES_BIN_DIR) + "/" + name + " > NUL 2>&1";
+  return std::system(cmd.c_str());
+#else
+  const std::string cmd =
+      std::string(LPT_EXAMPLES_BIN_DIR) + "/" + name + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+// The example names are injected by CMake from the one LPT_EXAMPLES list,
+// so adding an example automatically adds its smoke test.
+std::vector<std::string> example_names() {
+  std::vector<std::string> names;
+  std::istringstream in(LPT_EXAMPLE_NAMES);
+  for (std::string name; std::getline(in, name, ',');) names.push_back(name);
+  return names;
+}
+
+class ExamplesSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExamplesSmoke, ExitsZero) { EXPECT_EQ(run_example(GetParam()), 0); }
+
+INSTANTIATE_TEST_SUITE_P(All, ExamplesSmoke,
+                         ::testing::ValuesIn(example_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace lpt

@@ -8,6 +8,7 @@
 #include "core/hitting_set.hpp"
 #include "core/low_load.hpp"
 #include "problems/min_disk.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
 #include "workloads/hs_data.hpp"
@@ -60,10 +61,10 @@ TEST_P(FaultMatrix, LowLoadStillFindsOptimum) {
 
 TEST_P(FaultMatrix, HighLoadStillFindsOptimum) {
   MinDisk p;
-  util::Rng rng(100 + seed());
   const std::size_t n = 512;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTriangle, n,
+                                      100 + static_cast<std::uint64_t>(seed()));
   core::HighLoadConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(seed()) * 11 + 1;
   cfg.faults = scenario();
@@ -92,10 +93,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Faults, TerminationProtocolSafeUnderLoss) {
   // Even with heavy loss, no node may output a wrong value.
   MinDisk p;
-  util::Rng rng(33);
   const std::size_t n = 256;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 33);
   core::LowLoadConfig cfg;
   cfg.seed = 77;
   cfg.run_termination = true;
@@ -110,10 +110,9 @@ TEST(Faults, OriginalsNeverLostUnderFaults) {
   // still end with at least |H| elements in the system and a correct
   // answer, because H_0 is pinned at its home nodes.
   MinDisk p;
-  util::Rng rng(44);
   const std::size_t n = 512;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kHull, n, rng);
+      testsupport::make_disk_points(DiskDataset::kHull, n, 44);
   core::LowLoadConfig cfg;
   cfg.seed = 55;
   cfg.faults.push_loss = 0.5;
@@ -125,10 +124,9 @@ TEST(Faults, OriginalsNeverLostUnderFaults) {
 
 TEST(Faults, ModerateLossCostsRoundsNotCorrectness) {
   MinDisk p;
-  util::Rng rng(66);
   const std::size_t n = 2048;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 66);
 
   core::HighLoadConfig clean;
   clean.seed = 5;

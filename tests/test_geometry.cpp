@@ -10,6 +10,7 @@
 #include "geometry/linalg.hpp"
 #include "geometry/vec2.hpp"
 #include "geometry/welzl.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 
 namespace lpt::geom {
@@ -40,22 +41,21 @@ TEST(Vec2, PointSegmentDistance) {
 
 TEST(Vec2, ClosestPointOnSegmentToOrigin) {
   const Vec2 c = closest_point_on_segment_to_origin({1, -1}, {1, 1});
-  EXPECT_NEAR(c.x, 1.0, 1e-12);
-  EXPECT_NEAR(c.y, 0.0, 1e-12);
+  EXPECT_VEC2_NEAR(c, (Vec2{1.0, 0.0}), 1e-12);
   const Vec2 v = closest_point_on_segment_to_origin({2, 3}, {5, 7});
   EXPECT_NEAR(v.x, 2.0, 1e-12);  // clamped to endpoint
 }
 
 TEST(Circle, TwoPointCircleIsDiametral) {
   const Circle c = circle_from({-1, 0}, {1, 0});
-  EXPECT_NEAR(c.center.x, 0.0, 1e-12);
+  EXPECT_VEC2_NEAR(c.center, (Vec2{0.0, 0.0}), 1e-12);
   EXPECT_NEAR(c.radius, 1.0, 1e-12);
 }
 
 TEST(Circle, CircumcircleEquilateral) {
   const double h = std::sqrt(3.0) / 2.0;
   const Circle c = circle_from({-0.5, 0}, {0.5, 0}, {0.0, h});
-  EXPECT_NEAR(c.center.x, 0.0, 1e-9);
+  EXPECT_VEC2_NEAR(c.center, (Vec2{0.0, h - 1.0 / std::sqrt(3.0)}), 1e-9);
   EXPECT_NEAR(c.radius, 1.0 / std::sqrt(3.0), 1e-9);
 }
 

@@ -5,6 +5,7 @@
 #include "core/high_load.hpp"
 #include "problems/linear_program2d.hpp"
 #include "problems/min_disk.hpp"
+#include "support/test_support.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
@@ -24,9 +25,9 @@ class HighLoadOnDatasets
 TEST_P(HighLoadOnDatasets, FindsOptimum) {
   const auto [dataset_idx, seed] = GetParam();
   const auto dataset = workloads::kAllDiskDatasets[dataset_idx];
-  util::Rng rng(seed);
   const std::size_t n = 256;
-  const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
+  const auto pts = testsupport::make_disk_points(
+                       dataset, n, static_cast<std::uint64_t>(seed));
   MinDisk p;
   HighLoadConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(seed) * 101 + 3;
@@ -43,10 +44,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(HighLoad, HighlyLoadedRegime) {
   // |H| = 16 n log n-ish: the regime Theorem 4 actually targets.
   MinDisk p;
-  util::Rng rng(2);
   const std::size_t n = 64;
-  const auto pts = workloads::generate_disk_dataset(
-      DiskDataset::kTripleDisk, 16 * n, rng);
+  const auto pts =
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, 16 * n, 2);
   HighLoadConfig cfg;
   cfg.seed = 5;
   const auto res = run_high_load(p, pts, n, cfg);
@@ -57,10 +57,9 @@ TEST(HighLoad, HighlyLoadedRegime) {
 
 TEST(HighLoad, RoundsScaleLogarithmically) {
   MinDisk p;
-  util::Rng rng(3);
   const std::size_t n = 2048;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTriangle, n, 3);
   HighLoadConfig cfg;
   cfg.seed = 7;
   const auto res = run_high_load(p, pts, n, cfg);
@@ -72,10 +71,9 @@ TEST(HighLoad, RoundsScaleLogarithmically) {
 TEST(HighLoad, AcceleratedVariantIsFaster) {
   // Section 3.1: pushing the basis C times trades work for rounds.
   MinDisk p;
-  util::Rng rng(4);
   const std::size_t n = 4096;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 4);
   std::size_t rounds_c1 = 0, rounds_c4 = 0;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     HighLoadConfig cfg;
@@ -94,10 +92,9 @@ TEST(HighLoad, AcceleratedVariantIsFaster) {
 
 TEST(HighLoad, AcceleratedWorkScalesWithC) {
   MinDisk p;
-  util::Rng rng(5);
   const std::size_t n = 512;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 5);
   HighLoadConfig cfg;
   cfg.seed = 11;
   cfg.push_copies = 1;
@@ -113,10 +110,9 @@ TEST(HighLoad, AcceleratedWorkScalesWithC) {
 TEST(HighLoad, LoadGrowthIsBounded) {
   // After T rounds |H(V)| <= |H| + O(T C d n log n) w.h.p. (Section 3).
   MinDisk p;
-  util::Rng rng(6);
   const std::size_t n = 512;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTriangle, n, 6);
   HighLoadConfig cfg;
   cfg.seed = 13;
   const auto res = run_high_load(p, pts, n, cfg);
@@ -131,10 +127,9 @@ TEST(HighLoad, LoadGrowthIsBounded) {
 TEST(HighLoad, SingleWPushStaysSmall) {
   // Lemma 15: |W_i| = O(d log n) w.h.p. for every received basis.
   MinDisk p;
-  util::Rng rng(7);
   const std::size_t n = 1024;
-  const auto pts = workloads::generate_disk_dataset(
-      DiskDataset::kTripleDisk, 4 * n, rng);
+  const auto pts =
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, 4 * n, 7);
   HighLoadConfig cfg;
   cfg.seed = 17;
   const auto res = run_high_load(p, pts, n, cfg);
@@ -145,10 +140,9 @@ TEST(HighLoad, SingleWPushStaysSmall) {
 
 TEST(HighLoad, WithTerminationAllNodesOutputCorrectly) {
   MinDisk p;
-  util::Rng rng(8);
   const std::size_t n = 128;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 8);
   HighLoadConfig cfg;
   cfg.seed = 19;
   cfg.run_termination = true;
@@ -172,10 +166,9 @@ TEST(HighLoad, WorksOnLpProblem) {
 
 TEST(HighLoad, DeterministicGivenSeed) {
   MinDisk p;
-  util::Rng rng(10);
   const std::size_t n = 128;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kHull, n, rng);
+      testsupport::make_disk_points(DiskDataset::kHull, n, 10);
   HighLoadConfig cfg;
   cfg.seed = 29;
   const auto a = run_high_load(p, pts, n, cfg);
@@ -186,9 +179,8 @@ TEST(HighLoad, DeterministicGivenSeed) {
 
 TEST(HighLoad, SingleNodeSolvesImmediately) {
   MinDisk p;
-  util::Rng rng(11);
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, 64, rng);
+      testsupport::make_disk_points(DiskDataset::kDuoDisk, 64, 11);
   HighLoadConfig cfg;
   cfg.seed = 31;
   const auto res = run_high_load(p, pts, 1, cfg);

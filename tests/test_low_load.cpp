@@ -6,6 +6,7 @@
 #include "problems/linear_program2d.hpp"
 #include "problems/min_disk.hpp"
 #include "problems/polytope_distance.hpp"
+#include "support/test_support.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
@@ -25,9 +26,8 @@ class LowLoadOnDatasets
 TEST_P(LowLoadOnDatasets, FindsOptimum) {
   const auto [dataset_idx, seed] = GetParam();
   const auto dataset = workloads::kAllDiskDatasets[dataset_idx];
-  util::Rng rng(seed);
   const std::size_t n = 256;
-  const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
+  const auto pts = testsupport::make_disk_points(dataset, n, seed);
   MinDisk p;
   LowLoadConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(seed) * 77 + 1;
@@ -58,10 +58,9 @@ TEST(LowLoad, TinyInstancesFinishInOneRound) {
 
 TEST(LowLoad, RoundsScaleLogarithmically) {
   MinDisk p;
-  util::Rng rng(4);
   const std::size_t n = 2048;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 4);
   LowLoadConfig cfg;
   cfg.seed = 99;
   const auto res = run_low_load(p, pts, n, cfg);
@@ -73,10 +72,9 @@ TEST(LowLoad, RoundsScaleLogarithmically) {
 TEST(LowLoad, LoadStaysLinearInH0) {
   // Lemma 9: |H(V)| = O(|H_0|) throughout the run.
   MinDisk p;
-  util::Rng rng(5);
   const std::size_t n = 1024;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTriangle, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTriangle, n, 5);
   LowLoadConfig cfg;
   cfg.seed = 123;
   const auto res = run_low_load(p, pts, n, cfg);
@@ -87,10 +85,9 @@ TEST(LowLoad, LoadStaysLinearInH0) {
 
 TEST(LowLoad, WorkPerRoundMatchesTheorem3) {
   MinDisk p;
-  util::Rng rng(6);
   const std::size_t n = 1024;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 6);
   LowLoadConfig cfg;
   cfg.seed = 7;
   const auto res = run_low_load(p, pts, n, cfg);
@@ -104,10 +101,9 @@ TEST(LowLoad, WorkPerRoundMatchesTheorem3) {
 
 TEST(LowLoad, StrictSamplingStillSucceedsOnLargeInstances) {
   MinDisk p;
-  util::Rng rng(7);
   const std::size_t n = 512;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 7);
   LowLoadConfig cfg;
   cfg.seed = 31;
   cfg.strict_sampling = true;
@@ -121,10 +117,9 @@ TEST(LowLoad, StrictSamplingStillSucceedsOnLargeInstances) {
 
 TEST(LowLoad, IdealizedSamplingMatchesPullBased) {
   MinDisk p;
-  util::Rng rng(8);
   const std::size_t n = 512;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kDuoDisk, n, 8);
   LowLoadConfig cfg;
   cfg.seed = 17;
   cfg.sampling = core::SamplingMode::kIdealized;
@@ -135,10 +130,9 @@ TEST(LowLoad, IdealizedSamplingMatchesPullBased) {
 TEST(LowLoad, FewerElementsThanNodesUsesPullPhase) {
   // Section 2.3: |H| < n — empty nodes pull a seed element first.
   MinDisk p;
-  util::Rng rng(9);
   const std::size_t n = 512;
-  const auto pts = workloads::generate_disk_dataset(
-      DiskDataset::kTripleDisk, 100, rng);
+  const auto pts =
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, 100, 9);
   LowLoadConfig cfg;
   cfg.seed = 13;
   const auto res = run_low_load(p, pts, n, cfg);
@@ -151,10 +145,9 @@ TEST(LowLoad, FewerElementsThanNodesUsesPullPhase) {
 TEST(LowLoad, MoreElementsThanNodes) {
   // |H| = 4n (still O(n log n)): the lightly loaded regime's upper end.
   MinDisk p;
-  util::Rng rng(10);
   const std::size_t n = 256;
-  const auto pts = workloads::generate_disk_dataset(
-      DiskDataset::kTriangle, 4 * n, rng);
+  const auto pts =
+      testsupport::make_disk_points(DiskDataset::kTriangle, 4 * n, 10);
   LowLoadConfig cfg;
   cfg.seed = 19;
   const auto res = run_low_load(p, pts, n, cfg);
@@ -163,10 +156,9 @@ TEST(LowLoad, MoreElementsThanNodes) {
 
 TEST(LowLoad, WithTerminationAllNodesOutputCorrectly) {
   MinDisk p;
-  util::Rng rng(11);
   const std::size_t n = 256;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 11);
   LowLoadConfig cfg;
   cfg.seed = 23;
   cfg.run_termination = true;
@@ -181,9 +173,8 @@ TEST(LowLoad, WithTerminationAllNodesOutputCorrectly) {
 
 TEST(LowLoad, SingleNode) {
   MinDisk p;
-  util::Rng rng(12);
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, 50, rng);
+      testsupport::make_disk_points(DiskDataset::kDuoDisk, 50, 12);
   LowLoadConfig cfg;
   cfg.seed = 29;
   const auto res = run_low_load(p, pts, 1, cfg);
@@ -220,10 +211,9 @@ TEST(LowLoad, WorksOnPolytopeDistance) {
 
 TEST(LowLoad, DeterministicGivenSeed) {
   MinDisk p;
-  util::Rng rng(15);
   const std::size_t n = 128;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, n, 15);
   LowLoadConfig cfg;
   cfg.seed = 43;
   const auto a = run_low_load(p, pts, n, cfg);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lp/seidel.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 #include "workloads/lp_data.hpp"
 
@@ -34,8 +35,7 @@ TEST(Seidel, TwoConstraintVertex) {
   const Halfplane c2{{-1.0, -1.0}, 0.0};
   std::vector<Halfplane> cs{c1, c2};
   const auto v = s.solve(cs);
-  EXPECT_NEAR(v.point.x, 0.0, 1e-9);
-  EXPECT_NEAR(v.point.y, 0.0, 1e-9);
+  EXPECT_VEC2_NEAR(v.point, (geom::Vec2{0.0, 0.0}), 1e-9);
 }
 
 TEST(Seidel, InfeasibleDetected) {
@@ -68,8 +68,7 @@ TEST(Seidel, CanonicalLexMinUnderTies) {
       {{-1.0, 0.0}, 2.0},   // x >= -2
   };
   const auto v = s.solve(cs);
-  EXPECT_NEAR(v.point.y, 0.0, 1e-9);
-  EXPECT_NEAR(v.point.x, -2.0, 1e-9);
+  EXPECT_VEC2_NEAR(v.point, (geom::Vec2{-2.0, 0.0}), 1e-9);
 }
 
 TEST(Seidel, ViolationTestMatchesDefinition) {
@@ -127,8 +126,7 @@ TEST_P(SeidelRandomInstance, RecoversPlantedOptimum) {
   const auto v = s.solve(inst.constraints);
   ASSERT_FALSE(v.infeasible);
   EXPECT_NEAR(v.objective, inst.optimal_value, 1e-6);
-  EXPECT_NEAR(v.point.x, inst.optimum.x, 1e-6);
-  EXPECT_NEAR(v.point.y, inst.optimum.y, 1e-6);
+  EXPECT_VEC2_NEAR(v.point, inst.optimum, 1e-6);
 }
 
 TEST_P(SeidelRandomInstance, SolutionIsFeasible) {
@@ -159,8 +157,7 @@ TEST_P(SeidelRandomInstance, OrderInvariance) {
   rng.shuffle(inst.constraints);
   const auto v2 = s.solve(inst.constraints);
   EXPECT_NEAR(v1.objective, v2.objective, 1e-7);
-  EXPECT_NEAR(v1.point.x, v2.point.x, 1e-7);
-  EXPECT_NEAR(v1.point.y, v2.point.y, 1e-7);
+  EXPECT_VEC2_NEAR(v1.point, v2.point, 1e-7);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeidelRandomInstance, ::testing::Range(1, 31));

@@ -1,0 +1,238 @@
+// The MSW basis-exchange solver (core/msw.hpp), the pull-based
+// distinct-element sampler (core/sampling.hpp), and the
+// set-cover-via-duality engine (core/set_cover_engine.hpp) — the whole MSW
+// suite lives here (the oracle sweep moved in from test_clarkson.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/msw.hpp"
+#include "core/sampling.hpp"
+#include "core/set_cover_engine.hpp"
+#include "geometry/welzl.hpp"
+#include "problems/min_disk.hpp"
+#include "support/test_support.hpp"
+
+namespace lpt {
+namespace {
+
+using core::msw_solve;
+using core::select_distinct;
+using problems::MinDisk;
+using workloads::DiskDataset;
+
+// ---------------------------------------------------------------------------
+// core/msw.hpp
+// ---------------------------------------------------------------------------
+
+TEST(Msw, EmptyAndTinyInputs) {
+  MinDisk p;
+  auto rng = testsupport::seeded_rng("msw-empty");
+  const auto res0 = msw_solve(p, std::span<const geom::Vec2>{}, rng);
+  EXPECT_TRUE(res0.stats.converged);
+  EXPECT_TRUE(res0.solution.disk.empty());
+  EXPECT_TRUE(res0.solution.basis.empty());
+  const std::vector<geom::Vec2> one{{2.0, -1.0}};
+  const auto res1 = msw_solve(p, one, rng);
+  EXPECT_TRUE(res1.stats.converged);
+  ASSERT_EQ(res1.solution.basis.size(), 1u);
+  EXPECT_VEC2_NEAR(res1.solution.basis[0], one[0], 0.0);
+  EXPECT_NEAR(res1.solution.disk.radius, 0.0, 1e-12);
+}
+
+class MswOnDatasets : public ::testing::TestWithParam<int> {};
+
+TEST_P(MswOnDatasets, MatchesOracleOnAllDatasets) {
+  util::Rng rng(GetParam());
+  MinDisk p;
+  for (auto dataset : workloads::kAllDiskDatasets) {
+    const auto pts = workloads::generate_disk_dataset(dataset, 300, rng);
+    const auto oracle = p.solve(pts);
+    const auto res = msw_solve(p, pts, rng);
+    EXPECT_TRUE(res.stats.converged);
+    EXPECT_TRUE(p.same_value(res.solution, oracle))
+        << workloads::dataset_name(dataset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MswOnDatasets, ::testing::Range(1, 11));
+
+TEST(Msw, LinearViolationTestCount) {
+  util::Rng rng(7);
+  MinDisk p;
+  const auto pts = workloads::generate_disk_dataset(
+      DiskDataset::kTriangle, 4000, rng);
+  const auto res = msw_solve(p, pts, rng);
+  ASSERT_TRUE(res.stats.converged);
+  // Gärtner-Welzl: expected linear number of violation tests at constant d.
+  EXPECT_LE(res.stats.violation_tests, 40u * pts.size());
+  EXPECT_LE(res.stats.basis_computations, 500u);
+}
+
+TEST(Msw, MatchesWelzlOnAllGoldenDatasets) {
+  MinDisk p;
+  for (const auto d : workloads::kAllDiskDatasets) {
+    const auto pts = testsupport::golden_disk_points(d, 256);
+    auto rng = testsupport::seeded_rng("msw-vs-welzl");
+    const auto res = msw_solve(p, pts, rng);
+    EXPECT_TRUE(res.stats.converged);
+    EXPECT_LE(res.solution.basis.size(), p.dimension());
+    const double golden = testsupport::golden_min_disk_radius(d, 256);
+    EXPECT_REL_NEAR(res.solution.disk.radius, golden, 1e-9)
+        << "dataset " << workloads::dataset_name(d);
+    EXPECT_ALL_INSIDE_DISK(pts, res.solution.disk.center,
+                           res.solution.disk.radius, 1e-7);
+  }
+}
+
+TEST(Msw, SolutionIsSeedIndependent) {
+  // The optimum is unique, so different shuffle orders must agree.
+  MinDisk p;
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kTriangle, 128);
+  auto r1 = testsupport::seeded_rng("msw-seed-a");
+  auto r2 = testsupport::seeded_rng("msw-seed-b");
+  const auto a = msw_solve(p, pts, r1);
+  const auto b = msw_solve(p, pts, r2);
+  EXPECT_REL_NEAR(a.solution.disk.radius, b.solution.disk.radius, 1e-9);
+  EXPECT_EQ(a.solution.basis, b.solution.basis);
+}
+
+TEST(Msw, CountsPrimitiveOperations) {
+  MinDisk p;
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kHull, 64);
+  auto rng = testsupport::seeded_rng("msw-stats");
+  const auto res = msw_solve(p, pts, rng);
+  // At least one violation test per element and the initial f(∅) solve.
+  EXPECT_GE(res.stats.violation_tests, pts.size());
+  EXPECT_GE(res.stats.basis_computations, 1u);
+}
+
+TEST(Msw, NoViolatorsRemainAfterConvergence) {
+  MinDisk p;
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kDuoDisk, 200);
+  auto rng = testsupport::seeded_rng("msw-noviol");
+  const auto res = msw_solve(p, pts, rng);
+  ASSERT_TRUE(res.stats.converged);
+  EXPECT_EQ(core::count_violators(p, res.solution, std::span{pts}), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// core/sampling.hpp
+// ---------------------------------------------------------------------------
+
+TEST(Sampling, ConfigPullCountScalesWithTargetAndLogN) {
+  core::SamplerConfig cfg;
+  cfg.target = 54;  // 6 d^2 at d = 3
+  cfg.log_n = 10;
+  cfg.c = 2.0;
+  EXPECT_EQ(cfg.pulls_per_node(), 2u * (54u + 10u) + 1u);
+}
+
+TEST(Sampling, SelectDistinctDeduplicatesAndCaps) {
+  auto rng = testsupport::seeded_rng("sampling-dedup");
+  std::vector<int> responses{5, 1, 5, 3, 1, 2, 4, 2, 5};
+  const auto out = select_distinct(responses, 3, rng, /*strict=*/false);
+  ASSERT_TRUE(out.success);
+  ASSERT_EQ(out.sample.size(), 3u);
+  std::set<int> distinct(out.sample.begin(), out.sample.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (const int v : out.sample) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Sampling, StrictModeFailsOnShortSample) {
+  auto rng = testsupport::seeded_rng("sampling-strict");
+  const auto out =
+      select_distinct(std::vector<int>{1, 1, 2}, 5, rng, /*strict=*/true);
+  EXPECT_FALSE(out.success);
+  EXPECT_TRUE(out.sample.empty());
+}
+
+TEST(Sampling, LenientModeReturnsEverythingSeen) {
+  // Small-instance behaviour of Figure 2: |H| < target just returns H.
+  auto rng = testsupport::seeded_rng("sampling-lenient");
+  const auto out =
+      select_distinct(std::vector<int>{2, 1, 2, 1}, 5, rng, /*strict=*/false);
+  ASSERT_TRUE(out.success);
+  EXPECT_EQ(out.sample.size(), 2u);
+}
+
+TEST(Sampling, EmptyResponsesFailEvenLenient) {
+  auto rng = testsupport::seeded_rng("sampling-empty");
+  const auto out = select_distinct(std::vector<int>{}, 4, rng, false);
+  EXPECT_FALSE(out.success);
+}
+
+TEST(Sampling, DeterministicGivenRngState) {
+  auto r1 = testsupport::seeded_rng("sampling-det");
+  auto r2 = testsupport::seeded_rng("sampling-det");
+  std::vector<int> responses;
+  for (int i = 0; i < 50; ++i) responses.push_back(i % 20);
+  const auto a = select_distinct(responses, 8, r1, false);
+  const auto b = select_distinct(responses, 8, r2, false);
+  EXPECT_EQ(a.sample, b.sample);
+}
+
+// ---------------------------------------------------------------------------
+// core/set_cover_engine.hpp
+// ---------------------------------------------------------------------------
+
+problems::SetSystem small_cover_instance() {
+  // Universe {0..5}; sets chosen so {0, 3} is a cover of size 2.
+  return problems::SetSystem(
+      6, {{0, 1, 2}, {1, 4}, {2, 5}, {3, 4, 5}, {0, 3}, {2}});
+}
+
+TEST(SetCoverEngine, FindsAValidCover) {
+  const auto instance = small_cover_instance();
+  core::HittingSetConfig cfg;
+  cfg.seed = 5;
+  const auto res = core::run_set_cover(instance, 64, cfg);
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(problems::is_set_cover(
+      instance, std::span<const std::uint32_t>(res.cover)));
+  EXPECT_FALSE(res.cover.empty());
+}
+
+TEST(SetCoverEngine, SeedDeterministic) {
+  const auto instance = small_cover_instance();
+  core::HittingSetConfig cfg;
+  cfg.seed = 11;
+  const auto a = core::run_set_cover(instance, 32, cfg);
+  const auto b = core::run_set_cover(instance, 32, cfg);
+  ASSERT_TRUE(a.valid);
+  EXPECT_EQ(a.cover, b.cover);
+  EXPECT_EQ(a.d_used, b.d_used);
+  EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
+}
+
+TEST(SetCoverEngine, CoverSizeNearGreedyBaseline) {
+  const auto instance = small_cover_instance();
+  const auto greedy = problems::greedy_set_cover(instance);
+  core::HittingSetConfig cfg;
+  cfg.seed = 3;
+  const auto res = core::run_set_cover(instance, 64, cfg);
+  ASSERT_TRUE(res.valid);
+  // Theorem 5 guarantees O(d log(ds)); on this toy instance that means a
+  // small multiple of the greedy cover.
+  EXPECT_LE(res.cover.size(), 4 * greedy.size() + 4);
+}
+
+TEST(SetCoverEngine, DualTransformRoundTrips) {
+  const auto instance = small_cover_instance();
+  const auto dual = problems::dual_of_set_cover(instance);
+  // Dual universe = set collection; one dual set per primal element.
+  EXPECT_EQ(dual->universe_size(), instance.set_count());
+  EXPECT_EQ(dual->set_count(), instance.universe_size());
+  // Element 5 of X lives in primal sets {2, 3}.
+  EXPECT_EQ(dual->set(5), (std::vector<std::uint32_t>{2, 3}));
+  // Element 2 of X lives in primal sets {0, 2, 5}.
+  EXPECT_EQ(dual->set(2), (std::vector<std::uint32_t>{0, 2, 5}));
+}
+
+}  // namespace
+}  // namespace lpt

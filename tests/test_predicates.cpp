@@ -57,7 +57,7 @@ TEST(Orient2d, ExactlyCollinearAtAwkwardScales) {
 TEST(Orient2d, ExactOnAdversarialIntegerGrid) {
   // Integer-coordinate points are exactly representable as doubles up to
   // 2^53; determinant products overflow double precision (~80 bits) but
-  // fit __int128, giving an exact oracle.  Collinear triples bumped by
+  // fit __int128_t, giving an exact oracle.  Collinear triples bumped by
   // -1/0/+1 are the adversarial near-degenerate cases.
   util::Rng rng(7);
   for (int t = 0; t < 2000; ++t) {
@@ -72,9 +72,9 @@ TEST(Orient2d, ExactOnAdversarialIntegerGrid) {
     const std::int64_t ax = px, ay = py;
     const std::int64_t bxx = px + t1 * dx, byy = py + t1 * dy;
     const std::int64_t cx = px + t2 * dx + bx, cy = py + t2 * dy + by;
-    const __int128 det =
-        static_cast<__int128>(ax - cx) * (byy - cy) -
-        static_cast<__int128>(ay - cy) * (bxx - cx);
+    const __int128_t det =
+        static_cast<__int128_t>(ax - cx) * (byy - cy) -
+        static_cast<__int128_t>(ay - cy) * (bxx - cx);
     const int expected = det > 0 ? 1 : (det < 0 ? -1 : 0);
     const int got = orient2d_sign(
         {static_cast<double>(ax), static_cast<double>(ay)},
@@ -103,8 +103,8 @@ TEST(Orient2d, ExactWhereNaiveDoubleFails) {
     const std::int64_t ax = 0, ay = 0;
     const std::int64_t bx = t1 * d, by = t1 * (d + 1);
     const std::int64_t cx = t2 * d + 1, cy = t2 * (d + 1) + 1;
-    const __int128 det = static_cast<__int128>(ax - cx) * (by - cy) -
-                         static_cast<__int128>(ay - cy) * (bx - cx);
+    const __int128_t det = static_cast<__int128_t>(ax - cx) * (by - cy) -
+                         static_cast<__int128_t>(ay - cy) * (bx - cx);
     const int expected = det > 0 ? 1 : (det < 0 ? -1 : 0);
     const int got = orient2d_sign(
         {static_cast<double>(ax), static_cast<double>(ay)},

@@ -9,6 +9,7 @@
 #include "core/low_load.hpp"
 #include "gossip/overlay.hpp"
 #include "problems/min_disk.hpp"
+#include "support/test_support.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
 
@@ -87,6 +88,67 @@ TEST(Regression, FaultInjectionIsSeedDeterministic) {
   const auto b = core::run_low_load(p, pts, n, cfg);
   EXPECT_EQ(a.stats.rounds_to_first, b.stats.rounds_to_first);
   EXPECT_EQ(a.stats.total_push_ops, b.stats.total_push_ops);
+}
+
+TEST(Regression, SameSeedBitIdenticalAcrossAllDatasets) {
+  // Exhaustive seed-determinism contract: for every paper dataset, two runs
+  // of each engine from identical configs must agree on *every* observable —
+  // solution basis, rounds, op counts, bytes, and memory high-water marks.
+  // Freshly-constructed configs (not a shared object) guard against hidden
+  // mutable state inside the engines.
+  MinDisk p;
+  const std::size_t n = 256;
+  for (const auto d : workloads::kAllDiskDatasets) {
+    const auto pts = testsupport::golden_disk_points(d, n);
+
+    core::LowLoadConfig lo1, lo2;
+    lo1.seed = lo2.seed = 4242;
+    const auto la = core::run_low_load(p, pts, n, lo1);
+    const auto lb = core::run_low_load(p, pts, n, lo2);
+    EXPECT_EQ(la.solution.basis, lb.solution.basis)
+        << "low-load basis diverged on " << workloads::dataset_name(d);
+    EXPECT_EQ(la.solution.disk, lb.solution.disk);
+    EXPECT_EQ(la.stats.reached_optimum, lb.stats.reached_optimum);
+    EXPECT_EQ(la.stats.rounds_to_first, lb.stats.rounds_to_first);
+    EXPECT_EQ(la.stats.total_push_ops, lb.stats.total_push_ops);
+    EXPECT_EQ(la.stats.total_pull_ops, lb.stats.total_pull_ops);
+    EXPECT_EQ(la.stats.total_bytes, lb.stats.total_bytes);
+    EXPECT_EQ(la.stats.max_total_elements, lb.stats.max_total_elements);
+    EXPECT_EQ(la.stats.max_work_per_round, lb.stats.max_work_per_round);
+
+    core::HighLoadConfig hi1, hi2;
+    hi1.seed = hi2.seed = 4242;
+    const auto ha = core::run_high_load(p, pts, n, hi1);
+    const auto hb = core::run_high_load(p, pts, n, hi2);
+    EXPECT_EQ(ha.solution.basis, hb.solution.basis)
+        << "high-load basis diverged on " << workloads::dataset_name(d);
+    EXPECT_EQ(ha.solution.disk, hb.solution.disk);
+    EXPECT_EQ(ha.stats.reached_optimum, hb.stats.reached_optimum);
+    EXPECT_EQ(ha.stats.rounds_to_first, hb.stats.rounds_to_first);
+    EXPECT_EQ(ha.stats.total_push_ops, hb.stats.total_push_ops);
+    EXPECT_EQ(ha.stats.total_pull_ops, hb.stats.total_pull_ops);
+    EXPECT_EQ(ha.stats.total_bytes, hb.stats.total_bytes);
+    EXPECT_EQ(ha.stats.max_total_elements, hb.stats.max_total_elements);
+    EXPECT_EQ(ha.stats.max_work_per_round, hb.stats.max_work_per_round);
+  }
+}
+
+TEST(Regression, DifferentSeedsMayDivergeButStayCorrect) {
+  // Companion to the bit-stability tests: seeds are the *only* source of
+  // run-to-run variation, and any seed still reaches the true optimum.
+  MinDisk p;
+  const std::size_t n = 256;
+  const auto pts =
+      testsupport::golden_disk_points(workloads::DiskDataset::kTripleDisk, n);
+  const double golden = testsupport::golden_min_disk_radius(
+      workloads::DiskDataset::kTripleDisk, n);
+  for (const std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    core::LowLoadConfig cfg;
+    cfg.seed = seed;
+    const auto r = core::run_low_load(p, pts, n, cfg);
+    ASSERT_TRUE(r.stats.reached_optimum) << "seed " << seed;
+    EXPECT_REL_NEAR(r.solution.disk.radius, golden, 1e-9);
+  }
 }
 
 TEST(Regression, OverlayCostFormula) {

@@ -7,6 +7,7 @@
 #include <set>
 #include <thread>
 
+#include "support/test_support.hpp"
 #include "util/cli.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -294,6 +295,63 @@ TEST(Math, MiscHelpers) {
   EXPECT_TRUE(is_pow2(64));
   EXPECT_FALSE(is_pow2(65));
   EXPECT_FALSE(is_pow2(0));
+}
+
+TEST(Rng, BelowOfOneAndZeroIsZero) {
+  Rng r(61);
+  EXPECT_EQ(r.below(0), 0u);  // documented total-function fallback
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, SampleIndicesZeroKIsEmpty) {
+  Rng r(67);
+  EXPECT_TRUE(r.sample_indices(10, 0).empty());
+}
+
+TEST(Rng, ChildChainsAreDeterministic) {
+  // Grandchild streams (per-node, per-repetition) must be reproducible:
+  // the engines derive node RNGs as root.child(rep).child(node).
+  Rng root(71);
+  Rng a = root.child(2).child(5);
+  Rng b = Rng(71).child(2).child(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(WeightedSampler, SetThenScaleKeepsTotalConsistent) {
+  WeightedSampler ws(4, 1.0);
+  ws.set(1, 3.0);    // 1 3 1 1 -> 6
+  ws.scale(1, 0.5);  // 1 1.5 1 1 -> 4.5
+  EXPECT_DOUBLE_EQ(ws.total(), 4.5);
+  EXPECT_DOUBLE_EQ(ws.weight(1), 1.5);
+}
+
+TEST(TestSupport, SeededRngIsDeterministicPerTag) {
+  auto a = testsupport::seeded_rng("tag-x");
+  auto b = testsupport::seeded_rng("tag-x");
+  auto c = testsupport::seeded_rng("tag-y");
+  EXPECT_EQ(a(), b());
+  // Distinct tags give (with overwhelming probability) distinct streams.
+  EXPECT_NE(testsupport::seeded_rng("tag-x")(), c());
+}
+
+TEST(TestSupport, GoldenDatasetsAreStableAcrossCalls) {
+  using workloads::DiskDataset;
+  const auto a = testsupport::golden_disk_points(DiskDataset::kHull, 32);
+  const auto b = testsupport::golden_disk_points(DiskDataset::kHull, 32);
+  EXPECT_EQ(a, b);
+  const double r1 = testsupport::golden_min_disk_radius(DiskDataset::kHull, 32);
+  const double r2 = testsupport::golden_min_disk_radius(DiskDataset::kHull, 32);
+  EXPECT_DOUBLE_EQ(r1, r2);
+  EXPECT_GT(r1, 0.0);
+}
+
+TEST(TestSupport, GeometryMatchersAcceptAndReject) {
+  EXPECT_TRUE(testsupport::AssertVec2Near("a", "b", "tol", {1.0, 2.0},
+                                          {1.0, 2.0 + 1e-12}, 1e-9));
+  EXPECT_FALSE(
+      testsupport::AssertVec2Near("a", "b", "tol", {0, 0}, {1, 0}, 1e-9));
+  EXPECT_TRUE(testsupport::AssertRelNear("a", "b", "tol", 1e6, 1e6 + 1.0, 1e-5));
+  EXPECT_FALSE(testsupport::AssertRelNear("a", "b", "tol", 1.0, 2.0, 1e-5));
 }
 
 TEST(ThreadPool, RunsAllTasks) {

@@ -9,6 +9,7 @@
 #include "geometry/welzl.hpp"
 #include "problems/hitting_set_problem.hpp"
 #include "problems/min_disk.hpp"
+#include "support/test_support.hpp"
 #include "problems/set_cover.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
@@ -48,29 +49,26 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 4), ::testing::Range(1, 4)));
 
 TEST(DiskData, DuoDiskBasisHasSizeTwo) {
-  util::Rng rng(1);
   problems::MinDisk p;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kDuoDisk, 500, rng);
+      testsupport::make_disk_points(DiskDataset::kDuoDisk, 500, 1);
   const auto sol = p.solve(pts);
   EXPECT_EQ(sol.basis.size(), 2u);
   EXPECT_NEAR(sol.disk.radius, 1.0, 1e-9);
 }
 
 TEST(DiskData, TripleDiskBasisHasSizeThree) {
-  util::Rng rng(2);
   problems::MinDisk p;
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, 500, rng);
+      testsupport::make_disk_points(DiskDataset::kTripleDisk, 500, 2);
   const auto sol = p.solve(pts);
   EXPECT_EQ(sol.basis.size(), 3u);
   EXPECT_NEAR(sol.disk.radius, 1.0, 1e-9);
 }
 
 TEST(DiskData, TriangleSamplesInsideTriangle) {
-  util::Rng rng(3);
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kTriangle, 400, rng);
+      testsupport::make_disk_points(DiskDataset::kTriangle, 400, 3);
   const geom::Vec2 a{-1.0, -0.7}, b{1.0, -0.7}, c{0.0, 1.1};
   for (const auto& q : pts) {
     EXPECT_GE(geom::orient(a, b, q), -1e-9);
@@ -80,9 +78,8 @@ TEST(DiskData, TriangleSamplesInsideTriangle) {
 }
 
 TEST(DiskData, HullPointsNearUnitCircle) {
-  util::Rng rng(4);
   const auto pts =
-      workloads::generate_disk_dataset(DiskDataset::kHull, 256, rng);
+      testsupport::make_disk_points(DiskDataset::kHull, 256, 4);
   for (const auto& q : pts) {
     EXPECT_NEAR(geom::norm(q), 1.0, 5e-3);
   }
