@@ -1,0 +1,141 @@
+#include "bench_json.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lpt::bench {
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {}
+
+BenchJson& BenchJson::set(const std::string& key, double value) {
+  scalars_.push_back({key, json_number(value)});
+  return *this;
+}
+
+BenchJson& BenchJson::set(const std::string& key, std::uint64_t value) {
+  scalars_.push_back({key, std::to_string(value)});
+  return *this;
+}
+
+BenchJson& BenchJson::set(const std::string& key, const std::string& value) {
+  scalars_.push_back({key, json_string(value)});
+  return *this;
+}
+
+BenchJson& BenchJson::add_row(
+    const std::string& series,
+    std::initializer_list<std::pair<const char*, double>> fields) {
+  Series* s = nullptr;
+  for (auto& existing : series_) {
+    if (existing.key == series) {
+      s = &existing;
+      break;
+    }
+  }
+  if (!s) {
+    series_.push_back({series, {}});
+    s = &series_.back();
+  }
+  std::string row = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields) {
+    if (!first) row += ", ";
+    first = false;
+    row += json_string(k);
+    row += ": ";
+    row += json_number(v);
+  }
+  row += "}";
+  s->rows.push_back(std::move(row));
+  return *this;
+}
+
+std::string BenchJson::to_string() const {
+  std::string out = "{\n  \"bench\": " + json_string(name_);
+  for (const auto& sc : scalars_) {
+    out += ",\n  " + json_string(sc.key) + ": " + sc.rendered;
+  }
+  for (const auto& se : series_) {
+    out += ",\n  " + json_string(se.key) + ": [";
+    for (std::size_t i = 0; i < se.rows.size(); ++i) {
+      out += (i ? ",\n    " : "\n    ") + se.rows[i];
+    }
+    out += "\n  ]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string BenchJson::write(const std::string& dir) const {
+  std::string d = dir;
+  if (d.empty()) {
+    if (const char* env = std::getenv("LPT_BENCH_JSON_DIR")) d = env;
+  }
+  std::string path = d.empty() ? "" : d + "/";
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return "";
+  const std::string doc = to_string();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok ? path : "";
+}
+
+WallTimer::WallTimer()
+    : start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+double WallTimer::seconds() const {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return static_cast<double>(now - start_ns_) * 1e-9;
+}
+
+}  // namespace lpt::bench

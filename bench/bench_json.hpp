@@ -1,0 +1,74 @@
+// BENCH_<name>.json emitter: the machine-readable side of every benchmark
+// driver, so the perf trajectory of the simulator accumulates next to the
+// human-readable tables.
+//
+// Usage:
+//   bench::BenchJson out("fig2_low_load");
+//   out.set("wall_seconds", wall);
+//   out.set("elements_per_sec", eps);
+//   out.add_row("points", {{"i", 14.0}, {"rounds", 23.4}});
+//   out.write();   // -> BENCH_fig2_low_load.json (in $LPT_BENCH_JSON_DIR
+//                  //    or the working directory)
+//
+// The format is deliberately flat: top-level scalar metrics plus named
+// arrays of row objects.  Insertion order is preserved.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lpt::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Top-level scalar metrics (doubles are emitted with enough precision
+  /// to round-trip; non-finite values become null).
+  BenchJson& set(const std::string& key, double value);
+  BenchJson& set(const std::string& key, std::uint64_t value);
+  BenchJson& set(const std::string& key, const std::string& value);
+
+  /// Append one row object to the named series array.
+  BenchJson& add_row(
+      const std::string& series,
+      std::initializer_list<std::pair<const char*, double>> fields);
+
+  /// Serialized JSON document.
+  std::string to_string() const;
+
+  /// Write BENCH_<name>.json into `dir` (empty: $LPT_BENCH_JSON_DIR or the
+  /// working directory).  Returns the path written, or "" on failure.
+  std::string write(const std::string& dir = "") const;
+
+ private:
+  struct Scalar {
+    std::string key;
+    std::string rendered;  // already-JSON value
+  };
+  struct Series {
+    std::string key;
+    std::vector<std::string> rows;  // already-JSON objects
+  };
+
+  std::string name_;
+  std::vector<Scalar> scalars_;
+  std::vector<Series> series_;
+};
+
+/// Seconds of wall time since construction (steady clock).
+class WallTimer {
+ public:
+  WallTimer();
+  double seconds() const;
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+}  // namespace lpt::bench

@@ -8,20 +8,55 @@
 #include <string>
 #include <vector>
 
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lpt::bench {
 
-/// Average of `reps` runs of `one_run(seed)`.
+/// Average of `reps` runs of `one_run(rep, seed)`.  With threads > 1 the
+/// repetitions execute concurrently on a util::ThreadPool; each repetition
+/// keeps its fixed per-index seed and results accumulate in index order,
+/// so the returned statistic is bit-identical for every thread count.
+/// `one_run` must be safe to call concurrently (the engine runs are
+/// self-contained; the bench lambdas only capture immutable state), and
+/// may stash per-repetition side metrics into rep-indexed slots without
+/// synchronization.
+inline util::RunningStat average_runs_indexed(
+    std::size_t reps,
+    const std::function<double(std::size_t, std::uint64_t)>& one_run,
+    std::uint64_t seed_base = 1, std::size_t threads = 1) {
+  std::vector<double> values(reps);
+  if (threads > 1 && reps > 1) {
+    util::ThreadPool pool(threads);
+    util::parallel_for(pool, reps, [&](std::size_t rep) {
+      values[rep] = one_run(rep, seed_base + rep * 7919);
+    });
+  } else {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      values[rep] = one_run(rep, seed_base + rep * 7919);
+    }
+  }
+  util::RunningStat stat;
+  for (const double v : values) stat.add(v);
+  return stat;
+}
+
+/// Seed-only form of average_runs_indexed.
 inline util::RunningStat average_runs(
     std::size_t reps, const std::function<double(std::uint64_t)>& one_run,
-    std::uint64_t seed_base = 1) {
-  util::RunningStat stat;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    stat.add(one_run(seed_base + rep * 7919));
-  }
-  return stat;
+    std::uint64_t seed_base = 1, std::size_t threads = 1) {
+  return average_runs_indexed(
+      reps, [&](std::size_t, std::uint64_t seed) { return one_run(seed); },
+      seed_base, threads);
+}
+
+/// The shared --threads flag: 0 = hardware concurrency, default 1 (serial).
+inline std::size_t threads_flag(const util::Cli& cli) {
+  const auto t = cli.get_int("threads", 1);
+  if (t <= 0) return std::thread::hardware_concurrency();
+  return static_cast<std::size_t>(t);
 }
 
 /// Standard bench banner.

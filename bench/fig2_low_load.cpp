@@ -10,9 +10,16 @@
 //   * duo-disk is faster because its optimal basis has size 2, not 3.
 //
 // Usage: fig2_low_load [--imin=1] [--imax=13] [--reps=10] [--csv]
+//                      [--threads=1] [--parallel-nodes=1]
 //        (paper: i up to 14, 16 for duo-disk; 10 runs per point)
+//
+// --threads runs the repetitions of each point concurrently (bit-identical
+// results for any thread count); --parallel-nodes threads the per-node
+// compute phase inside each simulation.  Writes BENCH_fig2_low_load.json
+// next to the working directory (or $LPT_BENCH_JSON_DIR).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "common.hpp"
 #include "core/low_load.hpp"
 #include "problems/min_disk.hpp"
@@ -27,6 +34,9 @@ int main(int argc, char** argv) {
   const auto imin = static_cast<std::size_t>(cli.get_int("imin", 1));
   const auto imax = static_cast<std::size_t>(cli.get_int("imax", 14));
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 10));
+  const std::size_t threads = bench::threads_flag(cli);
+  const auto parallel_nodes =
+      static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
 
   bench::banner("Figure 2: Low-Load Clarkson, rounds until first optimum",
                 "Hinnenthal-Scheideler-Struijs SPAA'19, Figure 2 / Section 5");
@@ -35,6 +45,11 @@ int main(int argc, char** argv) {
   util::Table table({"i", "n", "duo-disk", "triple-disk", "triangle", "hull"});
   std::vector<double> xs;
   std::vector<std::vector<double>> series(4);
+  bench::WallTimer wall;
+  bench::BenchJson json("fig2_low_load");
+  std::uint64_t total_elements = 0;
+  std::uint64_t total_iterations = 0;
+  double max_work_overall = 0.0;
 
   for (std::size_t i = imin; i <= imax; ++i) {
     const std::size_t n = std::size_t{1} << i;
@@ -42,17 +57,43 @@ int main(int argc, char** argv) {
     std::vector<double> row_avgs;
     for (std::size_t di = 0; di < 4; ++di) {
       const auto dataset = workloads::kAllDiskDatasets[di];
-      const auto stat = bench::average_runs(reps, [&](std::uint64_t seed) {
-        util::Rng data_rng(seed * 31 + i);
-        const auto pts = workloads::generate_disk_dataset(dataset, n, data_rng);
-        core::LowLoadConfig cfg;
-        cfg.seed = seed;
-        const auto res = core::run_low_load(p, pts, n, cfg);
-        LPT_CHECK_MSG(res.stats.reached_optimum, "run failed to converge");
-        return static_cast<double>(res.stats.rounds_to_first);
-      });
+      std::vector<double> work(reps, 0.0);
+      std::vector<double> elems(reps, 0.0);
+      const auto stat = bench::average_runs_indexed(
+          reps,
+          [&](std::size_t rep, std::uint64_t seed) {
+            util::Rng data_rng(seed * 31 + i);
+            const auto pts =
+                workloads::generate_disk_dataset(dataset, n, data_rng);
+            core::LowLoadConfig cfg;
+            cfg.seed = seed;
+            cfg.parallel_nodes = parallel_nodes;
+            const auto res = core::run_low_load(p, pts, n, cfg);
+            LPT_CHECK_MSG(res.stats.reached_optimum,
+                          "run failed to converge");
+            work[rep] = static_cast<double>(res.stats.max_work_per_round);
+            elems[rep] =
+                static_cast<double>(res.stats.initial_total_elements);
+            return static_cast<double>(res.stats.rounds_to_first);
+          },
+          1, threads);
+      util::RunningStat work_stat;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        work_stat.add(work[rep]);
+        total_elements += static_cast<std::uint64_t>(elems[rep]);
+      }
+      total_iterations += static_cast<std::uint64_t>(stat.sum());
+      if (work_stat.max() > max_work_overall) {
+        max_work_overall = work_stat.max();
+      }
       row_avgs.push_back(stat.mean());
       if (n >= 256) series[di].push_back(stat.mean());
+      json.add_row(workloads::dataset_name(dataset),
+                   {{"i", static_cast<double>(i)},
+                    {"n", static_cast<double>(n)},
+                    {"mean_iterations", stat.mean()},
+                    {"stddev", stat.stddev()},
+                    {"max_work_per_round", work_stat.max()}});
     }
     // Reorder to the paper's column order (duo-disk, triple, triangle, hull
     // = dataset indices 0,1,2,3 — duo first for readability).
@@ -75,24 +116,46 @@ int main(int argc, char** argv) {
         workloads::dataset_name(workloads::kAllDiskDatasets[di]), xs,
         series[di]);
   }
-  std::printf(
-      "\nRound fits in the paper's units (3 rounds/iteration, natural "
-      "log;\npaper Section 5: ~1.2 ln(n) duo-disk, ~1.7 ln(n) others):\n");
-  for (std::size_t di = 0; di < 4; ++di) {
-    std::vector<double> ln_n, rounds3;
-    for (std::size_t k = 0; k < xs.size(); ++k) {
-      ln_n.push_back(xs[k] * 0.6931471805599453);
-      rounds3.push_back(3.0 * series[di][k]);
+  if (xs.size() >= 2) {
+    std::printf(
+        "\nRound fits in the paper's units (3 rounds/iteration, natural "
+        "log;\npaper Section 5: ~1.2 ln(n) duo-disk, ~1.7 ln(n) others):\n");
+    for (std::size_t di = 0; di < 4; ++di) {
+      std::vector<double> ln_n, rounds3;
+      for (std::size_t k = 0; k < xs.size(); ++k) {
+        ln_n.push_back(xs[k] * 0.6931471805599453);
+        rounds3.push_back(3.0 * series[di][k]);
+      }
+      const auto fit = util::fit_line(ln_n, rounds3);
+      std::printf(
+          "%-12s rounds ≈ %.2f * ln(n) %+0.2f   (R^2 = %.3f)   "
+          "ratio at n=2^%zu: %.2f\n",
+          workloads::dataset_name(workloads::kAllDiskDatasets[di]).c_str(),
+          fit.slope, fit.intercept, fit.r2, imax,
+          rounds3.back() / ln_n.back());
+      json.add_row("ln_fits", {{"dataset", static_cast<double>(di)},
+                               {"slope", fit.slope},
+                               {"intercept", fit.intercept},
+                               {"r2", fit.r2}});
     }
-    const auto fit = util::fit_line(ln_n, rounds3);
-    std::printf("%-12s rounds ≈ %.2f * ln(n) %+0.2f   (R^2 = %.3f)   "
-                "ratio at n=2^%zu: %.2f\n",
-                workloads::dataset_name(workloads::kAllDiskDatasets[di]).c_str(),
-                fit.slope, fit.intercept, fit.r2, imax,
-                rounds3.back() / ln_n.back());
   }
   if (cli.get_bool("csv", false)) {
     std::printf("\n%s", table.csv().c_str());
   }
+
+  const double secs = wall.seconds();
+  json.set("wall_seconds", secs);
+  json.set("threads", static_cast<std::uint64_t>(threads));
+  json.set("parallel_nodes", static_cast<std::uint64_t>(parallel_nodes));
+  json.set("reps", static_cast<std::uint64_t>(reps));
+  json.set("imin", static_cast<std::uint64_t>(imin));
+  json.set("imax", static_cast<std::uint64_t>(imax));
+  json.set("elements_per_sec",
+           secs > 0.0 ? static_cast<double>(total_elements) / secs : 0.0);
+  json.set("iterations_per_sec",
+           secs > 0.0 ? static_cast<double>(total_iterations) / secs : 0.0);
+  json.set("max_work_per_round", max_work_overall);
+  const auto path = json.write();
+  if (!path.empty()) std::printf("\n[bench-json] wrote %s\n", path.c_str());
   return 0;
 }

@@ -7,8 +7,14 @@
 //   * the others: ~1.1 * log2(n) rounds.
 //
 // Usage: fig3_high_load [--imin=1] [--imax=13] [--reps=10] [--csv]
+//                       [--threads=1] [--parallel-nodes=1]
+//
+// --threads parallelizes the repetitions (bit-identical results for any
+// thread count); --parallel-nodes threads the per-node solves inside each
+// simulation.  Writes BENCH_fig3_high_load.json.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "common.hpp"
 #include "core/high_load.hpp"
 #include "problems/min_disk.hpp"
@@ -23,6 +29,9 @@ int main(int argc, char** argv) {
   const auto imin = static_cast<std::size_t>(cli.get_int("imin", 1));
   const auto imax = static_cast<std::size_t>(cli.get_int("imax", 14));
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 10));
+  const std::size_t threads = bench::threads_flag(cli);
+  const auto parallel_nodes =
+      static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
 
   bench::banner("Figure 3: High-Load Clarkson, rounds until first optimum",
                 "Hinnenthal-Scheideler-Struijs SPAA'19, Figure 3 / Section 5");
@@ -31,23 +40,44 @@ int main(int argc, char** argv) {
   util::Table table({"i", "n", "duo-disk", "triple-disk", "triangle", "hull"});
   std::vector<double> xs;
   std::vector<std::vector<double>> series(4);
+  bench::WallTimer wall;
+  bench::BenchJson json("fig3_high_load");
+  std::uint64_t total_rounds = 0;
+  double max_work_overall = 0.0;
 
   for (std::size_t i = imin; i <= imax; ++i) {
     const std::size_t n = std::size_t{1} << i;
     std::vector<std::string> row{util::fmt(i), util::fmt(n)};
     for (std::size_t di = 0; di < 4; ++di) {
       const auto dataset = workloads::kAllDiskDatasets[di];
-      const auto stat = bench::average_runs(reps, [&](std::uint64_t seed) {
-        util::Rng data_rng(seed * 37 + i);
-        const auto pts = workloads::generate_disk_dataset(dataset, n, data_rng);
-        core::HighLoadConfig cfg;
-        cfg.seed = seed;
-        const auto res = core::run_high_load(p, pts, n, cfg);
-        LPT_CHECK_MSG(res.stats.reached_optimum, "run failed to converge");
-        return static_cast<double>(res.stats.rounds_to_first);
-      });
+      std::vector<double> work(reps, 0.0);
+      const auto stat = bench::average_runs_indexed(
+          reps,
+          [&](std::size_t rep, std::uint64_t seed) {
+            util::Rng data_rng(seed * 37 + i);
+            const auto pts =
+                workloads::generate_disk_dataset(dataset, n, data_rng);
+            core::HighLoadConfig cfg;
+            cfg.seed = seed;
+            cfg.parallel_nodes = parallel_nodes;
+            const auto res = core::run_high_load(p, pts, n, cfg);
+            LPT_CHECK_MSG(res.stats.reached_optimum,
+                          "run failed to converge");
+            work[rep] = static_cast<double>(res.stats.max_work_per_round);
+            return static_cast<double>(res.stats.rounds_to_first);
+          },
+          1, threads);
+      for (const double w : work) {
+        if (w > max_work_overall) max_work_overall = w;
+      }
+      total_rounds += static_cast<std::uint64_t>(stat.sum());
       row.push_back(util::fmt(stat.mean(), 2));
       if (n >= 16) series[di].push_back(stat.mean());
+      json.add_row(workloads::dataset_name(dataset),
+                   {{"i", static_cast<double>(i)},
+                    {"n", static_cast<double>(n)},
+                    {"mean_rounds", stat.mean()},
+                    {"stddev", stat.stddev()}});
     }
     table.add_row(row);
     if (n >= 16) xs.push_back(static_cast<double>(i));
@@ -59,22 +89,42 @@ int main(int argc, char** argv) {
         workloads::dataset_name(workloads::kAllDiskDatasets[di]), xs,
         series[di]);
   }
-  std::printf(
-      "\nRound fits in natural-log units (paper Section 5: ~0.9 ln(n) "
-      "duo-disk,\n~1.1 ln(n) others; Algorithm 5 pipelines to one round per "
-      "iteration):\n");
-  for (std::size_t di = 0; di < 4; ++di) {
-    std::vector<double> ln_n;
-    for (double x : xs) ln_n.push_back(x * 0.6931471805599453);
-    const auto fit = util::fit_line(ln_n, series[di]);
-    std::printf("%-12s rounds ≈ %.2f * ln(n) %+0.2f   (R^2 = %.3f)   "
-                "ratio at n=2^%zu: %.2f\n",
-                workloads::dataset_name(workloads::kAllDiskDatasets[di]).c_str(),
-                fit.slope, fit.intercept, fit.r2, imax,
-                series[di].back() / ln_n.back());
+  if (xs.size() >= 2) {
+    std::printf(
+        "\nRound fits in natural-log units (paper Section 5: ~0.9 ln(n) "
+        "duo-disk,\n~1.1 ln(n) others; Algorithm 5 pipelines to one round "
+        "per iteration):\n");
+    for (std::size_t di = 0; di < 4; ++di) {
+      std::vector<double> ln_n;
+      for (double x : xs) ln_n.push_back(x * 0.6931471805599453);
+      const auto fit = util::fit_line(ln_n, series[di]);
+      std::printf(
+          "%-12s rounds ≈ %.2f * ln(n) %+0.2f   (R^2 = %.3f)   "
+          "ratio at n=2^%zu: %.2f\n",
+          workloads::dataset_name(workloads::kAllDiskDatasets[di]).c_str(),
+          fit.slope, fit.intercept, fit.r2, imax,
+          series[di].back() / ln_n.back());
+      json.add_row("ln_fits", {{"dataset", static_cast<double>(di)},
+                               {"slope", fit.slope},
+                               {"intercept", fit.intercept},
+                               {"r2", fit.r2}});
+    }
   }
   if (cli.get_bool("csv", false)) {
     std::printf("\n%s", table.csv().c_str());
   }
+
+  const double secs = wall.seconds();
+  json.set("wall_seconds", secs);
+  json.set("threads", static_cast<std::uint64_t>(threads));
+  json.set("parallel_nodes", static_cast<std::uint64_t>(parallel_nodes));
+  json.set("reps", static_cast<std::uint64_t>(reps));
+  json.set("imin", static_cast<std::uint64_t>(imin));
+  json.set("imax", static_cast<std::uint64_t>(imax));
+  json.set("rounds_per_sec",
+           secs > 0.0 ? static_cast<double>(total_rounds) / secs : 0.0);
+  json.set("max_work_per_round", max_work_overall);
+  const auto path = json.write();
+  if (!path.empty()) std::printf("\n[bench-json] wrote %s\n", path.c_str());
   return 0;
 }

@@ -1,9 +1,24 @@
-// MICRO — google-benchmark microbenchmarks for the substrate kernels the
-// distributed engines spend their time in: Welzl minidisk, Seidel LP,
-// violation testing, the distinct-sample selection of Section 2.1, the
-// sequential Clarkson solver, and mailbox routing.
+// MICRO — microbenchmarks for the substrate kernels the distributed
+// engines spend their time in: Welzl minidisk, Seidel LP, violation
+// testing, the distinct-sample selection of Section 2.1, the sequential
+// Clarkson solver, and the gossip channels.
+//
+// Two parts:
+//   1. google-benchmark timings of the individual kernels (filter with
+//      --benchmark_filter=...).
+//   2. A "substrate showdown" that times the CSR Mailbox/PullChannel
+//      against reference implementations of the previous vector-of-vectors
+//      substrate at n = 2^16, checks that deliver cost scales with
+//      messages (not n), and writes BENCH_micro_substrates.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "core/clarkson.hpp"
 #include "core/sampling.hpp"
 #include "geometry/welzl.hpp"
@@ -17,6 +32,83 @@
 namespace {
 
 using namespace lpt;
+
+// ---------------------------------------------------------------------------
+// Reference (pre-CSR) substrate: one std::vector per node, cleared across
+// the whole node set every round, per-message fault draws.  Kept here as
+// the measurement baseline for the BENCH json.
+// ---------------------------------------------------------------------------
+
+template <typename M>
+class LegacyMailbox {
+ public:
+  explicit LegacyMailbox(gossip::Network& net)
+      : net_(&net), inboxes_(net.size()) {}
+
+  void push(gossip::NodeId from, M msg) {
+    const gossip::NodeId to = net_->random_peer();
+    net_->meter().add_push(from, gossip::wire_size(msg));
+    outbox_.emplace_back(to, std::move(msg));
+  }
+
+  void deliver() {
+    for (auto& ib : inboxes_) ib.clear();
+    for (auto& [to, msg] : outbox_) {
+      if (net_->drop_push()) continue;
+      inboxes_[to].push_back(std::move(msg));
+    }
+    outbox_.clear();
+  }
+
+  const std::vector<M>& inbox(gossip::NodeId v) const { return inboxes_[v]; }
+
+ private:
+  gossip::Network* net_;
+  std::vector<std::pair<gossip::NodeId, M>> outbox_;
+  std::vector<std::vector<M>> inboxes_;
+};
+
+template <typename A>
+class LegacyPullChannel {
+ public:
+  explicit LegacyPullChannel(gossip::Network& net)
+      : net_(&net), responses_(net.size()), answered_(net.size(), 0) {}
+
+  void request(gossip::NodeId from) {
+    net_->meter().add_pull(from, 0);
+    requests_.emplace_back(from, net_->random_peer());
+  }
+
+  template <typename F>
+  void resolve(F&& responder) {
+    for (auto& r : responses_) r.clear();
+    std::fill(answered_.begin(), answered_.end(), std::uint32_t{0});
+    for (const auto& [from, target] : requests_) {
+      if (net_->asleep(target) || net_->drop_response()) continue;
+      std::optional<A> ans = responder(target);
+      if (ans) {
+        net_->meter().add_response_bytes(gossip::wire_size(*ans));
+        ++answered_[target];
+        responses_[from].push_back(std::move(*ans));
+      }
+    }
+    requests_.clear();
+  }
+
+  const std::vector<A>& responses(gossip::NodeId v) const {
+    return responses_[v];
+  }
+
+ private:
+  gossip::Network* net_;
+  std::vector<std::pair<gossip::NodeId, gossip::NodeId>> requests_;
+  std::vector<std::vector<A>> responses_;
+  std::vector<std::uint32_t> answered_;
+};
+
+// ---------------------------------------------------------------------------
+// google-benchmark kernels
+// ---------------------------------------------------------------------------
 
 void BM_WelzlMinDisk(benchmark::State& state) {
   util::Rng rng(1);
@@ -116,6 +208,45 @@ void BM_MailboxRouting(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxRouting);
 
+// CSR deliver at scale: cost tracks the message count, not the node count.
+void BM_MailboxDeliverSparse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t msgs = 8192;
+  gossip::Network net(n, util::Rng(27));
+  gossip::Mailbox<geom::Vec2> mb(net);
+  net.begin_round();
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < msgs; ++k) {
+      mb.push(static_cast<gossip::NodeId>(k % n), geom::Vec2{1.0, 2.0});
+    }
+    mb.deliver();
+    benchmark::DoNotOptimize(mb.last_delivered_messages());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(msgs));
+}
+BENCHMARK(BM_MailboxDeliverSparse)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PullChannelResolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  gossip::Network net(n, util::Rng(31));
+  gossip::PullChannel<double> ch(net);
+  net.begin_round();
+  const std::size_t requesters = std::min<std::size_t>(n, 4096);
+  for (auto _ : state) {
+    for (std::size_t v = 0; v < requesters; ++v) {
+      for (int k = 0; k < 4; ++k) ch.request(static_cast<gossip::NodeId>(v));
+    }
+    ch.resolve([](gossip::NodeId target) {
+      return std::optional<double>(static_cast<double>(target));
+    });
+    benchmark::DoNotOptimize(ch.responses(0).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requesters * 4));
+}
+BENCHMARK(BM_PullChannelResolve)->Arg(1 << 12)->Arg(1 << 16);
+
 void BM_WeightedSampler(benchmark::State& state) {
   util::Rng rng(29);
   util::WeightedSampler ws(static_cast<std::size_t>(state.range(0)), 1.0);
@@ -128,6 +259,204 @@ void BM_WeightedSampler(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightedSampler)->Arg(1024)->Arg(65536);
 
+// ---------------------------------------------------------------------------
+// Substrate showdown: CSR vs the legacy reference at n = 2^16.
+// ---------------------------------------------------------------------------
+
+struct Throughput {
+  double per_sec = 0.0;  // items routed per second
+};
+
+template <typename PushFn, typename DeliverFn>
+Throughput time_deliver(std::size_t iters, std::size_t msgs, PushFn&& push,
+                        DeliverFn&& deliver) {
+  bench::WallTimer t;
+  for (std::size_t it = 0; it < iters; ++it) {
+    push(msgs);
+    deliver();
+  }
+  const double s = t.seconds();
+  return {s > 0.0 ? static_cast<double>(iters * msgs) / s : 0.0};
+}
+
+void substrate_showdown(bench::BenchJson& json) {
+  constexpr std::size_t kN = 1 << 16;
+  constexpr std::size_t kIters = 60;
+
+  std::printf("\n=== substrate showdown (n = 2^16) ===\n");
+
+  // --- Mailbox deliver at two round densities.  The late rounds of every
+  // engine are sparse (a handful of W_i copies over all n inboxes), which
+  // is exactly where the legacy per-inbox clears hurt. ---
+  auto mail_throughput = [&](auto& mailbox, auto& net, std::size_t msgs) {
+    net.begin_round();
+    return time_deliver(
+        kIters, msgs,
+        [&](std::size_t m) {
+          for (std::size_t k = 0; k < m; ++k) {
+            mailbox.push(static_cast<gossip::NodeId>(k & (kN - 1)),
+                         geom::Vec2{1.0, 2.0});
+          }
+        },
+        [&] { mailbox.deliver(); });
+  };
+
+  double mail_ratio_sparse = 0.0;
+  double mail_ratio_moderate = 0.0;
+  for (const std::size_t msgs : {kN / 64, kN / 8}) {
+    gossip::Network net_new(kN, util::Rng(41));
+    gossip::Mailbox<geom::Vec2> mb_new(net_new);
+    const auto csr_mail = mail_throughput(mb_new, net_new, msgs);
+
+    gossip::Network net_old(kN, util::Rng(41));
+    LegacyMailbox<geom::Vec2> mb_old(net_old);
+    const auto legacy_mail = mail_throughput(mb_old, net_old, msgs);
+
+    const double ratio = legacy_mail.per_sec > 0.0
+                             ? csr_mail.per_sec / legacy_mail.per_sec
+                             : 0.0;
+    std::printf("Mailbox.deliver (%5zu msgs)  csr: %10.0f msg/s   legacy: "
+                "%10.0f msg/s   speedup: %.2fx\n",
+                msgs, csr_mail.per_sec, legacy_mail.per_sec, ratio);
+    const char* tag = msgs == kN / 64 ? "sparse" : "moderate";
+    json.set(std::string("mailbox_csr_msgs_per_sec_") + tag,
+             csr_mail.per_sec);
+    json.set(std::string("mailbox_legacy_msgs_per_sec_") + tag,
+             legacy_mail.per_sec);
+    json.set(std::string("mailbox_speedup_") + tag, ratio);
+    (msgs == kN / 64 ? mail_ratio_sparse : mail_ratio_moderate) = ratio;
+  }
+
+  // --- PullChannel resolve.  Requester counts mirror the engines' late
+  // rounds (the Section 2.3 seed channel and the hitting-set tail), where
+  // a small subset of nodes still pulls while the legacy substrate keeps
+  // clearing all n response vectors. ---
+  constexpr std::size_t kRequesters = 512;
+  constexpr std::size_t kPullsEach = 8;
+  constexpr std::size_t kPulls = kRequesters * kPullsEach;
+  gossip::Network net_pn(kN, util::Rng(43));
+  gossip::PullChannel<double> ch_new(net_pn);
+  net_pn.begin_round();
+  const auto csr_pull = time_deliver(
+      kIters, kPulls,
+      [&](std::size_t) {
+        for (std::size_t v = 0; v < kRequesters; ++v) {
+          for (std::size_t k = 0; k < kPullsEach; ++k) {
+            ch_new.request(static_cast<gossip::NodeId>(v));
+          }
+        }
+      },
+      [&] {
+        ch_new.resolve([](gossip::NodeId target) {
+          return std::optional<double>(static_cast<double>(target));
+        });
+      });
+
+  gossip::Network net_po(kN, util::Rng(43));
+  LegacyPullChannel<double> ch_old(net_po);
+  net_po.begin_round();
+  const auto legacy_pull = time_deliver(
+      kIters, kPulls,
+      [&](std::size_t) {
+        for (std::size_t v = 0; v < kRequesters; ++v) {
+          for (std::size_t k = 0; k < kPullsEach; ++k) {
+            ch_old.request(static_cast<gossip::NodeId>(v));
+          }
+        }
+      },
+      [&] {
+        ch_old.resolve([](gossip::NodeId target) {
+          return std::optional<double>(static_cast<double>(target));
+        });
+      });
+
+  const double pull_ratio =
+      legacy_pull.per_sec > 0.0 ? csr_pull.per_sec / legacy_pull.per_sec : 0.0;
+  std::printf("PullChannel.resolve csr: %8.0f req/s   legacy: %10.0f req/s   "
+              "speedup: %.2fx\n",
+              csr_pull.per_sec, legacy_pull.per_sec, pull_ratio);
+
+  // --- Fused bulk pulls (the engines' hot path) ---
+  gossip::Network net_pf(kN, util::Rng(43));
+  gossip::PullChannel<double> ch_fused(net_pf);
+  net_pf.begin_round();
+  const auto fused_pull = time_deliver(
+      kIters, kPulls,
+      [&](std::size_t) {
+        ch_fused.begin_pulls();
+        for (std::size_t v = 0; v < kRequesters; ++v) {
+          ch_fused.pull_uniform(
+              static_cast<gossip::NodeId>(v), kPullsEach,
+              [](gossip::NodeId target) {
+                return std::optional<double>(static_cast<double>(target));
+              });
+        }
+      },
+      [&] {});
+  const double fused_ratio = legacy_pull.per_sec > 0.0
+                                 ? fused_pull.per_sec / legacy_pull.per_sec
+                                 : 0.0;
+  std::printf("PullChannel.pull_uniform: %8.0f req/s                         "
+              "speedup: %.2fx\n",
+              fused_pull.per_sec, fused_ratio);
+
+  // --- Deliver cost scales with messages, not n (regression check) ---
+  constexpr std::size_t kFixedMsgs = 8192;
+  auto sparse_cost = [&](std::size_t n) {
+    gossip::Network net(n, util::Rng(47));
+    gossip::Mailbox<geom::Vec2> mb(net);
+    net.begin_round();
+    const auto tp = time_deliver(
+        kIters, kFixedMsgs,
+        [&](std::size_t m) {
+          for (std::size_t k = 0; k < m; ++k) {
+            mb.push(static_cast<gossip::NodeId>(k % n), geom::Vec2{1.0, 2.0});
+          }
+        },
+        [&] { mb.deliver(); });
+    return tp.per_sec;
+  };
+  const double small_n = sparse_cost(1 << 10);
+  const double large_n = sparse_cost(1 << 20);
+  const double scaling = large_n > 0.0 ? small_n / large_n : 0.0;
+  std::printf("deliver msg/s, 8k msgs: n=2^10: %.0f   n=2^20: %.0f   "
+              "cost ratio: %.2fx (a per-inbox clear would be ~%zux)\n",
+              small_n, large_n, scaling,
+              (std::size_t{1} << 20) / kFixedMsgs);
+
+  json.set("pull_csr_reqs_per_sec", csr_pull.per_sec);
+  json.set("pull_legacy_reqs_per_sec", legacy_pull.per_sec);
+  json.set("pull_speedup", pull_ratio);
+  json.set("pull_fused_reqs_per_sec", fused_pull.per_sec);
+  json.set("pull_fused_speedup", fused_ratio);
+  json.set("deliver_sparse_n10_msgs_per_sec", small_n);
+  json.set("deliver_sparse_n20_msgs_per_sec", large_n);
+  json.set("deliver_n_scaling_cost_ratio", scaling);
+
+  // Regression gate: growing n by 1024x may not blow a fixed-size deliver
+  // up by anything near the ~128x a per-inbox clear would cost.  The CSR
+  // op count is n-independent; the generous bound leaves room for the
+  // cache-locality cost of the larger per-node index arrays.
+  if (scaling > 32.0) {
+    std::fprintf(stderr,
+                 "FAIL: deliver cost grew %.1fx from n=2^10 to n=2^20 for a "
+                 "fixed message count — CSR scaling regression\n",
+                 scaling);
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  lpt::bench::BenchJson json("micro_substrates");
+  substrate_showdown(json);
+  const auto path = json.write();
+  if (!path.empty()) std::printf("[bench-json] wrote %s\n", path.c_str());
+  return 0;
+}

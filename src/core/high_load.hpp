@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "gossip/network.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lpt::core {
 
@@ -40,6 +42,14 @@ struct HighLoadConfig {
   std::size_t termination_maturity = 0;  // 0: 2*ceil(log2 n) + 4
   std::size_t max_rounds = 0;            // 0: auto safety cap
   gossip::FaultModel faults;             // message loss / sleeping nodes
+  std::size_t parallel_nodes = 0;  // >1: local basis solves and violator
+                                   // scans run on this many threads; shared
+                                   // RNG traffic is replayed serially in
+                                   // node order, so results are
+                                   // bit-identical to the serial run.  The
+                                   // pool lives for one run: combining with
+                                   // a bench-level --threads sweep
+                                   // oversubscribes — pick one level.
 };
 
 namespace detail {
@@ -117,27 +127,59 @@ HighLoadResult<P> run_high_load(const P& p,
   res.stats.initial_total_elements = total_elements();
   res.stats.max_total_elements = res.stats.initial_total_elements;
 
+  // Per-node round scratch for the compute stages; persistent across
+  // rounds so the steady state allocates nothing.
+  struct NodeRound {
+    std::uint8_t has_sol = 0;
+    typename P::Solution sol;
+    std::vector<Element> violators;  // across all received bases, in order
+    std::size_t max_single_w = 0;    // largest per-basis W_j this round
+  };
+  std::vector<NodeRound> scratch(n);
+
+  std::optional<util::ThreadPool> pool;
+  if (cfg.parallel_nodes > 1) pool.emplace(cfg.parallel_nodes);
+  auto for_each_node = [&](auto&& body) {
+    if (pool) {
+      util::parallel_for(*pool, n, body);
+    } else {
+      for (std::size_t v = 0; v < n; ++v) body(v);
+    }
+  };
+
   bool found = false;
   for (std::size_t t = 1; t <= max_rounds; ++t) {
     net.begin_round();
 
     // Lines 3-4: local basis computation and C pushes.  Nodes holding no
     // element yet have nothing to propose (f(∅) would mark *everything* a
-    // violator); they only participate as receivers this round.
+    // violator); they only participate as receivers this round.  The
+    // solves touch only node-local state (stage A, parallelizable); the
+    // pushes replay serially in node order (stage B), so parallel runs are
+    // bit-identical to serial ones.
+    for_each_node([&](std::size_t v) {
+      NodeRound& sc = scratch[v];
+      sc.has_sol = 0;
+      if (store[v].empty() || net.asleep(static_cast<gossip::NodeId>(v))) {
+        return;
+      }
+      sc.has_sol = 1;
+      sc.sol = p.solve(store[v]);
+    });
     for (gossip::NodeId v = 0; v < n; ++v) {
-      if (store[v].empty() || net.asleep(v)) continue;
-      const auto sol = p.solve(store[v]);
-      if (!found && p.same_value(sol, oracle)) {
+      NodeRound& sc = scratch[v];
+      if (!sc.has_sol) continue;
+      if (!found && p.same_value(sc.sol, oracle)) {
         found = true;
-        res.solution = sol;
+        res.solution = sc.sol;
         res.stats.rounds_to_first = t;
         res.stats.reached_optimum = true;
       }
       if (cfg.run_termination) {
-        term.inject(v, static_cast<std::uint32_t>(t), sol);
+        term.inject(v, static_cast<std::uint32_t>(t), sc.sol);
       }
       for (std::size_t k = 0; k < c_copies; ++k) {
-        basis_mail.push(v, Msg{sol.basis});
+        basis_mail.push(v, Msg{sc.sol.basis});
       }
       if (store[v].size() > res.extras.max_local_elements) {
         res.extras.max_local_elements = store[v].size();
@@ -145,19 +187,31 @@ HighLoadResult<P> run_high_load(const P& p,
     }
     basis_mail.deliver();
 
-    // Lines 5-7: violator pushes for every received basis.
-    for (gossip::NodeId v = 0; v < n; ++v) {
-      if (net.asleep(v)) continue;
-      for (const auto& msg : basis_mail.inbox(v)) {
+    // Lines 5-7: violator pushes for every received basis.  Stage A scans
+    // locally; stage B pushes in node order.
+    for_each_node([&](std::size_t v) {
+      NodeRound& sc = scratch[v];
+      sc.violators.clear();
+      sc.max_single_w = 0;
+      if (net.asleep(static_cast<gossip::NodeId>(v))) return;
+      for (const auto& msg :
+           basis_mail.inbox(static_cast<gossip::NodeId>(v))) {
         const auto sol_j = p.from_basis(msg.basis);
         std::size_t w = 0;
         for (const auto& h : store[v]) {
           if (p.violates(sol_j, h)) {
-            elem_mail.push(v, h);
+            sc.violators.push_back(h);
             ++w;
           }
         }
-        if (w > res.extras.max_single_w) res.extras.max_single_w = w;
+        if (w > sc.max_single_w) sc.max_single_w = w;
+      }
+    });
+    for (gossip::NodeId v = 0; v < n; ++v) {
+      const NodeRound& sc = scratch[v];
+      for (const auto& h : sc.violators) elem_mail.push(v, h);
+      if (sc.max_single_w > res.extras.max_single_w) {
+        res.extras.max_single_w = sc.max_single_w;
       }
     }
     elem_mail.deliver();

@@ -115,6 +115,7 @@ inline HittingSetRunResult run_hitting_set(
   std::size_t global_round = 0;
   std::vector<std::uint8_t> hit;
   std::vector<std::uint32_t> unhit;
+  SampleOutcome<Element> outcome;
 
   while (!done) {
     const std::size_t r = cfg.sample_size
@@ -139,23 +140,24 @@ inline HittingSetRunResult run_hitting_set(
       ++global_round;
       net.begin_round();
 
-      // Sampling (Section 2.1).
+      // Sampling (Section 2.1), as fused bulk pulls.
+      sample_chan.begin_pulls();
+      auto answer = [&](gossip::NodeId target, std::vector<Element>& sink) {
+        const auto& st = store[target];
+        if (!st.elems.empty()) {
+          sink.push_back(st.elems[net.rng().below(st.elems.size())]);
+        }
+      };
       for (gossip::NodeId v = 0; v < n; ++v) {
         if (net.asleep(v)) continue;
-        for (std::size_t k = 0; k < pulls; ++k) sample_chan.request(v);
+        sample_chan.pull_uniform_direct(v, pulls, answer);
       }
-      sample_chan.resolve(
-          [&](gossip::NodeId target) -> std::optional<Element> {
-            const auto& st = store[target];
-            if (st.elems.empty()) return std::nullopt;
-            return st.elems[net.rng().below(st.elems.size())];
-          });
 
       for (gossip::NodeId v = 0; v < n; ++v) {
         if (net.asleep(v)) continue;
         ++res.stats.sampling_attempts;
-        auto outcome = select_distinct(sample_chan.responses(v), r,
-                                       node_rng[v], sampler.strict);
+        select_distinct_into(sample_chan.mutable_responses(v), r, node_rng[v],
+                             sampler.strict, outcome);
         if (!outcome.success) {
           ++res.stats.sampling_failures;
           continue;

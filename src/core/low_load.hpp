@@ -33,6 +33,7 @@
 #include "gossip/network.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lpt::core {
 
@@ -58,6 +59,19 @@ struct LowLoadConfig {
   std::size_t dimension_override = 0;  // run as if dim(H, f) were this value
                                        // (the Section 1.4 doubling search on
                                        // an unknown d; 0 = use p.dimension())
+  std::size_t parallel_nodes = 0;  // >1: per-node compute phase (sample
+                                   // selection, local solve, violator scan)
+                                   // runs on this many threads.  Results are
+                                   // bit-identical to the serial run: the
+                                   // phase consumes only the per-node RNG
+                                   // streams, and all shared-RNG traffic is
+                                   // replayed serially in node order.  Only
+                                   // kPullBased sampling parallelizes (the
+                                   // idealized sampler meters global pulls).
+                                   // The pool lives for one run: combining
+                                   // with a bench-level --threads sweep
+                                   // oversubscribes (threads x parallel_
+                                   // nodes OS threads) — pick one level.
 };
 
 template <LpTypeProblem P>
@@ -76,8 +90,16 @@ struct NodeStore {
   std::vector<Element> elems;
   std::size_t h0_count = 0;
 
+  /// O(1): grow the H_0 prefix by swapping the displaced copy (if any) to
+  /// the back.  The old middle-insert made placing |H| elements cost
+  /// O(|H| * max-load).
   void add_original(const Element& h) {
-    elems.insert(elems.begin() + static_cast<std::ptrdiff_t>(h0_count), h);
+    elems.push_back(h);
+    const std::size_t last = elems.size() - 1;
+    if (last != h0_count) {
+      using std::swap;
+      swap(elems[h0_count], elems[last]);
+    }
     ++h0_count;
   }
   void add_copy(const Element& h) { elems.push_back(h); }
@@ -171,8 +193,25 @@ DistributedLpResult<P> run_low_load(const P& p,
   res.stats.initial_total_elements = total_elements();
   res.stats.max_total_elements = res.stats.initial_total_elements;
 
+  // Per-node round scratch for the compute stage (stage A).  Persistent
+  // across rounds so the steady state allocates nothing.  The per-round
+  // flags live in compact side arrays: resetting them streams n bytes,
+  // not one cache line per NodeRound.
+  struct NodeRound {
+    typename P::Solution sol;
+    std::vector<Element> violators;
+    std::vector<Element> resp;  // idealized-sampling draw buffer
+  };
+  std::vector<NodeRound> scratch(n);
+  std::vector<std::uint8_t> success(n, 0);
+  std::vector<std::size_t> prefix;  // idealized-sampling cumulative sizes
+
+  const bool parallel =
+      cfg.parallel_nodes > 1 && cfg.sampling == SamplingMode::kPullBased;
+  std::optional<util::ThreadPool> pool;
+  if (parallel) pool.emplace(cfg.parallel_nodes);
+
   bool found = false;
-  std::vector<Element> violators;
   for (std::size_t t = 1; t <= max_rounds; ++t) {
     net.begin_round();
 
@@ -186,79 +225,116 @@ DistributedLpResult<P> run_low_load(const P& p,
       return s.elems[net.rng().below(s.h0_count)];
     });
 
-    // --- Sampling (Algorithm 2 line 3 via Section 2.1). ---
+    // --- Sampling (Algorithm 2 line 3 via Section 2.1), as fused bulk
+    // pulls: each pull draws its target and is answered in place. ---
     if (cfg.sampling == SamplingMode::kPullBased) {
+      sample_chan.begin_pulls();
+      auto answer = [&](gossip::NodeId target, std::vector<Element>& sink) {
+        const auto& s = store[target];
+        if (!s.elems.empty()) {
+          sink.push_back(s.elems[net.rng().below(s.elems.size())]);
+        }
+      };
       for (gossip::NodeId v = 0; v < n; ++v) {
         if (in_pull_phase[v] || net.asleep(v)) continue;
-        for (std::size_t k = 0; k < pulls; ++k) sample_chan.request(v);
+        sample_chan.pull_uniform_direct(v, pulls, answer);
       }
-      sample_chan.resolve([&](gossip::NodeId target) -> std::optional<Element> {
-        const auto& s = store[target];
-        if (s.elems.empty()) return std::nullopt;
-        return s.elems[net.rng().below(s.elems.size())];
-      });
     }
 
     // Idealized sampling support: per-round prefix sums over store sizes.
-    std::vector<std::size_t> prefix;
     if (cfg.sampling == SamplingMode::kIdealized) {
-      prefix.resize(n + 1, 0);
+      prefix.assign(n + 1, 0);
       for (std::size_t v = 0; v < n; ++v) {
         prefix[v + 1] = prefix[v] + store[v].elems.size();
       }
     }
 
-    // --- Per-node processing. ---
+    // --- Per-node compute (stage A): sample selection, local solve, and
+    // violator scan.  Touches only node-local state and node_rng[v], so it
+    // fans out across threads when cfg.parallel_nodes asks for it; every
+    // shared-RNG side effect (mailbox pushes, termination traffic) is
+    // replayed in stage B in node order, making parallel runs bit-identical
+    // to serial ones.
+    auto compute_node = [&](std::size_t v) {
+      success[v] = 0;
+      if (net.asleep(static_cast<gossip::NodeId>(v)) || in_pull_phase[v]) {
+        return;
+      }
+      NodeRound& sc = scratch[v];
+      SampleView<Element> view;
+      if (cfg.sampling == SamplingMode::kPullBased) {
+        // Select straight out of the channel's CSR slice: each slice is
+        // consumed exactly once per round, so reordering it in place is
+        // safe, and the sample stays a zero-copy view into it.
+        view = select_distinct_view(
+            sample_chan.mutable_responses(static_cast<gossip::NodeId>(v)),
+            sampler.target, node_rng[v], sampler.strict);
+      } else {
+        const std::size_t m = prefix[n];
+        sc.resp.clear();
+        sc.resp.reserve(pulls);
+        for (std::size_t k = 0; k < pulls && m > 0; ++k) {
+          net.meter().add_pull(static_cast<gossip::NodeId>(v), 0);
+          const std::size_t g = node_rng[v].below(m);
+          const auto it =
+              std::upper_bound(prefix.begin(), prefix.end(), g) - 1;
+          const auto node = static_cast<std::size_t>(it - prefix.begin());
+          sc.resp.push_back(store[node].elems[g - *it]);
+          net.meter().add_response_bytes(sizeof(Element));
+        }
+        view = select_distinct_view(std::span<Element>(sc.resp),
+                                    sampler.target, node_rng[v],
+                                    sampler.strict);
+      }
+      if (!view.success) return;
+      success[v] = 1;
+      // A full-size sample left the selection step in uniform random
+      // order, so the problem's pre-shuffled local solve applies; lenient
+      // short samples keep dedupe order and take the shuffling solve.
+      if constexpr (requires { p.solve_shuffled(view.sample); }) {
+        sc.sol = view.randomized ? p.solve_shuffled(view.sample)
+                                 : p.solve(view.sample);
+      } else {
+        sc.sol = p.solve(view.sample);
+      }
+      // W_i: local violators (lines 5-6), pushed in stage B.
+      sc.violators.clear();
+      for (const auto& h : store[v].view()) {
+        if (p.violates(sc.sol, h)) sc.violators.push_back(h);
+      }
+    };
+    if (pool) {
+      util::parallel_for(*pool, n, compute_node);
+    } else {
+      for (std::size_t v = 0; v < n; ++v) compute_node(v);
+    }
+
+    // --- Shared-state replay (stage B), in node order. ---
     for (gossip::NodeId v = 0; v < n; ++v) {
       if (net.asleep(v)) continue;
       if (in_pull_phase[v]) {
-        const auto& got = seed_chan.responses(v);
+        const auto got = seed_chan.responses(v);
         if (!got.empty()) {
           seeds_mail.push(v, got.front());
           in_pull_phase[v] = 0;
         }
         continue;
       }
-      SampleOutcome<Element> outcome;
       ++res.stats.sampling_attempts;
-      if (cfg.sampling == SamplingMode::kPullBased) {
-        outcome = select_distinct(sample_chan.responses(v), sampler.target,
-                                  node_rng[v], sampler.strict);
-      } else {
-        const std::size_t m = prefix[n];
-        std::vector<Element> draws;
-        draws.reserve(pulls);
-        for (std::size_t k = 0; k < pulls && m > 0; ++k) {
-          net.meter().add_pull(v, 0);
-          const std::size_t g = node_rng[v].below(m);
-          const auto it =
-              std::upper_bound(prefix.begin(), prefix.end(), g) - 1;
-          const auto node = static_cast<std::size_t>(it - prefix.begin());
-          draws.push_back(store[node].elems[g - *it]);
-          net.meter().add_response_bytes(sizeof(Element));
-        }
-        outcome = select_distinct(std::move(draws), sampler.target,
-                                  node_rng[v], sampler.strict);
-      }
-      if (!outcome.success) {
+      if (!success[v]) {
         ++res.stats.sampling_failures;
         continue;
       }
-      const auto sol = p.solve(outcome.sample);
-      if (!found && p.same_value(sol, oracle)) {
+      const NodeRound& sc = scratch[v];
+      if (!found && p.same_value(sc.sol, oracle)) {
         found = true;
-        res.solution = sol;
+        res.solution = sc.sol;
         res.stats.rounds_to_first = t;
         res.stats.reached_optimum = true;
       }
-      // W_i: local violators, pushed to random nodes (lines 5-6).
-      violators.clear();
-      for (const auto& h : store[v].view()) {
-        if (p.violates(sol, h)) violators.push_back(h);
-      }
-      for (const auto& h : violators) copies_mail.push(v, h);
-      if (violators.empty() && cfg.run_termination) {
-        term.inject(v, static_cast<std::uint32_t>(t), sol);
+      for (const auto& h : sc.violators) copies_mail.push(v, h);
+      if (sc.violators.empty() && cfg.run_termination) {
+        term.inject(v, static_cast<std::uint32_t>(t), sc.sol);
       }
     }
 

@@ -14,7 +14,11 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <concepts>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "gossip/mailbox.hpp"
@@ -22,6 +26,84 @@
 #include "util/rng.hpp"
 
 namespace lpt::core {
+
+/// distinct_key(e) -> uint64 is the ADL customization point that unlocks
+/// the hash-based dedupe fast path in select_distinct_into (it must be
+/// consistent with operator==: equal elements, equal keys).  Elements
+/// without one fall back to sort + unique.  The built-in overloads are
+/// exact-type constrained so no element reaches them through a lossy
+/// implicit conversion.
+template <std::same_as<std::uint32_t> T>
+std::uint64_t distinct_key(T v) noexcept {
+  std::uint64_t h =
+      (static_cast<std::uint64_t>(v) + 1) * 0x9e3779b97f4a7c15ULL;
+  return h ^ (h >> 31);
+}
+
+template <std::same_as<double> T>
+std::uint64_t distinct_key(T d) noexcept {
+  // Normalize -0.0 so the key stays consistent with operator==.
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d);
+  std::uint64_t h = (bits + 1) * 0x9e3779b97f4a7c15ULL;
+  return h ^ (h >> 31);
+}
+
+namespace detail {
+
+template <typename Element>
+concept HasDistinctKey = requires(const Element& e) {
+  { distinct_key(e) } -> std::convertible_to<std::uint64_t>;
+};
+
+/// Compact `responses` to its distinct elements (arrival order preserved)
+/// via open addressing; returns the distinct count.  O(k) expected versus
+/// the O(k log k) sort with its branchy element comparisons — the dedupe
+/// sat at ~20% of whole-simulation profiles before this path existed.
+template <typename Element>
+std::size_t dedupe_hashed(std::span<Element> responses) {
+  // Epoch-stamped slots: a slot is live only if its upper bits match the
+  // current call's epoch, so the table never needs clearing.  Each slot
+  // packs (epoch << 32) | (compacted index + 1).
+  static thread_local std::vector<std::uint64_t> slots;
+  static thread_local std::uint64_t epoch = 0;
+  const std::size_t cap =
+      std::bit_ceil(std::max<std::size_t>(16, responses.size() * 2));
+  if (slots.size() < cap) {
+    slots.assign(cap, 0);
+    epoch = 0;
+  }
+  ++epoch;
+  if (epoch >> 32 != 0) {  // epoch space exhausted: hard reset
+    slots.assign(slots.size(), 0);
+    epoch = 1;
+  }
+  const std::uint64_t tag = epoch << 32;
+  const std::uint64_t mask = slots.size() - 1;
+  // Pass 1: hash everything in a dependency-free loop (the superscalar
+  // core pipelines these); pass 2 probes with the precomputed keys.
+  static thread_local std::vector<std::uint64_t> keys;
+  keys.resize(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    keys[i] = distinct_key(responses[i]);
+  }
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    std::uint64_t pos = keys[i] & mask;
+    for (;;) {
+      const std::uint64_t s = slots[pos];
+      if ((s >> 32) != epoch) {
+        slots[pos] = tag | (w + 1);
+        responses[w++] = responses[i];
+        break;
+      }
+      if (responses[(s & 0xffffffffULL) - 1] == responses[i]) break;  // dup
+      pos = (pos + 1) & mask;
+    }
+  }
+  return w;
+}
+
+}  // namespace detail
 
 struct SamplerConfig {
   std::size_t target = 0;   // 6d^2 for Clarkson engines; r for Algorithm 6
@@ -43,31 +125,91 @@ struct SampleOutcome {
   bool success = false;
 };
 
-/// Select `target` distinct elements at random from the pull responses.
-/// Sorting gives canonical distinctness; selection order is randomized as
-/// the paper prescribes ("selects 6d^2 distinct elements at random").
+/// Select `target` distinct elements at random from the pull responses,
+/// clobbering `responses` and writing into `out` (both buffers keep their
+/// capacity, so the per-round steady state allocates nothing).  Dedupe is
+/// hash-based when the element provides distinct_key() (O(k)), else
+/// sort + unique; a partial Fisher–Yates pass then randomizes the
+/// selection as the paper prescribes ("selects 6d^2 distinct elements at
+/// random") with O(target) RNG draws instead of a full shuffle.
+template <typename Element>
+void select_distinct_into(std::span<Element> responses, std::size_t target,
+                          util::Rng& rng, bool strict,
+                          SampleOutcome<Element>& out);  // defined below
+
+/// Vector overload (clobbers `responses`' order, keeps its capacity).
+template <typename Element>
+void select_distinct_into(std::vector<Element>& responses, std::size_t target,
+                          util::Rng& rng, bool strict,
+                          SampleOutcome<Element>& out) {
+  select_distinct_into(std::span<Element>(responses), target, rng, strict,
+                       out);
+}
+
+/// Zero-copy view of one sampling attempt: `sample` aliases a prefix of the
+/// (reordered) `responses` buffer and is valid only until that buffer is
+/// next written.  `randomized` reports whether the sample's order went
+/// through the Fisher–Yates pass (lenient short samples keep their dedupe
+/// order and are NOT uniformly ordered — callers relying on random input
+/// order, e.g. shuffle-free Welzl, must check it).
+template <typename Element>
+struct SampleView {
+  std::span<const Element> sample;
+  bool success = false;
+  bool randomized = false;
+};
+
+/// Like select_distinct_into but without materializing the sample: the
+/// returned view points into `responses`.  Used by the engines' hot path,
+/// where the sample is consumed by one local solve and discarded.
+template <typename Element>
+SampleView<Element> select_distinct_view(std::span<Element> responses,
+                                         std::size_t target, util::Rng& rng,
+                                         bool strict) {
+  SampleView<Element> out;
+  std::size_t m;
+  if constexpr (detail::HasDistinctKey<Element>) {
+    m = detail::dedupe_hashed(responses);
+  } else {
+    std::sort(responses.begin(), responses.end());
+    m = static_cast<std::size_t>(
+        std::unique(responses.begin(), responses.end()) - responses.begin());
+  }
+  if (m >= target) {
+    for (std::size_t i = 0; i < target; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.below(m - i));
+      using std::swap;
+      swap(responses[i], responses[j]);
+    }
+    out.sample = responses.first(target);
+    out.success = true;
+    out.randomized = true;
+    return out;
+  }
+  if (strict) return out;
+  // Lenient mode: everything seen (small-instance behaviour of Figure 2).
+  out.sample = responses.first(m);
+  out.success = m > 0;
+  return out;
+}
+
+template <typename Element>
+void select_distinct_into(std::span<Element> responses, std::size_t target,
+                          util::Rng& rng, bool strict,
+                          SampleOutcome<Element>& out) {
+  const SampleView<Element> view =
+      select_distinct_view(responses, target, rng, strict);
+  out.success = view.success;
+  out.sample.assign(view.sample.begin(), view.sample.end());
+}
+
+/// Value-returning convenience wrapper.
 template <typename Element>
 SampleOutcome<Element> select_distinct(std::vector<Element> responses,
                                        std::size_t target, util::Rng& rng,
                                        bool strict) {
   SampleOutcome<Element> out;
-  std::sort(responses.begin(), responses.end());
-  responses.erase(std::unique(responses.begin(), responses.end()),
-                  responses.end());
-  if (responses.size() >= target) {
-    rng.shuffle(responses);
-    responses.resize(target);
-    out.sample = std::move(responses);
-    out.success = true;
-    return out;
-  }
-  if (strict) {
-    out.success = false;
-    return out;
-  }
-  // Lenient mode: everything seen (small-instance behaviour of Figure 2).
-  out.sample = std::move(responses);
-  out.success = !out.sample.empty();
+  select_distinct_into(responses, target, rng, strict, out);
   return out;
 }
 

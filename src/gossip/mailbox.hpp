@@ -1,4 +1,5 @@
-// Round-buffered push delivery and pull request/response channels.
+// Round-buffered push delivery and pull request/response channels, backed
+// by flat CSR (compressed-sparse-row) buffers.
 //
 // Mailbox<M>:    push(from, msg) buffers msg for a uniformly random node;
 //                deliver() routes all buffered messages into per-node
@@ -10,15 +11,34 @@
 //                function on each target and hands responses back to the
 //                requesters.  The sampling procedures of Sections 2.1 and 4
 //                are built on this channel.
+//
+// Layout: instead of one std::vector per node, each channel keeps a single
+// contiguous payload buffer plus per-node [begin, count) slices built by a
+// stable counting sort on the destination.  Per-node bookkeeping arrays are
+// *epoch-stamped*: a slice is only valid if its stamp matches the current
+// delivery epoch, so deliver()/resolve() never touch the n - k nodes that
+// received nothing.  All buffers persist across rounds; after warm-up a
+// round performs zero allocations, and the cost of a delivery is
+// O(messages) — independent of n.
+//
+// Message ordering within an inbox is the order the messages were pushed
+// (the counting sort is stable), matching the previous per-vector
+// semantics.  M and A must be default-constructible and movable.
+//
+// Fault injection: message loss is sampled with geometric gap draws (one
+// RNG draw per *lost* message, not per message), and the fault-free path is
+// dispatched once per delivery so the hot loops carry no fault branches.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "gossip/network.hpp"
+#include "util/assert.hpp"
 
 namespace lpt::gossip {
 
@@ -30,10 +50,93 @@ std::size_t wire_size(const M&) noexcept {
   return sizeof(M);
 }
 
+namespace detail {
+
+/// The epoch-stamped CSR index shared by Mailbox and PullChannel: per-node
+/// slice starts/lengths that are implicitly reset by bumping the epoch
+/// instead of clearing n entries.  All fields are 32-bit — the per-node
+/// arrays are the substrate's cache footprint at n = 2^20, and slices are
+/// bounded by the per-round message volume anyway.
+class CsrIndex {
+ public:
+  explicit CsrIndex(std::size_t n)
+      : begin_(n, 0), count_(n, 0), cursor_(n, 0), stamp_(n, 0) {}
+
+  /// Start a new epoch; all slices become empty in O(1).
+  void new_epoch() noexcept {
+    ++epoch_;
+    if (epoch_ == 0) {  // wrap: stamps from 4G epochs ago could collide
+      std::fill(stamp_.begin(), stamp_.end(), std::uint32_t{0});
+      epoch_ = 1;
+    }
+    touched_.clear();
+  }
+
+  /// Count one entry destined for `key` (first counting pass).
+  void count(NodeId key) {
+    if (stamp_[key] != epoch_) {
+      stamp_[key] = epoch_;
+      count_[key] = 0;
+      touched_.push_back(key);
+    }
+    ++count_[key];
+  }
+
+  /// Turn counts into slice offsets; returns the total payload length.
+  /// After this call begin_[k] is the slice start and count_[k] its length.
+  std::size_t finish_counts() noexcept {
+    std::uint32_t off = 0;
+    for (const NodeId k : touched_) {
+      begin_[k] = off;
+      cursor_[k] = off;  // placement cursor for the fill pass
+      off += count_[k];
+    }
+    return off;
+  }
+
+  /// Next placement slot for `key` (second, filling pass).
+  std::size_t place(NodeId key) noexcept { return cursor_[key]++; }
+
+  /// Append mode (single-pass building when entries arrive already grouped
+  /// by key): open `key`'s slice at payload position `pos`.  Keys must not
+  /// repeat within an epoch.
+  void open(NodeId key, std::size_t pos) {
+    stamp_[key] = epoch_;
+    begin_[key] = static_cast<std::uint32_t>(pos);
+    count_[key] = 0;
+    touched_.push_back(key);
+  }
+
+  /// Count one appended entry for an open()ed key.
+  void append(NodeId key) noexcept { ++count_[key]; }
+
+  /// Set an open()ed key's final slice length in one write.
+  void close(NodeId key, std::size_t count) noexcept {
+    count_[key] = static_cast<std::uint32_t>(count);
+  }
+
+  bool live(NodeId key) const noexcept { return stamp_[key] == epoch_; }
+  std::size_t begin(NodeId key) const noexcept { return begin_[key]; }
+  std::size_t count_of(NodeId key) const noexcept { return count_[key]; }
+
+  /// Distinct keys that received entries in the current epoch.
+  std::size_t touched() const noexcept { return touched_.size(); }
+
+ private:
+  std::vector<std::uint32_t> begin_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<NodeId> touched_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace detail
+
 template <typename M>
 class Mailbox {
  public:
-  explicit Mailbox(Network& net) : net_(&net), inboxes_(net.size()) {}
+  explicit Mailbox(Network& net) : net_(&net), index_(net.size()) {}
 
   /// Push `msg` from node `from` to a uniformly random node (delivered at
   /// the next deliver() call).  Meters one push op on `from`.
@@ -52,72 +155,296 @@ class Mailbox {
 
   /// Route all buffered messages into inboxes (start of the next round).
   /// Under fault injection each message is independently lost in transit
-  /// with the network's push_loss probability.
+  /// with the network's push_loss probability (sampled with geometric gaps:
+  /// one RNG draw per lost message).
   void deliver() {
-    for (auto& ib : inboxes_) ib.clear();
-    for (auto& [to, msg] : outbox_) {
-      if (net_->drop_push()) continue;
-      inboxes_[to].push_back(std::move(msg));
+    if (net_->faults().push_loss > 0.0) {
+      deliver_impl<true>();
+    } else {
+      deliver_impl<false>();
     }
-    outbox_.clear();
   }
 
-  const std::vector<M>& inbox(NodeId v) const noexcept { return inboxes_[v]; }
+  /// Messages delivered in the last deliver() to node v, in push order.
+  /// The span is valid until the next deliver().
+  std::span<const M> inbox(NodeId v) const noexcept {
+    if (!index_.live(v)) return {};
+    return {payload_.data() + index_.begin(v), index_.count_of(v)};
+  }
 
   /// Total messages currently buffered for delivery.
   std::size_t pending() const noexcept { return outbox_.size(); }
 
+  /// Diagnostics for the "deliver cost scales with messages, not n"
+  /// contract: inboxes written / messages routed by the last deliver().
+  std::size_t last_delivered_inboxes() const noexcept {
+    return index_.touched();
+  }
+  std::size_t last_delivered_messages() const noexcept {
+    return payload_.size();
+  }
+
  private:
+  template <bool kFaults>
+  void deliver_impl() {
+    if constexpr (kFaults) {
+      // Compact the outbox down to the surviving messages.  Geometric gap
+      // draws replace per-message Bernoulli trials: `gap` counts survivors
+      // until the next loss.
+      const double p = net_->faults().push_loss;
+      std::size_t w = 0;
+      std::uint64_t gap = net_->loss_gap(p);
+      for (std::size_t i = 0; i < outbox_.size(); ++i) {
+        if (gap == 0) {
+          gap = net_->loss_gap(p);
+          continue;  // lost in transit
+        }
+        --gap;
+        if (w != i) outbox_[w] = std::move(outbox_[i]);
+        ++w;
+      }
+      outbox_.resize(w);
+    }
+    index_.new_epoch();
+    for (const auto& [to, msg] : outbox_) index_.count(to);
+    payload_.resize(index_.finish_counts());
+    for (auto& [to, msg] : outbox_) {
+      payload_[index_.place(to)] = std::move(msg);
+    }
+    outbox_.clear();
+  }
+
   Network* net_;
   std::vector<std::pair<NodeId, M>> outbox_;
-  std::vector<std::vector<M>> inboxes_;
+  std::vector<M> payload_;  // all inboxes, concatenated (CSR values)
+  detail::CsrIndex index_;
 };
 
 template <typename A>
 class PullChannel {
  public:
   explicit PullChannel(Network& net)
-      : net_(&net), responses_(net.size()), answered_(net.size(), 0) {}
+      : net_(&net), index_(net.size()), ans_index_(net.size()) {}
 
   /// Node `from` pulls from a uniformly random node.  Meters one pull op.
   void request(NodeId from) {
     net_->meter().add_pull(from, 0);
+    if (from < last_from_) requests_sorted_ = false;
+    last_from_ = from;
     requests_.emplace_back(from, net_->random_peer());
+  }
+
+  /// Begin a fused bulk-pull round.  The uniform samplers issue hundreds of
+  /// pulls per node per round; staging (from, target) pairs and replaying
+  /// them in resolve() doubles the memory traffic of the hottest loop in
+  /// the simulator.  begin_pulls() + pull_uniform() fuse the request and
+  /// answer: each pull draws its target and is answered in place, writing
+  /// straight into the CSR payload.  Callers must issue at most one
+  /// pull_uniform() per node, with strictly increasing `from`, and must
+  /// not mix request()/resolve() into the same round.
+  void begin_pulls() {
+    index_.new_epoch();
+    ans_log_.clear();
+    ans_built_ = false;
+    payload_.clear();
+    loss_armed_ = false;
+  }
+
+  /// `count` uniform pulls by node `from`, answered immediately by
+  /// `responder` (same contract as resolve()'s responder).  Meters the
+  /// pulls in bulk.
+  template <typename F>
+  void pull_uniform(NodeId from, std::size_t count, F&& responder) {
+    pull_uniform_direct(from, count,
+                        [&responder](NodeId target, std::vector<A>& sink) {
+                          std::optional<A> ans = responder(target);
+                          if (ans) sink.push_back(std::move(*ans));
+                        });
+  }
+
+  /// Direct-append form of pull_uniform: `answerer(target, sink)` either
+  /// push_back()s exactly one answer into `sink` or leaves it untouched
+  /// ("no reply").  Skips the optional round-trip — this is the hottest
+  /// loop of the whole simulator.  Appended payload bytes are metered via
+  /// wire_size after the batch.
+  template <typename F>
+  void pull_uniform_direct(NodeId from, std::size_t count, F&& answerer) {
+    net_->meter().add_pulls(from, count);
+    const auto& f = net_->faults();
+    if (f.response_loss > 0.0 || f.sleep_probability > 0.0) {
+      pull_uniform_impl<true>(from, count, answerer);
+    } else {
+      pull_uniform_impl<false>(from, count, answerer);
+    }
   }
 
   /// Answer all outstanding requests.  `responder(target) -> std::optional<A>`
   /// is the protocol-defined answer of node `target`; nullopt models "no
   /// reply" (e.g. an empty node in the Section 2.1 sampler).  Response
   /// payload bytes are metered on the responder's outgoing link.
+  ///
+  /// The responder is invoked in request order (so responder-side RNG
+  /// consumption is independent of the CSR layout), and each requester's
+  /// responses() keep that order.
   template <typename F>
   void resolve(F&& responder) {
-    for (auto& r : responses_) r.clear();
-    std::fill(answered_.begin(), answered_.end(), std::uint32_t{0});
-    for (const auto& [from, target] : requests_) {
-      if (net_->asleep(target) || net_->drop_response()) continue;
-      std::optional<A> ans = responder(target);
-      if (ans) {
-        net_->meter().add_response_bytes(wire_size(*ans));
-        ++answered_[target];
-        responses_[from].push_back(std::move(*ans));
-      }
+    const auto& f = net_->faults();
+    if (f.response_loss > 0.0 || f.sleep_probability > 0.0) {
+      resolve_impl<true>(responder);
+    } else {
+      resolve_impl<false>(responder);
     }
-    requests_.clear();
   }
 
-  const std::vector<A>& responses(NodeId v) const noexcept {
-    return responses_[v];
+  /// Responses received by node v from the last resolve(), in request
+  /// order.  The span is valid until the next resolve().
+  std::span<const A> responses(NodeId v) const noexcept {
+    if (!index_.live(v)) return {};
+    return {payload_.data() + index_.begin(v), index_.count_of(v)};
+  }
+
+  /// Mutable view of node v's responses.  A sampler may reorder/consume
+  /// its own slice in place (each slice is read exactly once per round),
+  /// saving a copy of the hot path's entire data volume.
+  std::span<A> mutable_responses(NodeId v) noexcept {
+    if (!index_.live(v)) return {};
+    return {payload_.data() + index_.begin(v), index_.count_of(v)};
   }
 
   /// How many requests node v answered in the last resolve() (for load
-  /// diagnostics; the paper's work measure counts initiated ops).
-  std::uint32_t answered(NodeId v) const noexcept { return answered_[v]; }
+  /// diagnostics; the paper's work measure counts initiated ops).  Built
+  /// lazily from the answer log on first query, so the resolve hot loop
+  /// carries no per-answer random-access bookkeeping.  The fused
+  /// pull_uniform() path does not log answers — after a bulk round
+  /// answered() reports 0.
+  std::uint32_t answered(NodeId v) const {
+    if (!ans_built_) {
+      ans_index_.new_epoch();
+      for (const NodeId t : ans_log_) ans_index_.count(t);
+      ans_built_ = true;
+    }
+    return ans_index_.live(v)
+               ? static_cast<std::uint32_t>(ans_index_.count_of(v))
+               : 0;
+  }
 
  private:
+  template <bool kFaults, typename F>
+  void pull_uniform_impl(NodeId from, std::size_t count, F&& answerer) {
+    LPT_CHECK_MSG(!index_.live(from),
+                  "pull_uniform: one batch per node per round");
+    index_.open(from, payload_.size());
+    const double p = net_->faults().response_loss;
+    // Draw the node's targets up front: a tight RNG loop whose resolved
+    // addresses the out-of-order core can chase ahead of the answer loop.
+    targets_.resize(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      targets_[k] = net_->random_peer();
+    }
+    const std::size_t before = payload_.size();
+    for (std::size_t k = 0; k < count; ++k) {
+      const NodeId target = targets_[k];
+      if constexpr (kFaults) {
+        if (net_->asleep(target)) continue;
+        if (p > 0.0) {
+          if (!loss_armed_) {
+            loss_gap_ = net_->loss_gap(p);
+            loss_armed_ = true;
+          }
+          if (loss_gap_ == 0) {
+            loss_gap_ = net_->loss_gap(p);
+            continue;  // response lost
+          }
+          --loss_gap_;
+        }
+      }
+      answerer(target, payload_);
+    }
+    index_.close(from, payload_.size() - before);
+    std::uint64_t bytes = 0;
+    for (std::size_t i = before; i < payload_.size(); ++i) {
+      bytes += wire_size(payload_[i]);
+    }
+    if (bytes != 0) net_->meter().add_response_bytes(bytes);
+  }
+
+  template <bool kFaults, typename F>
+  void resolve_impl(F&& responder) {
+    // The responder is invoked in request order in both paths.  Engines
+    // request in node order, so the common case is a sorted requester
+    // sequence, which builds the CSR in a single append pass; the general
+    // case stages (from, answer) pairs and counting-sorts them.
+    index_.new_epoch();
+    ans_log_.clear();
+    ans_built_ = false;
+    [[maybe_unused]] std::uint64_t gap = 0;
+    [[maybe_unused]] bool gap_armed = false;
+    const double p = net_->faults().response_loss;
+    const bool sorted = requests_sorted_;
+    if (sorted) payload_.clear();
+    else scratch_.clear();
+    NodeId open_from = 0;
+    bool any_open = false;
+    std::uint64_t bytes = 0;
+    for (const auto& [from, target] : requests_) {
+      if constexpr (kFaults) {
+        if (net_->asleep(target)) continue;
+        if (p > 0.0) {
+          if (!gap_armed) {
+            gap = net_->loss_gap(p);
+            gap_armed = true;
+          }
+          if (gap == 0) {
+            gap = net_->loss_gap(p);
+            continue;  // response lost
+          }
+          --gap;
+        }
+      }
+      std::optional<A> ans = responder(target);
+      if (ans) {
+        bytes += wire_size(*ans);
+        ans_log_.push_back(target);
+        if (sorted) {
+          if (!any_open || from != open_from) {
+            index_.open(from, payload_.size());
+            open_from = from;
+            any_open = true;
+          }
+          index_.append(from);
+          payload_.push_back(std::move(*ans));
+        } else {
+          index_.count(from);
+          scratch_.emplace_back(from, std::move(*ans));
+        }
+      }
+    }
+    if (!sorted) {
+      // Stable counting-sort fill by requester.
+      payload_.resize(index_.finish_counts());
+      for (auto& [from, ans] : scratch_) {
+        payload_[index_.place(from)] = std::move(ans);
+      }
+    }
+    if (bytes != 0) net_->meter().add_response_bytes(bytes);
+    requests_.clear();
+    requests_sorted_ = true;
+    last_from_ = 0;
+  }
+
   Network* net_;
   std::vector<std::pair<NodeId, NodeId>> requests_;
-  std::vector<std::vector<A>> responses_;
-  std::vector<std::uint32_t> answered_;
+  std::vector<std::pair<NodeId, A>> scratch_;  // staged (requester, answer)
+  std::vector<A> payload_;                     // all responses, concatenated
+  detail::CsrIndex index_;               // responses, keyed by requester
+  mutable detail::CsrIndex ans_index_;   // answered counts (lazy)
+  mutable bool ans_built_ = false;
+  std::vector<NodeId> ans_log_;   // responders of the last resolve, in order
+  std::vector<NodeId> targets_;   // per-call target batch (capacity reused)
+  bool requests_sorted_ = true;   // requesters arrived in nondecreasing order
+  NodeId last_from_ = 0;
+  std::uint64_t loss_gap_ = 0;    // geometric loss state across pull_uniform
+  bool loss_armed_ = false;
 };
 
 }  // namespace lpt::gossip

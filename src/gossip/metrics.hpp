@@ -42,6 +42,16 @@ class WorkMeter {
     bump(v);
   }
 
+  /// Bulk form: `count` zero-byte pull ops by node v in one call (the
+  /// uniform samplers issue hundreds of pulls per node per round; metering
+  /// them one by one is measurable).
+  void add_pulls(NodeId v, std::size_t count) noexcept {
+    cur_.pull_ops += count;
+    const std::uint32_t w =
+        (node_work_[v] += static_cast<std::uint32_t>(count));
+    if (w > cur_.max_node_work) cur_.max_node_work = w;
+  }
+
   /// Bytes sent while *answering* a pull.  Answering is not a push/pull
   /// operation of the responder under the paper's work definition
   /// (Section 1.2 counts operations a node executes), so only the wire

@@ -13,7 +13,9 @@
 // another node's state directly, preserving the model's information flow.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include "gossip/metrics.hpp"
 #include "util/assert.hpp"
@@ -59,13 +61,18 @@ class Network {
   const FaultModel& faults() const noexcept { return faults_; }
 
   /// Advance the synchronous round counter (and the work meter with it);
-  /// re-draws which nodes sleep through the new round.
+  /// re-draws which nodes sleep through the new round.  Sleepers are drawn
+  /// with geometric gaps, so the cost is O(sleepers), not O(n).
   void begin_round() {
     meter_.begin_round();
     ++round_;
     if (faults_.sleep_probability > 0.0) {
-      for (auto& a : asleep_) {
-        a = rng_.bernoulli(faults_.sleep_probability) ? 1 : 0;
+      for (const NodeId v : sleeping_) asleep_[v] = 0;
+      sleeping_.clear();
+      const double p = faults_.sleep_probability;
+      for (std::uint64_t v = loss_gap(p); v < n_; v += 1 + loss_gap(p)) {
+        asleep_[v] = 1;
+        sleeping_.push_back(static_cast<NodeId>(v));
       }
     }
   }
@@ -73,7 +80,22 @@ class Network {
   /// True if node v sleeps through the current round (fault injection).
   bool asleep(NodeId v) const noexcept { return asleep_[v] != 0; }
 
+  /// Batched fault draw: number of events that *survive* before the next
+  /// loss, when each event is independently lost with probability p.  One
+  /// RNG draw replaces a run of Bernoulli trials, so a loss sweep over k
+  /// events costs O(lost) draws instead of O(k).
+  std::uint64_t loss_gap(double p) noexcept {
+    if (p >= 1.0) return 0;
+    // u in (0, 1]: P(gap >= k) = (1-p)^k, the geometric survivor function.
+    const double u = 1.0 - rng_.uniform();
+    const double g = std::log(u) / std::log1p(-p);
+    constexpr double kCap = 9.0e18;  // keep the cast defined for tiny p
+    return g >= kCap ? static_cast<std::uint64_t>(kCap)
+                     : static_cast<std::uint64_t>(g);
+  }
+
   /// Fault draw: should this pushed message be dropped in transit?
+  /// (Single-event form; the channels use loss_gap() batching instead.)
   bool drop_push() noexcept {
     return faults_.push_loss > 0.0 && rng_.bernoulli(faults_.push_loss);
   }
@@ -93,6 +115,7 @@ class Network {
   WorkMeter meter_;
   FaultModel faults_;
   std::vector<std::uint8_t> asleep_;
+  std::vector<NodeId> sleeping_;  // nodes asleep this round (sparse reset)
   std::size_t round_ = 0;
 };
 

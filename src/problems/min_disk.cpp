@@ -74,6 +74,18 @@ MinDisk::Solution MinDisk::solve(std::span<const Element> s) const {
   return sol;
 }
 
+MinDisk::Solution MinDisk::solve_shuffled(std::span<const Element> s) const {
+  Solution sol;
+  if (s.empty()) return sol;
+  auto md = geom::min_disk_preshuffled(s);
+  sol.basis = std::move(md.support);
+  std::sort(sol.basis.begin(), sol.basis.end());
+  sol.basis.erase(std::unique(sol.basis.begin(), sol.basis.end()),
+                  sol.basis.end());
+  sol.disk = disk_of_small(sol.basis);
+  return sol;
+}
+
 MinDisk::Solution MinDisk::from_basis(std::span<const Element> b) const {
   if (b.size() <= 3) {
     Solution sol;

@@ -33,6 +33,10 @@ class MinDisk {
   /// Solutions (see the canonicality contract in core/lp_type.hpp).
   Solution solve(std::span<const Element> s) const;
 
+  /// Fast path for inputs already in random order (the engines' samples):
+  /// identical disk, skips Welzl's internal copy + shuffle.
+  Solution solve_shuffled(std::span<const Element> s) const;
+
   /// Canonical solve for a (candidate) basis of <= 3 points received over
   /// the wire; also correct for any small point set.
   Solution from_basis(std::span<const Element> b) const;

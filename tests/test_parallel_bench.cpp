@@ -1,0 +1,150 @@
+// Thread-count invariance tests for the parallel sweep machinery: the
+// bench harness's average_runs and the engines' parallel per-node compute
+// phase must produce bit-identical results for any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common.hpp"
+#include "core/high_load.hpp"
+#include "core/low_load.hpp"
+#include "problems/min_disk.hpp"
+#include "support/test_support.hpp"
+#include "util/rng.hpp"
+#include "workloads/disk_data.hpp"
+
+namespace lpt {
+namespace {
+
+using problems::MinDisk;
+using workloads::DiskDataset;
+
+double engine_run(std::uint64_t seed) {
+  MinDisk p;
+  util::Rng data_rng(seed);
+  const std::size_t n = 128;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, data_rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = seed;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  return static_cast<double>(res.stats.rounds_to_first) +
+         1e-9 * static_cast<double>(res.stats.total_push_ops);
+}
+
+TEST(ParallelAverageRuns, BitIdenticalAcrossThreadCounts) {
+  const std::size_t reps = 8;
+  const auto serial = bench::average_runs(reps, engine_run, 1, 1);
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, hw}) {
+    const auto par = bench::average_runs(reps, engine_run, 1, threads);
+    EXPECT_EQ(serial.count(), par.count()) << threads << " threads";
+    EXPECT_EQ(serial.mean(), par.mean()) << threads << " threads";
+    EXPECT_EQ(serial.min(), par.min()) << threads << " threads";
+    EXPECT_EQ(serial.max(), par.max()) << threads << " threads";
+    EXPECT_EQ(serial.stddev(), par.stddev()) << threads << " threads";
+  }
+}
+
+TEST(ParallelAverageRuns, IndexedVariantSeesStableRepIndices) {
+  const std::size_t reps = 6;
+  std::vector<double> seeds_seen(reps, 0.0);
+  const auto stat = bench::average_runs_indexed(
+      reps,
+      [&](std::size_t rep, std::uint64_t seed) {
+        seeds_seen[rep] = static_cast<double>(seed);
+        return static_cast<double>(seed % 101);
+      },
+      1, 4);
+  EXPECT_EQ(stat.count(), reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    EXPECT_EQ(seeds_seen[rep], static_cast<double>(1 + rep * 7919));
+  }
+}
+
+TEST(ParallelNodes, LowLoadBitIdenticalToSerial) {
+  MinDisk p;
+  const std::size_t n = 256;
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kHull, n);
+
+  core::LowLoadConfig serial_cfg;
+  serial_cfg.seed = 33;
+  const auto serial = core::run_low_load(p, pts, n, serial_cfg);
+
+  for (const std::size_t threads : {2, 4, 8}) {
+    core::LowLoadConfig cfg;
+    cfg.seed = 33;
+    cfg.parallel_nodes = threads;
+    const auto par = core::run_low_load(p, pts, n, cfg);
+    EXPECT_EQ(serial.solution.basis, par.solution.basis) << threads;
+    EXPECT_EQ(serial.solution.disk, par.solution.disk) << threads;
+    EXPECT_EQ(serial.stats.rounds_to_first, par.stats.rounds_to_first);
+    EXPECT_EQ(serial.stats.total_push_ops, par.stats.total_push_ops);
+    EXPECT_EQ(serial.stats.total_pull_ops, par.stats.total_pull_ops);
+    EXPECT_EQ(serial.stats.total_bytes, par.stats.total_bytes);
+    EXPECT_EQ(serial.stats.max_total_elements, par.stats.max_total_elements);
+    EXPECT_EQ(serial.stats.max_work_per_round, par.stats.max_work_per_round);
+    EXPECT_EQ(serial.stats.sampling_attempts, par.stats.sampling_attempts);
+  }
+}
+
+TEST(ParallelNodes, LowLoadBitIdenticalUnderFaults) {
+  MinDisk p;
+  const std::size_t n = 256;
+  const auto pts =
+      testsupport::golden_disk_points(DiskDataset::kTripleDisk, n);
+
+  core::LowLoadConfig serial_cfg;
+  serial_cfg.seed = 44;
+  serial_cfg.faults.push_loss = 0.2;
+  serial_cfg.faults.sleep_probability = 0.1;
+  const auto serial = core::run_low_load(p, pts, n, serial_cfg);
+
+  core::LowLoadConfig cfg = serial_cfg;
+  cfg.parallel_nodes = 4;
+  const auto par = core::run_low_load(p, pts, n, cfg);
+  EXPECT_EQ(serial.stats.rounds_to_first, par.stats.rounds_to_first);
+  EXPECT_EQ(serial.stats.total_push_ops, par.stats.total_push_ops);
+  EXPECT_EQ(serial.stats.total_bytes, par.stats.total_bytes);
+}
+
+TEST(ParallelNodes, HighLoadBitIdenticalToSerial) {
+  MinDisk p;
+  const std::size_t n = 256;
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kTriangle, n);
+
+  core::HighLoadConfig serial_cfg;
+  serial_cfg.seed = 55;
+  const auto serial = core::run_high_load(p, pts, n, serial_cfg);
+
+  for (const std::size_t threads : {2, 4}) {
+    core::HighLoadConfig cfg;
+    cfg.seed = 55;
+    cfg.parallel_nodes = threads;
+    const auto par = core::run_high_load(p, pts, n, cfg);
+    EXPECT_EQ(serial.solution.basis, par.solution.basis) << threads;
+    EXPECT_EQ(serial.stats.rounds_to_first, par.stats.rounds_to_first);
+    EXPECT_EQ(serial.stats.total_push_ops, par.stats.total_push_ops);
+    EXPECT_EQ(serial.stats.total_bytes, par.stats.total_bytes);
+    EXPECT_EQ(serial.stats.max_total_elements, par.stats.max_total_elements);
+    EXPECT_EQ(serial.extras.max_single_w, par.extras.max_single_w);
+    EXPECT_EQ(serial.extras.max_local_elements, par.extras.max_local_elements);
+  }
+}
+
+TEST(ParallelNodes, TerminationProtocolStaysCorrect) {
+  MinDisk p;
+  const std::size_t n = 128;
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kDuoDisk, n);
+  core::LowLoadConfig cfg;
+  cfg.seed = 66;
+  cfg.run_termination = true;
+  cfg.parallel_nodes = 4;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  ASSERT_TRUE(res.stats.reached_optimum);
+  EXPECT_TRUE(res.stats.all_outputs_correct);
+}
+
+}  // namespace
+}  // namespace lpt
