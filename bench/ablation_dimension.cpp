@@ -5,9 +5,16 @@
 // echoing the Section 5 observation that "the actual number of rounds
 // depends on the size of the optimal basis".
 //
-// Usage: ablation_dimension [--n=1024] [--reps=5]
+// Usage: ablation_dimension [--n=1024] [--reps=5] [--threads=1]
+//                           [--parallel-nodes=1]
+//
+// --threads parallelizes the repetitions (bit-identical results for any
+// thread count); --parallel-nodes threads the per-node solves inside each
+// simulation.  Writes BENCH_ablation_dimension.json.
 #include <cstdio>
+#include <iterator>
 
+#include "bench_json.hpp"
 #include "common.hpp"
 #include "core/low_load.hpp"
 #include "problems/min_ball.hpp"
@@ -19,27 +26,63 @@
 
 namespace {
 
+struct SweepKnobs {
+  std::size_t n = 0;
+  std::size_t reps = 0;
+  std::size_t threads = 1;
+  std::size_t parallel_nodes = 1;
+};
+
+/// One dimension row: run the low-load engine over `one_run`'s dataset and
+/// fold rounds/work into the table + JSON.
+template <typename P, typename MakePoints>
+void run_problem_row(const P& p, const std::string& label,
+                     const SweepKnobs& knobs, MakePoints&& make_points,
+                     lpt::util::Table& table, lpt::bench::BenchJson& json) {
+  using namespace lpt;
+  std::vector<double> work(knobs.reps, 0.0);
+  const auto rounds = bench::average_runs_indexed(
+      knobs.reps,
+      [&](std::size_t rep, std::uint64_t seed) {
+        util::Rng rng(seed * 97 + p.dimension());
+        const auto pts = make_points(rng);
+        core::LowLoadConfig cfg;
+        cfg.seed = seed;
+        cfg.parallel_nodes = knobs.parallel_nodes;
+        const auto res = core::run_low_load(p, pts, knobs.n, cfg);
+        LPT_CHECK(res.stats.reached_optimum);
+        work[rep] = res.stats.max_work_per_round;
+        return static_cast<double>(res.stats.rounds_to_first);
+      },
+      1, knobs.threads);
+  util::RunningStat work_stat;
+  for (const double w : work) work_stat.add(w);
+  table.add_row({label, util::fmt(p.dimension()),
+                 util::fmt(6 * p.dimension() * p.dimension()),
+                 util::fmt(rounds.mean(), 2), util::fmt(work_stat.max(), 0)});
+  json.add_row("dimension",
+               {{"d", static_cast<double>(p.dimension())},
+                {"sample_size",
+                 static_cast<double>(6 * p.dimension() * p.dimension())},
+                {"mean_rounds", rounds.mean()},
+                {"max_work_per_round", work_stat.max()}});
+}
+
 template <std::size_t D>
-void run_dim_row(std::size_t n, std::size_t reps, lpt::util::Table& table) {
+void run_dim_row(const SweepKnobs& knobs, lpt::util::Table& table,
+                 lpt::bench::BenchJson& json) {
   using namespace lpt;
   problems::MinBall<D> p;
-  util::RunningStat rounds, work;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    util::Rng rng(rep * 97 + D);
-    std::vector<geom::VecD<D>> pts(n);
-    for (auto& q : pts) {
-      for (std::size_t k = 0; k < D; ++k) q[k] = rng.uniform(-3.0, 3.0);
-    }
-    core::LowLoadConfig cfg;
-    cfg.seed = rep + 1;
-    const auto res = core::run_low_load(p, pts, n, cfg);
-    LPT_CHECK(res.stats.reached_optimum);
-    rounds.add(static_cast<double>(res.stats.rounds_to_first));
-    work.add(res.stats.max_work_per_round);
-  }
-  table.add_row({"min-ball R^" + util::fmt(D), util::fmt(p.dimension()),
-                 util::fmt(6 * p.dimension() * p.dimension()),
-                 util::fmt(rounds.mean(), 2), util::fmt(work.max(), 0)});
+  run_problem_row(
+      p, "min-ball R^" + util::fmt(D), knobs,
+      [&](util::Rng& rng) {
+        std::vector<geom::VecD<D>> pts(knobs.n);
+        for (auto& q : pts) {
+          for (std::size_t k = 0; k < D; ++k) q[k] = rng.uniform(-3.0, 3.0);
+        }
+        return pts;
+      },
+      table, json);
 }
 
 }  // namespace
@@ -47,77 +90,90 @@ void run_dim_row(std::size_t n, std::size_t reps, lpt::util::Table& table) {
 int main(int argc, char** argv) {
   using namespace lpt;
   util::Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 1024));
-  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  SweepKnobs knobs;
+  knobs.n = static_cast<std::size_t>(cli.get_int("n", 1024));
+  knobs.reps = static_cast<std::size_t>(cli.get_int("reps", 5));
+  knobs.threads = bench::threads_flag(cli);
+  knobs.parallel_nodes =
+      static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
 
   bench::banner("Ablation: combinatorial dimension d",
                 "O(d log n) rounds / O(d^2 + log n) work (Theorem 3)");
 
+  bench::WallTimer wall;
+  bench::BenchJson json("ablation_dimension");
+
   std::printf("Low-Load Clarkson, n = %zu random points on n nodes, "
-              "%zu reps\n\n", n, reps);
+              "%zu reps\n\n", knobs.n, knobs.reps);
   util::Table table({"problem", "dim d", "sample 6d^2", "avg rounds",
                      "max work/round"});
   {
     // d = 2 floor: smallest enclosing interval on the line.
     problems::MinInterval p;
-    util::RunningStat rounds, work;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      util::Rng rng(rep * 97 + 41);
-      std::vector<double> xs(n);
-      for (auto& x : xs) x = rng.normal();
-      core::LowLoadConfig cfg;
-      cfg.seed = rep + 1;
-      const auto res = core::run_low_load(p, xs, n, cfg);
-      LPT_CHECK(res.stats.reached_optimum);
-      rounds.add(static_cast<double>(res.stats.rounds_to_first));
-      work.add(res.stats.max_work_per_round);
-    }
-    table.add_row({"min-interval R^1", util::fmt(p.dimension()),
-                   util::fmt(6 * p.dimension() * p.dimension()),
-                   util::fmt(rounds.mean(), 2), util::fmt(work.max(), 0)});
+    run_problem_row(
+        p, "min-interval R^1", knobs,
+        [&](util::Rng& rng) {
+          std::vector<double> xs(knobs.n);
+          for (auto& x : xs) x = rng.normal();
+          return xs;
+        },
+        table, json);
   }
   {
     // 2D baseline via MinDisk (d = 3) on the uniform-ish triangle dataset.
     problems::MinDisk p;
-    util::RunningStat rounds, work;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      util::Rng rng(rep * 97 + 1);
-      const auto pts = workloads::generate_disk_dataset(
-          workloads::DiskDataset::kTriangle, n, rng);
-      core::LowLoadConfig cfg;
-      cfg.seed = rep + 1;
-      const auto res = core::run_low_load(p, pts, n, cfg);
-      LPT_CHECK(res.stats.reached_optimum);
-      rounds.add(static_cast<double>(res.stats.rounds_to_first));
-      work.add(res.stats.max_work_per_round);
-    }
-    table.add_row({"min-disk R^2", util::fmt(p.dimension()),
-                   util::fmt(6 * p.dimension() * p.dimension()),
-                   util::fmt(rounds.mean(), 2), util::fmt(work.max(), 0)});
+    run_problem_row(
+        p, "min-disk R^2", knobs,
+        [&](util::Rng& rng) {
+          return workloads::generate_disk_dataset(
+              workloads::DiskDataset::kTriangle, knobs.n, rng);
+        },
+        table, json);
   }
-  run_dim_row<3>(n, reps, table);
-  run_dim_row<4>(n, reps, table);
+  run_dim_row<3>(knobs, table, json);
+  run_dim_row<4>(knobs, table, json);
   table.print();
 
   std::printf("\nBasis-size effect at fixed dimension (paper Section 5: "
               "duo-disk's basis of 2\nbeats the basis-3 datasets):\n\n");
   util::Table basis({"dataset", "|optimal basis|", "avg rounds"});
   problems::MinDisk p;
-  for (auto dataset : workloads::kAllDiskDatasets) {
-    util::RunningStat rounds;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      util::Rng rng(rep * 11 + 5);
-      const auto pts = workloads::generate_disk_dataset(dataset, n, rng);
-      core::LowLoadConfig cfg;
-      cfg.seed = rep + 1;
-      const auto res = core::run_low_load(p, pts, n, cfg);
-      LPT_CHECK(res.stats.reached_optimum);
-      rounds.add(static_cast<double>(res.stats.rounds_to_first));
-    }
+  for (std::size_t di = 0; di < std::size(workloads::kAllDiskDatasets);
+       ++di) {
+    const auto dataset = workloads::kAllDiskDatasets[di];
+    const auto rounds = bench::average_runs_indexed(
+        knobs.reps,
+        [&](std::size_t, std::uint64_t seed) {
+          util::Rng rng(seed * 11 + 5);
+          const auto pts =
+              workloads::generate_disk_dataset(dataset, knobs.n, rng);
+          core::LowLoadConfig cfg;
+          cfg.seed = seed;
+          cfg.parallel_nodes = knobs.parallel_nodes;
+          const auto res = core::run_low_load(p, pts, knobs.n, cfg);
+          LPT_CHECK(res.stats.reached_optimum);
+          return static_cast<double>(res.stats.rounds_to_first);
+        },
+        1, knobs.threads);
     basis.add_row({workloads::dataset_name(dataset),
                    util::fmt(workloads::dataset_basis_size(dataset)),
                    util::fmt(rounds.mean(), 2)});
+    json.add_row("basis_size",
+                 {{"dataset", static_cast<double>(di)},
+                  {"basis", static_cast<double>(
+                                workloads::dataset_basis_size(dataset))},
+                  {"mean_rounds", rounds.mean()}});
   }
   basis.print();
+
+  const double secs = wall.seconds();
+  json.set("wall_seconds", secs);
+  json.set("threads", static_cast<std::uint64_t>(knobs.threads));
+  json.set("parallel_nodes",
+           static_cast<std::uint64_t>(knobs.parallel_nodes));
+  json.set("reps", static_cast<std::uint64_t>(knobs.reps));
+  json.set("n", static_cast<std::uint64_t>(knobs.n));
+  const auto path = json.write();
+  if (!path.empty()) std::printf("\n[bench-json] wrote %s\n", path.c_str());
   return 0;
 }

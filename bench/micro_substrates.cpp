@@ -301,8 +301,6 @@ void substrate_showdown(bench::BenchJson& json) {
         [&] { mailbox.deliver(); });
   };
 
-  double mail_ratio_sparse = 0.0;
-  double mail_ratio_moderate = 0.0;
   for (const std::size_t msgs : {kN / 64, kN / 8}) {
     gossip::Network net_new(kN, util::Rng(41));
     gossip::Mailbox<geom::Vec2> mb_new(net_new);
@@ -324,7 +322,6 @@ void substrate_showdown(bench::BenchJson& json) {
     json.set(std::string("mailbox_legacy_msgs_per_sec_") + tag,
              legacy_mail.per_sec);
     json.set(std::string("mailbox_speedup_") + tag, ratio);
-    (msgs == kN / 64 ? mail_ratio_sparse : mail_ratio_moderate) = ratio;
   }
 
   // --- PullChannel resolve.  Requester counts mirror the engines' late

@@ -8,10 +8,16 @@
 // The bench sweeps C at fixed n and reports rounds, max work per round,
 // and total load growth; Lemma 17 predicts rounds ~ d log n / log(C+1).
 //
-// Usage: thm4_accelerated [--i=12] [--reps=5] [--cmax=16]
+// Usage: thm4_accelerated [--i=12] [--reps=5] [--cmax=16] [--threads=1]
+//                         [--parallel-nodes=1]
+//
+// --threads parallelizes the repetitions (bit-identical results for any
+// thread count); --parallel-nodes threads the per-node solves inside each
+// simulation.  Writes BENCH_thm4_accelerated.json.
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "common.hpp"
 #include "core/high_load.hpp"
 #include "problems/min_disk.hpp"
@@ -26,6 +32,9 @@ int main(int argc, char** argv) {
   const auto i = static_cast<std::size_t>(cli.get_int("i", 12));
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 5));
   const auto cmax = static_cast<std::size_t>(cli.get_int("cmax", 16));
+  const std::size_t threads = bench::threads_flag(cli);
+  const auto parallel_nodes =
+      static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
   const std::size_t n = std::size_t{1} << i;
 
   bench::banner("Theorem 4 / Section 3.1: accelerated High-Load Clarkson",
@@ -34,33 +43,65 @@ int main(int argc, char** argv) {
   problems::MinDisk p;
   std::printf("n = 2^%zu = %zu nodes, triple-disk dataset, %zu reps\n\n", i,
               n, reps);
+  bench::WallTimer wall;
+  bench::BenchJson json("thm4_accelerated");
+  std::uint64_t total_rounds = 0;
+
   util::Table table({"C", "avg rounds", "rounds*log(C+1)", "max work/round",
                      "max |H(V)|/|H|"});
   for (std::size_t c = 1; c <= cmax; c *= 2) {
-    util::RunningStat rounds, work, load;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      util::Rng data_rng(rep * 131 + 7);
-      const auto pts = workloads::generate_disk_dataset(
-          workloads::DiskDataset::kTripleDisk, n, data_rng);
-      core::HighLoadConfig cfg;
-      cfg.seed = rep + 1;
-      cfg.push_copies = c;
-      const auto res = core::run_high_load(p, pts, n, cfg);
-      LPT_CHECK(res.stats.reached_optimum);
-      rounds.add(static_cast<double>(res.stats.rounds_to_first));
-      work.add(res.stats.max_work_per_round);
-      load.add(static_cast<double>(res.stats.max_total_elements) /
-               static_cast<double>(pts.size()));
-    }
-    table.add_row(
-        {util::fmt(c), util::fmt(rounds.mean(), 2),
-         util::fmt(rounds.mean() * std::log2(static_cast<double>(c + 1)), 2),
-         util::fmt(work.max(), 0), util::fmt(load.max(), 2)});
+    std::vector<double> work(reps, 0.0);
+    std::vector<double> load(reps, 0.0);
+    const auto rounds = bench::average_runs_indexed(
+        reps,
+        [&](std::size_t rep, std::uint64_t seed) {
+          util::Rng data_rng(seed * 131 + 7);
+          const auto pts = workloads::generate_disk_dataset(
+              workloads::DiskDataset::kTripleDisk, n, data_rng);
+          core::HighLoadConfig cfg;
+          cfg.seed = seed;
+          cfg.push_copies = c;
+          cfg.parallel_nodes = parallel_nodes;
+          const auto res = core::run_high_load(p, pts, n, cfg);
+          LPT_CHECK(res.stats.reached_optimum);
+          work[rep] = res.stats.max_work_per_round;
+          load[rep] = static_cast<double>(res.stats.max_total_elements) /
+                      static_cast<double>(pts.size());
+          return static_cast<double>(res.stats.rounds_to_first);
+        },
+        1, threads);
+    util::RunningStat work_stat, load_stat;
+    for (const double w : work) work_stat.add(w);
+    for (const double l : load) load_stat.add(l);
+    total_rounds += static_cast<std::uint64_t>(rounds.sum());
+    const double normalized =
+        rounds.mean() * std::log2(static_cast<double>(c + 1));
+    table.add_row({util::fmt(c), util::fmt(rounds.mean(), 2),
+                   util::fmt(normalized, 2), util::fmt(work_stat.max(), 0),
+                   util::fmt(load_stat.max(), 2)});
+    json.add_row("sweep", {{"c", static_cast<double>(c)},
+                           {"mean_rounds", rounds.mean()},
+                           {"stddev", rounds.stddev()},
+                           {"rounds_x_log_c1", normalized},
+                           {"max_work_per_round", work_stat.max()},
+                           {"max_load_ratio", load_stat.max()}});
   }
   table.print();
   std::printf(
       "\nLemma 17 predicts rounds ~ d log(n) / log(C+1): the third column\n"
       "(rounds * log2(C+1)) should stay roughly flat while work grows "
       "with C.\n");
+
+  const double secs = wall.seconds();
+  json.set("wall_seconds", secs);
+  json.set("threads", static_cast<std::uint64_t>(threads));
+  json.set("parallel_nodes", static_cast<std::uint64_t>(parallel_nodes));
+  json.set("reps", static_cast<std::uint64_t>(reps));
+  json.set("i", static_cast<std::uint64_t>(i));
+  json.set("cmax", static_cast<std::uint64_t>(cmax));
+  json.set("rounds_per_sec",
+           secs > 0.0 ? static_cast<double>(total_rounds) / secs : 0.0);
+  const auto path = json.write();
+  if (!path.empty()) std::printf("\n[bench-json] wrote %s\n", path.c_str());
   return 0;
 }

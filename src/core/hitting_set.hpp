@@ -31,6 +31,7 @@
 #include "problems/hitting_set_problem.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lpt::core {
 
@@ -44,6 +45,18 @@ struct HittingSetConfig {
   bool filtering = true;
   std::size_t max_rounds = 0;  // 0: auto cap (per doubling stage)
   gossip::FaultModel faults;   // message loss / sleeping nodes
+  std::size_t parallel_nodes = 0;  // >1: the per-node compute phase (sample
+                                   // selection, hit marking, W_i assembly)
+                                   // runs on this many threads.  Results
+                                   // are bit-identical to the serial run:
+                                   // the phase consumes only the per-node
+                                   // RNG streams, and all shared-RNG
+                                   // traffic (mailbox pushes) is replayed
+                                   // serially in node order — the same
+                                   // stage-A/stage-B split as low/high
+                                   // load.  One pool level only: combining
+                                   // with a bench --threads sweep
+                                   // oversubscribes.
 };
 
 struct HittingSetRunResult {
@@ -113,9 +126,24 @@ inline HittingSetRunResult run_hitting_set(
   std::size_t d = cfg.hitting_set_size ? cfg.hitting_set_size : 1;
   bool done = false;
   std::size_t global_round = 0;
-  std::vector<std::uint8_t> hit;
-  std::vector<std::uint32_t> unhit;
-  SampleOutcome<Element> outcome;
+
+  // Per-node round results for the compute stage (stage A), persistent
+  // across rounds so the steady state allocates nothing.  Only what stage
+  // B consumes lives here — the sampler/hit-marking scratch is per worker
+  // thread (thread_local in compute_node), keeping the footprint O(n + s)
+  // per thread instead of O(n * s).
+  struct NodeRound {
+    std::uint8_t attempted = 0;  // awake this round
+    std::uint8_t success = 0;    // sampler produced R_i
+    std::uint8_t winner = 0;     // R_i hits every set (sample is it)
+    std::uint8_t push_ok = 0;    // |W_i| within the cap
+    std::vector<Element> sample;  // the winning R_i (filled only on win)
+    std::vector<Element> wi;
+  };
+  std::vector<NodeRound> scratch(n);
+
+  std::optional<util::ThreadPool> pool;
+  if (cfg.parallel_nodes > 1) pool.emplace(cfg.parallel_nodes);
 
   while (!done) {
     const std::size_t r = cfg.sample_size
@@ -153,15 +181,25 @@ inline HittingSetRunResult run_hitting_set(
         sample_chan.pull_uniform_direct(v, pulls, answer);
       }
 
-      for (gossip::NodeId v = 0; v < n; ++v) {
-        if (net.asleep(v)) continue;
-        ++res.stats.sampling_attempts;
+      // --- Per-node compute (stage A): sample selection, hit marking, and
+      // W_i assembly.  Touches only node-local state and node_rng[v], so it
+      // fans out across threads when cfg.parallel_nodes asks for it; every
+      // shared-RNG side effect (the W_i mailbox pushes) is replayed in
+      // stage B in node order, making parallel runs bit-identical to
+      // serial ones.
+      auto compute_node = [&](std::size_t vi) {
+        thread_local SampleOutcome<Element> outcome;
+        thread_local std::vector<std::uint8_t> hit;
+        thread_local std::vector<std::uint32_t> unhit;
+        const auto v = static_cast<gossip::NodeId>(vi);
+        NodeRound& sc = scratch[v];
+        sc.attempted = sc.success = sc.winner = sc.push_ok = 0;
+        if (net.asleep(v)) return;
+        sc.attempted = 1;
         select_distinct_into(sample_chan.mutable_responses(v), r, node_rng[v],
                              sampler.strict, outcome);
-        if (!outcome.success) {
-          ++res.stats.sampling_failures;
-          continue;
-        }
+        if (!outcome.success) return;
+        sc.success = 1;
         // S_i: sets not hit by R_i.
         problem.mark_hit(outcome.sample, hit);
         unhit.clear();
@@ -170,20 +208,14 @@ inline HittingSetRunResult run_hitting_set(
         }
         if (unhit.empty()) {
           // R_i is a hitting set: the algorithm's answer (line 13).
-          if (!done) {
-            done = true;
-            res.hitting_set = std::move(outcome.sample);
-            res.stats.rounds_to_first = global_round;
-            res.stats.reached_optimum = true;
-            res.d_used = d;
-            res.sample_size = r;
-          }
-          continue;
+          sc.winner = 1;
+          sc.sample = std::move(outcome.sample);
+          return;
         }
         // Random unhit set; W_i = S \ X(v_i), capped (lines 6-9).
         const auto& chosen =
             sys.set(unhit[node_rng[v].below(unhit.size())]);
-        std::vector<Element> wi;
+        sc.wi.clear();
         for (auto x : chosen) {
           bool have = false;
           for (auto own : store[v].view()) {
@@ -192,10 +224,38 @@ inline HittingSetRunResult run_hitting_set(
               break;
             }
           }
-          if (!have) wi.push_back(x);
+          if (!have) sc.wi.push_back(x);
         }
-        if (wi.size() <= push_cap) {
-          for (auto x : wi) copies_mail.push(v, x);
+        sc.push_ok = sc.wi.size() <= push_cap ? 1 : 0;
+      };
+      if (pool) {
+        util::parallel_for(*pool, n, compute_node);
+      } else {
+        for (std::size_t v = 0; v < n; ++v) compute_node(v);
+      }
+
+      // --- Shared-state replay (stage B), in node order. ---
+      for (gossip::NodeId v = 0; v < n; ++v) {
+        NodeRound& sc = scratch[v];
+        if (!sc.attempted) continue;
+        ++res.stats.sampling_attempts;
+        if (!sc.success) {
+          ++res.stats.sampling_failures;
+          continue;
+        }
+        if (sc.winner) {
+          if (!done) {
+            done = true;
+            res.hitting_set = std::move(sc.sample);
+            res.stats.rounds_to_first = global_round;
+            res.stats.reached_optimum = true;
+            res.d_used = d;
+            res.sample_size = r;
+          }
+          continue;
+        }
+        if (sc.push_ok) {
+          for (auto x : sc.wi) copies_mail.push(v, x);
         }
       }
 

@@ -9,19 +9,54 @@
 // reduce), each ceil(log2 n) rounds, so the total is Theta(d log^2 n) —
 // the baseline bench/baselines compares against the gossip engines'
 // Theta(d log n).
+//
+// Execution is split the same way as low_load/high_load: a per-node
+// compute stage (weight totals, violation scans, multiplicity doubling)
+// that touches only node-local state and fans out over a util::ThreadPool
+// when HypercubeClarksonConfig::parallel_nodes asks for it, plus a serial
+// shared-RNG stage (element placement, the leader's weighted draws, fault
+// draws) replayed in a fixed order.  Results — solution, iteration count,
+// hypercube round count — are bit-identical for every thread count.
+//
+// Fault model (cfg.faults): sleeping nodes do not answer the leader's
+// sample resolution (their elements yield no reply that iteration), and
+// push_loss drops routed sample elements in transit with geometric gap
+// draws.  The collective tree itself (prefix sums, broadcast, violation
+// reduce) is synchronous and reliable — the baseline's termination
+// detection is exact, so faults slow convergence but never corrupt it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/lp_type.hpp"
 #include "gossip/hypercube.hpp"
+#include "gossip/network.hpp"  // FaultModel
 #include "util/assert.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lpt::core {
+
+struct HypercubeClarksonConfig {
+  std::uint64_t seed = 1;
+  std::size_t max_iterations = 0;  // 0: auto cap (64 d (log2 n + 2))
+  std::size_t parallel_nodes = 0;  // >1: the per-node compute stage (weight
+                                   // totals, violation scans, doubling) and
+                                   // the collectives' per-node steps run on
+                                   // this many threads.  Bit-identical to
+                                   // the serial run: the stage touches only
+                                   // node-local state, and every shared-RNG
+                                   // draw happens in the serial leader
+                                   // stage in a fixed order.
+  gossip::FaultModel faults;       // sample-answer sleep + routed-element
+                                   // loss (see header comment); the
+                                   // collective tree stays reliable.
+};
 
 template <LpTypeProblem P>
 struct HypercubeClarksonResult {
@@ -34,19 +69,26 @@ struct HypercubeClarksonResult {
 template <LpTypeProblem P>
 HypercubeClarksonResult<P> run_hypercube_clarkson(
     const P& p, std::span<const typename P::Element> h_set,
-    std::size_t n_nodes, std::uint64_t seed, std::size_t max_iterations = 0) {
+    std::size_t n_nodes, const HypercubeClarksonConfig& cfg = {}) {
   using Element = typename P::Element;
   HypercubeClarksonResult<P> res;
   LPT_CHECK_MSG(util::is_pow2(n_nodes), "hypercube baseline needs n = 2^k");
   const std::size_t d = p.dimension();
   const std::size_t r = 6 * d * d;
   const std::size_t n = h_set.size();
+  std::size_t max_iterations = cfg.max_iterations;
   if (max_iterations == 0) {
     max_iterations = 64 * d * (util::ceil_log2(n ? n : 1) + 2);
   }
 
-  util::Rng rng(seed);
-  gossip::Hypercube hc(n_nodes);
+  util::Rng master(cfg.seed);
+  util::Rng rng = master.child(0);        // placement + leader draws
+  util::Rng fault_rng = master.child(1);  // sleep sets + loss gaps
+
+  std::optional<util::ThreadPool> pool;
+  if (cfg.parallel_nodes > 1) pool.emplace(cfg.parallel_nodes);
+  gossip::Hypercube hc(n_nodes, pool ? &*pool : nullptr);
+  gossip::HypercubeChannel<Element> sample_chan(hc);
 
   // Elements randomly distributed over the hypercube nodes, with local
   // Clarkson multiplicities (doubling keeps them exact powers of two).
@@ -65,30 +107,61 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
     // Small input: one gather + local solve + broadcast.
     res.solution = p.solve(h_set);
     hc.route_messages();
-    std::vector<int> dummy(n_nodes, 0);
-    hc.broadcast(dummy, 0);
+    std::vector<std::uint8_t> token(n_nodes, 0);
+    token[0] = 1;
+    hc.broadcast(token, 0);
     res.rounds = hc.rounds_used();
     res.converged = true;
     return res;
   }
 
+  // Geometric-gap loss sampling over the routed sample stream (one draw
+  // per lost element, same scheme as the gossip substrate).
+  const double loss_p = cfg.faults.push_loss;
+  gossip::LossStream loss;
+
+  std::vector<std::uint8_t> asleep(n_nodes, 0);
+  std::vector<gossip::NodeId> sleeping;
+
+  // The violation reduce carries (violated weight, any-violator flag) in
+  // one collective; the combine is commutative, as all_reduce requires.
+  struct Tally {
+    double weight = 0.0;
+    std::uint32_t any = 0;
+  };
+  auto tally_op = [](const Tally& a, const Tally& b) {
+    return Tally{a.weight + b.weight, a.any | b.any};
+  };
+
   std::vector<double> node_weight(n_nodes, 0.0);
+  std::vector<double> prefix;  // reused: assignment keeps the capacity
+  std::vector<Tally> tallies(n_nodes);
   std::vector<Element> sample;
+  std::vector<std::uint8_t> token(n_nodes, 0);
   for (std::size_t it = 0; it < max_iterations; ++it) {
     ++res.iterations;
 
-    // (1) Exclusive prefix sums of per-node total weights: log n rounds.
-    for (std::size_t v = 0; v < n_nodes; ++v) {
+    // Serial fault stage: which nodes sleep through this iteration's
+    // sample resolution (geometric gaps: O(sleepers) draws).
+    if (cfg.faults.sleep_probability > 0.0) {
+      gossip::draw_sleep_set(fault_rng, cfg.faults.sleep_probability, n_nodes,
+                             asleep, sleeping);
+    }
+
+    // (1) Per-node weight totals (stage A), then exclusive prefix sums
+    //     across the cube: log n rounds.
+    hc.for_each_node([&](std::size_t v) {
       double s = 0.0;
       for (double w : node[v].weight) s += w;
       node_weight[v] = s;
-    }
-    std::vector<double> prefix = node_weight;
+    });
+    prefix = node_weight;
     const double total = hc.prefix_sum(prefix);
 
-    // (2) Leader draws r weighted positions; owning nodes resolve them
-    //     locally and route the elements to the leader: log n rounds.
-    sample.clear();
+    // (2) Serial leader stage: draw r weighted positions; owning nodes
+    //     resolve them locally and route the elements to the leader over
+    //     the CSR channel: log n rounds.  Sleeping owners give no answer;
+    //     push loss drops routed elements with geometric gaps.
     for (std::size_t k = 0; k < r; ++k) {
       const double target = rng.uniform() * total;
       std::size_t v = 0;
@@ -105,49 +178,70 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
         if (within < loc.weight[idx]) break;
         within -= loc.weight[idx];
       }
-      if (!loc.elems.empty()) sample.push_back(loc.elems[idx]);
+      if (loc.elems.empty() || asleep[v]) continue;
+      if (loss_p > 0.0 && loss.drop(fault_rng, loss_p)) continue;  // lost
+      sample_chan.send(static_cast<gossip::NodeId>(v), 0, loc.elems[idx]);
     }
-    hc.route_messages();
+    sample_chan.route();
+    const auto routed = sample_chan.inbox(0);
+    sample.assign(routed.begin(), routed.end());
 
     // (3) Leader solves the sample and broadcasts the basis: log n rounds.
+    //     (An all-lost sample yields the empty solution, which everything
+    //     violates — the iteration is simply wasted, never wrong.)
     const auto sol = p.solve(sample);
-    std::vector<int> dummy(n_nodes, 0);
-    hc.broadcast(dummy, 0);
+    std::fill(token.begin(), token.end(), std::uint8_t{0});
+    token[0] = 1;
+    hc.broadcast(token, 0);
 
-    // (4) Local violation tests; all-reduce the violated weight: log n.
-    double violated_weight = 0.0;
-    bool any_violator = false;
-    for (auto& loc : node) {
+    // (4) Per-node violation tests (stage A), then one commutative
+    //     all-reduce of (violated weight, any flag): log n rounds.  The
+    //     serial reduce order is the butterfly schedule either way, so
+    //     parallel runs match the serial run bit for bit.
+    hc.for_each_node([&](std::size_t v) {
+      Tally t;
+      const auto& loc = node[v];
       for (std::size_t i = 0; i < loc.elems.size(); ++i) {
         if (p.violates(sol, loc.elems[i])) {
-          violated_weight += loc.weight[i];
-          any_violator = true;
+          t.weight += loc.weight[i];
+          t.any = 1;
         }
       }
-    }
-    violated_weight = hc.all_reduce(std::vector<double>(n_nodes, 0.0),
-                                    violated_weight,
-                                    [](double a, double b) { return a + b; });
+      tallies[v] = t;
+    });
+    const Tally reduced = hc.all_reduce(tallies, Tally{}, tally_op);
 
-    if (!any_violator) {
+    if (reduced.any == 0) {
       res.solution = sol;
       res.converged = true;
       res.rounds = hc.rounds_used();
       return res;
     }
-    // (5) Successful iteration: local doubling (no communication).
-    if (violated_weight <= total / (3.0 * static_cast<double>(d))) {
-      for (auto& loc : node) {
+    // (5) Successful iteration: local doubling (stage A, no communication).
+    if (reduced.weight <= total / (3.0 * static_cast<double>(d))) {
+      hc.for_each_node([&](std::size_t v) {
+        auto& loc = node[v];
         for (std::size_t i = 0; i < loc.elems.size(); ++i) {
           if (p.violates(sol, loc.elems[i])) loc.weight[i] *= 2.0;
         }
-      }
+      });
     }
   }
   res.solution = p.solve(h_set);
   res.converged = false;
   res.rounds = hc.rounds_used();
   return res;
+}
+
+/// Seed-positional form kept for the pre-config call sites.
+template <LpTypeProblem P>
+HypercubeClarksonResult<P> run_hypercube_clarkson(
+    const P& p, std::span<const typename P::Element> h_set,
+    std::size_t n_nodes, std::uint64_t seed, std::size_t max_iterations = 0) {
+  HypercubeClarksonConfig cfg;
+  cfg.seed = seed;
+  cfg.max_iterations = max_iterations;
+  return run_hypercube_clarkson(p, h_set, n_nodes, cfg);
 }
 
 }  // namespace lpt::core

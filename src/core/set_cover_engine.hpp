@@ -21,6 +21,12 @@ struct SetCoverRunResult {
 /// Solve the set-cover instance over `n_nodes` gossip nodes (one node per
 /// candidate set is the natural deployment: the dual universe Y is the set
 /// collection, and the dual elements are what is gossiped).
+///
+/// The full HittingSetConfig applies to the dual run, including
+/// `parallel_nodes`: the per-node compute phase of every round (sample
+/// selection, hit marking, W_i assembly) threads out with the same
+/// stage-A/stage-B split as the Clarkson engines, bit-identical to the
+/// serial run for any thread count.
 inline SetCoverRunResult run_set_cover(const problems::SetSystem& instance,
                                        std::size_t n_nodes,
                                        const HittingSetConfig& cfg = {}) {

@@ -1,28 +1,54 @@
-// Hypercube collective-operation emulator.
+// Hypercube collective-operation engine.
 //
 // Section 1.1 of the paper notes that Clarkson's algorithm yields an
 // O(d log^2 n) distributed algorithm on a hypercube because every iteration
 // can be executed in O(log n) communication rounds.  This module provides
 // that baseline substrate: an n = 2^k node hypercube where each collective
 // (broadcast, all-reduce, prefix-sum) costs exactly k rounds — the textbook
-// dimension-by-dimension schedule — with the data movement done directly
-// and only the *round cost* modeled, which is all the baseline's round
-// complexity depends on.
+// dimension-by-dimension schedule.
+//
+// Unlike the original emulator (which only charged the round cost and moved
+// data with a direct serial pass), the collectives here execute the real
+// recursive-doubling / binomial-tree schedules: per dimension step every
+// node combines with its partner along that dimension, touching only its
+// own slot.  That makes each step a per-node compute stage that fans out
+// over a util::ThreadPool — and, because every node's combine sequence is
+// fixed by the schedule (and IEEE floating-point addition is commutative,
+// so both partners of a step round identically), the results are
+// bit-identical for any thread count, including the serial run.
+//
+// Point-to-point traffic goes through HypercubeChannel: dimension-ordered
+// (e-cube) routing over the same flat CSR buffers the gossip Mailbox uses —
+// epoch-stamped per-node slices, std::span inboxes, zero steady-state
+// allocation.  The pre-CSR per-dimension vector-of-vectors engine lives on
+// as LegacyHypercubeChannel inside tests/test_hypercube_csr.cpp (the same
+// arrangement as the legacy Mailbox/PullChannel references): both engines
+// share the exact hop schedule, so their inboxes must match element for
+// element, and that harness holds them to it.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "gossip/mailbox.hpp"  // detail::CsrIndex + NodeId
 #include "util/assert.hpp"
 #include "util/math.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lpt::gossip {
 
 class Hypercube {
  public:
-  explicit Hypercube(std::size_t n) : n_(n), dim_(util::ceil_log2(n)) {
+  /// `pool` (optional, not owned) threads the per-node stage of every
+  /// collective; results are bit-identical with and without it.
+  explicit Hypercube(std::size_t n, util::ThreadPool* pool = nullptr)
+      : n_(n), dim_(util::ceil_log2(n)), pool_(pool) {
     LPT_CHECK_MSG(util::is_pow2(n), "Hypercube size must be a power of two");
   }
 
@@ -30,46 +56,202 @@ class Hypercube {
   std::size_t dimension() const noexcept { return dim_; }
   std::size_t rounds_used() const noexcept { return rounds_; }
 
-  /// Broadcast root's value to everyone: costs dimension() rounds.
+  /// Account `r` extra communication rounds (used by the channels).
+  void charge_rounds(std::size_t r) noexcept { rounds_ += r; }
+
+  /// Run body(v) for every node, on the pool when one is attached.  body
+  /// must only write node-v state (the collectives' schedule guarantees
+  /// their per-step reads never alias another node's same-step writes).
+  template <typename F>
+  void for_each_node(F&& body) {
+    if (pool_ != nullptr && n_ > 1) {
+      util::parallel_for(*pool_, n_, body);
+    } else {
+      for (std::size_t v = 0; v < n_; ++v) body(v);
+    }
+  }
+
+  /// Broadcast root's value to everyone: binomial-tree flood, one dimension
+  /// per round, costs dimension() rounds.  After step k every node within
+  /// relative distance 2^(k+1) of the root holds the value.
   template <typename T>
   void broadcast(std::vector<T>& values, std::size_t root) {
     LPT_CHECK(values.size() == n_ && root < n_);
-    for (auto& v : values) v = values[root];
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const std::size_t bit = std::size_t{1} << k;
+      for_each_node([&](std::size_t v) {
+        // Node v receives at the step matching the highest set bit of its
+        // relative address; its partner already holds the value and is not
+        // written this step, so the parallel stage is race-free.
+        if (((v ^ root) >> k) == 1) values[v] = values[v ^ bit];
+      });
+    }
     rounds_ += dim_;
   }
 
-  /// All-reduce with a binary op: costs dimension() rounds.
+  /// All-reduce with a binary op: recursive doubling, costs dimension()
+  /// rounds.  Op must be commutative (each step's partners apply it with
+  /// opposite operand order); associativity is NOT required — every node
+  /// follows the same fixed combine tree, so the returned value is
+  /// deterministic, and op(init, <butterfly fold of values>) is returned.
   template <typename T, typename Op>
   T all_reduce(const std::vector<T>& values, T init, Op op) {
     LPT_CHECK(values.size() == n_);
-    T acc = init;
-    for (const auto& v : values) acc = op(acc, v);
+    const auto acc = scratch<T>(0);
+    const auto partner = scratch<T>(1);
+    std::copy(values.begin(), values.end(), acc.begin());
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const std::size_t bit = std::size_t{1} << k;
+      for_each_node([&](std::size_t v) { partner[v] = acc[v ^ bit]; });
+      for_each_node([&](std::size_t v) { acc[v] = op(acc[v], partner[v]); });
+    }
     rounds_ += dim_;
-    return acc;
+    return op(std::move(init), acc[0]);
   }
 
-  /// Exclusive prefix sum; returns the total.  Costs dimension() rounds.
+  /// Exclusive prefix sum; returns the total.  Hypercube scan: every node
+  /// carries (prefix, subcube total) and folds its partner's subcube total
+  /// into both per step.  Costs dimension() rounds.
   template <typename T>
   T prefix_sum(std::vector<T>& values) {
     LPT_CHECK(values.size() == n_);
-    T acc{};
-    for (auto& v : values) {
-      const T x = v;
-      v = acc;
-      acc += x;
+    const auto sum = scratch<T>(0);
+    const auto partner = scratch<T>(1);
+    const auto pre = scratch<T>(2);
+    std::copy(values.begin(), values.end(), sum.begin());
+    std::fill(pre.begin(), pre.end(), T{});
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const std::size_t bit = std::size_t{1} << k;
+      for_each_node([&](std::size_t v) { partner[v] = sum[v ^ bit]; });
+      for_each_node([&](std::size_t v) {
+        if (v & bit) pre[v] = pre[v] + partner[v];
+        sum[v] = sum[v] + partner[v];
+      });
     }
     rounds_ += dim_;
-    return acc;
+    std::copy(pre.begin(), pre.end(), values.begin());
+    return sum[0];
   }
 
   /// Route k point-to-point messages (any h-relation with h = O(1) routes
   /// in O(log n) rounds on a hypercube via Ranade/Valiant-style routing).
+  /// Cost-only form; HypercubeChannel moves the actual payload.
   void route_messages() { rounds_ += dim_; }
 
  private:
+  /// Per-slot collective scratch, reused across calls so the steady state
+  /// allocates nothing.  Collectives carry fixed-width wire words, hence
+  /// the trivially-copyable constraint; the byte arena is reinterpreted
+  /// per element type (implicit-lifetime types, default-new alignment).
+  template <typename T>
+  std::span<T> scratch(std::size_t slot) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "hypercube collectives carry fixed-width wire words");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    auto& buf = scratch_[slot];
+    if (buf.size() < n_ * sizeof(T)) buf.resize(n_ * sizeof(T));
+    return {reinterpret_cast<T*>(buf.data()), n_};
+  }
+
   std::size_t n_;
   std::size_t dim_;
+  util::ThreadPool* pool_ = nullptr;
   std::size_t rounds_ = 0;
+  std::array<std::vector<std::byte>, 3> scratch_;
+};
+
+/// Point-to-point message routing over the hypercube: dimension-ordered
+/// (e-cube) hops on flat CSR buffers.  At step k every in-flight message
+/// whose current node and destination differ in bit k crosses to the
+/// dimension-k partner; the in-flight set is kept in CSR order (a stable
+/// counting sort by current node per step, reusing the Mailbox's
+/// epoch-stamped index), so per-step traversal is "node order, arrival
+/// order within node" — the exact schedule of the legacy per-dimension
+/// vector engine (see tests/test_hypercube_csr.cpp), at O(messages) per
+/// step with zero steady-state allocation.  route() charges dimension()
+/// rounds; inboxes are epoch-stamped std::span slices valid until the
+/// next route().
+template <typename M>
+class HypercubeChannel {
+ public:
+  explicit HypercubeChannel(Hypercube& hc)
+      : hc_(&hc), index_(hc.size()), dim_traffic_(hc.dimension(), 0) {}
+
+  /// Stage one message; delivered (and charged) by the next route().
+  void send(NodeId from, NodeId to, M msg) {
+    LPT_CHECK(from < hc_->size() && to < hc_->size());
+    payload_.push_back(std::move(msg));
+    cur_.push_back(from);
+    dst_.push_back(to);
+  }
+
+  std::size_t pending() const noexcept { return payload_.size(); }
+
+  /// Deliver all staged messages along dimension-ordered routes.
+  void route() {
+    const std::size_t dim = hc_->dimension();
+    dim_traffic_.assign(dim, 0);
+    for (std::size_t k = 0; k <= dim; ++k) {
+      // Stable counting sort of the in-flight set by current node.  The
+      // final pass (k == dim) runs after every message has arrived, so it
+      // groups by destination and *is* the inbox CSR layout.
+      index_.new_epoch();
+      for (const NodeId c : cur_) index_.count(c);
+      const std::size_t total = index_.finish_counts_sorted();
+      sorted_payload_.resize(total);
+      sorted_cur_.resize(total);
+      sorted_dst_.resize(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        const std::size_t slot = index_.place(cur_[i]);
+        sorted_payload_[slot] = std::move(payload_[i]);
+        sorted_cur_[slot] = cur_[i];
+        sorted_dst_[slot] = dst_[i];
+      }
+      payload_.swap(sorted_payload_);
+      cur_.swap(sorted_cur_);
+      dst_.swap(sorted_dst_);
+      if (k == dim) break;
+      const NodeId bit = NodeId{1} << k;
+      for (std::size_t i = 0; i < total; ++i) {
+        if ((cur_[i] ^ dst_[i]) & bit) {
+          cur_[i] ^= bit;
+          ++dim_traffic_[k];
+        }
+      }
+    }
+    hc_->charge_rounds(dim);
+    // payload_ now holds the delivered inboxes (indexed by index_); the
+    // staging arrays restart empty for the next round.
+    delivered_.swap(payload_);
+    payload_.clear();
+    cur_.clear();
+    dst_.clear();
+  }
+
+  /// Messages delivered to node v by the last route(), in the hop
+  /// schedule's arrival order.  Valid until the next route().
+  std::span<const M> inbox(NodeId v) const noexcept {
+    if (!index_.live(v)) return {};
+    return {delivered_.data() + index_.begin(v), index_.count_of(v)};
+  }
+
+  /// Messages that crossed dimension k during the last route().
+  std::size_t dim_traffic(std::size_t k) const {
+    LPT_CHECK(k < dim_traffic_.size());
+    return dim_traffic_[k];
+  }
+
+ private:
+  Hypercube* hc_;
+  std::vector<M> payload_;  // staging, then in-flight, in CSR order
+  std::vector<NodeId> cur_;
+  std::vector<NodeId> dst_;
+  std::vector<M> sorted_payload_;  // counting-sort double buffers
+  std::vector<NodeId> sorted_cur_;
+  std::vector<NodeId> sorted_dst_;
+  std::vector<M> delivered_;  // all inboxes, concatenated (CSR values)
+  detail::CsrIndex index_;
+  std::vector<std::size_t> dim_traffic_;
 };
 
 }  // namespace lpt::gossip

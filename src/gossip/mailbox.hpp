@@ -94,6 +94,16 @@ class CsrIndex {
     return off;
   }
 
+  /// finish_counts() with the slices laid out in ascending key order
+  /// instead of first-touch order.  Delivery-by-key callers never notice
+  /// the difference, but the hypercube channel's hop schedule traverses
+  /// the in-flight set "node order, arrival order within node" and needs
+  /// the payload physically in that order.
+  std::size_t finish_counts_sorted() noexcept {
+    std::sort(touched_.begin(), touched_.end());
+    return finish_counts();
+  }
+
   /// Next placement slot for `key` (second, filling pass).
   std::size_t place(NodeId key) noexcept { return cursor_[key]++; }
 
@@ -247,7 +257,7 @@ class PullChannel {
     ans_log_.clear();
     ans_built_ = false;
     payload_.clear();
-    loss_armed_ = false;
+    loss_ = LossStream{};
   }
 
   /// `count` uniform pulls by node `from`, answered immediately by
@@ -346,17 +356,7 @@ class PullChannel {
       const NodeId target = targets_[k];
       if constexpr (kFaults) {
         if (net_->asleep(target)) continue;
-        if (p > 0.0) {
-          if (!loss_armed_) {
-            loss_gap_ = net_->loss_gap(p);
-            loss_armed_ = true;
-          }
-          if (loss_gap_ == 0) {
-            loss_gap_ = net_->loss_gap(p);
-            continue;  // response lost
-          }
-          --loss_gap_;
-        }
+        if (p > 0.0 && loss_.drop(net_->rng(), p)) continue;  // lost
       }
       answerer(target, payload_);
     }
@@ -377,8 +377,7 @@ class PullChannel {
     index_.new_epoch();
     ans_log_.clear();
     ans_built_ = false;
-    [[maybe_unused]] std::uint64_t gap = 0;
-    [[maybe_unused]] bool gap_armed = false;
+    [[maybe_unused]] LossStream loss;
     const double p = net_->faults().response_loss;
     const bool sorted = requests_sorted_;
     if (sorted) payload_.clear();
@@ -389,17 +388,7 @@ class PullChannel {
     for (const auto& [from, target] : requests_) {
       if constexpr (kFaults) {
         if (net_->asleep(target)) continue;
-        if (p > 0.0) {
-          if (!gap_armed) {
-            gap = net_->loss_gap(p);
-            gap_armed = true;
-          }
-          if (gap == 0) {
-            gap = net_->loss_gap(p);
-            continue;  // response lost
-          }
-          --gap;
-        }
+        if (p > 0.0 && loss.drop(net_->rng(), p)) continue;  // response lost
       }
       std::optional<A> ans = responder(target);
       if (ans) {
@@ -443,8 +432,7 @@ class PullChannel {
   std::vector<NodeId> targets_;   // per-call target batch (capacity reused)
   bool requests_sorted_ = true;   // requesters arrived in nondecreasing order
   NodeId last_from_ = 0;
-  std::uint64_t loss_gap_ = 0;    // geometric loss state across pull_uniform
-  bool loss_armed_ = false;
+  LossStream loss_;  // geometric loss state across pull_uniform calls
 };
 
 }  // namespace lpt::gossip

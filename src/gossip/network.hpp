@@ -40,6 +40,60 @@ struct FaultModel {
   }
 };
 
+/// Batched fault draw: number of events that *survive* before the next
+/// loss, when each event is independently lost with probability p.  One
+/// RNG draw replaces a run of Bernoulli trials, so a loss sweep over k
+/// events costs O(lost) draws instead of O(k).
+inline std::uint64_t geometric_gap(util::Rng& rng, double p) noexcept {
+  constexpr std::uint64_t kCap = std::uint64_t{9} * 1000 * 1000 * 1000 *
+                                 1000 * 1000 * 1000;  // 9e18
+  if (p <= 0.0) return kCap;  // no losses: effectively infinite gap
+  if (p >= 1.0) return 0;
+  // u in (0, 1]: P(gap >= k) = (1-p)^k, the geometric survivor function.
+  const double u = 1.0 - rng.uniform();
+  const double g = std::log(u) / std::log1p(-p);
+  // The cap keeps the cast defined for tiny p.
+  return g >= static_cast<double>(kCap) ? kCap
+                                        : static_cast<std::uint64_t>(g);
+}
+
+/// Stateful geometric-gap loss stream: drop(rng, p) answers "is this event
+/// lost?" consuming one RNG draw per *lost* event.  The first call arms the
+/// stream lazily, so a fault-free sweep (p checked by the caller) draws
+/// nothing.  Shared by the pull channels and the hypercube baseline.
+struct LossStream {
+  std::uint64_t gap = 0;
+  bool armed = false;
+
+  bool drop(util::Rng& rng, double p) noexcept {
+    if (!armed) {
+      gap = geometric_gap(rng, p);
+      armed = true;
+    }
+    if (gap == 0) {
+      gap = geometric_gap(rng, p);
+      return true;
+    }
+    --gap;
+    return false;
+  }
+};
+
+/// Draw the sleeping-node set for one round: each node independently
+/// sleeps with probability p, sampled with geometric gaps so the cost is
+/// O(sleepers), not O(n).  Clears the previous set via the sparse list.
+inline void draw_sleep_set(util::Rng& rng, double p, std::size_t n,
+                           std::vector<std::uint8_t>& asleep,
+                           std::vector<NodeId>& sleeping) {
+  for (const NodeId v : sleeping) asleep[v] = 0;
+  sleeping.clear();
+  for (std::uint64_t v = geometric_gap(rng, p); v < n;
+       v += 1 + geometric_gap(rng, p)) {
+    asleep[v] = 1;
+    sleeping.push_back(static_cast<NodeId>(v));
+  }
+}
+
 class Network {
  public:
   Network(std::size_t n, util::Rng rng, FaultModel faults = {})
@@ -67,32 +121,15 @@ class Network {
     meter_.begin_round();
     ++round_;
     if (faults_.sleep_probability > 0.0) {
-      for (const NodeId v : sleeping_) asleep_[v] = 0;
-      sleeping_.clear();
-      const double p = faults_.sleep_probability;
-      for (std::uint64_t v = loss_gap(p); v < n_; v += 1 + loss_gap(p)) {
-        asleep_[v] = 1;
-        sleeping_.push_back(static_cast<NodeId>(v));
-      }
+      draw_sleep_set(rng_, faults_.sleep_probability, n_, asleep_, sleeping_);
     }
   }
 
   /// True if node v sleeps through the current round (fault injection).
   bool asleep(NodeId v) const noexcept { return asleep_[v] != 0; }
 
-  /// Batched fault draw: number of events that *survive* before the next
-  /// loss, when each event is independently lost with probability p.  One
-  /// RNG draw replaces a run of Bernoulli trials, so a loss sweep over k
-  /// events costs O(lost) draws instead of O(k).
-  std::uint64_t loss_gap(double p) noexcept {
-    if (p >= 1.0) return 0;
-    // u in (0, 1]: P(gap >= k) = (1-p)^k, the geometric survivor function.
-    const double u = 1.0 - rng_.uniform();
-    const double g = std::log(u) / std::log1p(-p);
-    constexpr double kCap = 9.0e18;  // keep the cast defined for tiny p
-    return g >= kCap ? static_cast<std::uint64_t>(kCap)
-                     : static_cast<std::uint64_t>(g);
-  }
+  /// Batched fault draw on the network's shared stream (see geometric_gap).
+  std::uint64_t loss_gap(double p) noexcept { return geometric_gap(rng_, p); }
 
   /// Fault draw: should this pushed message be dropped in transit?
   /// (Single-event form; the channels use loss_gap() batching instead.)

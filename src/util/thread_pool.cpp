@@ -64,14 +64,21 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // Workers claim chunks, not single indices: one contended fetch_add per
+  // chunk amortizes the dispatch over memcpy-grade bodies (the hypercube
+  // collectives' per-node steps) while 8 chunks per worker keep heavy
+  // bodies (the engines' local solves) load-balanced.
   std::atomic<std::size_t> next{0};
   const std::size_t workers = std::min(pool.thread_count(), n);
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&next, n, &body] {
+    pool.submit([&next, n, chunk, &body] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        body(i);
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) body(i);
       }
     });
   }

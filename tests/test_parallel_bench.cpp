@@ -8,11 +8,13 @@
 
 #include "common.hpp"
 #include "core/high_load.hpp"
+#include "core/hitting_set.hpp"
 #include "core/low_load.hpp"
 #include "problems/min_disk.hpp"
 #include "support/test_support.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
+#include "workloads/hs_data.hpp"
 
 namespace lpt {
 namespace {
@@ -44,6 +46,83 @@ TEST(ParallelAverageRuns, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.min(), par.min()) << threads << " threads";
     EXPECT_EQ(serial.max(), par.max()) << threads << " threads";
     EXPECT_EQ(serial.stddev(), par.stddev()) << threads << " threads";
+  }
+}
+
+// The thm3 bench kernel: low-load run folding rounds, work, and load into
+// one value so any divergence across thread counts trips the comparison.
+double thm3_kernel(std::uint64_t seed) {
+  MinDisk p;
+  util::Rng data_rng(seed * 101 + 7);
+  const std::size_t n = 128;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, data_rng);
+  core::LowLoadConfig cfg;
+  cfg.seed = seed;
+  const auto res = core::run_low_load(p, pts, n, cfg);
+  return static_cast<double>(res.stats.rounds_to_first) +
+         1e-3 * res.stats.max_work_per_round +
+         1e-9 * static_cast<double>(res.stats.max_total_elements);
+}
+
+// The thm4 bench kernel: accelerated high-load (C = 4 basis copies).
+double thm4_kernel(std::uint64_t seed) {
+  MinDisk p;
+  util::Rng data_rng(seed * 131 + 7);
+  const std::size_t n = 128;
+  const auto pts =
+      workloads::generate_disk_dataset(DiskDataset::kTripleDisk, n, data_rng);
+  core::HighLoadConfig cfg;
+  cfg.seed = seed;
+  cfg.push_copies = 4;
+  const auto res = core::run_high_load(p, pts, n, cfg);
+  return static_cast<double>(res.stats.rounds_to_first) +
+         1e-3 * res.stats.max_work_per_round +
+         1e-9 * static_cast<double>(res.stats.total_push_ops);
+}
+
+// The thm5 bench kernel: planted hitting set, rounds + answer size.
+double thm5_kernel(std::uint64_t seed) {
+  util::Rng data_rng(seed * 17 + 3);
+  const std::size_t n = 128;
+  const auto inst =
+      workloads::generate_planted_hitting_set(n, 32, 2, 2, data_rng);
+  problems::HittingSetProblem p(inst.system);
+  core::HittingSetConfig cfg;
+  cfg.seed = seed;
+  cfg.hitting_set_size = 2;
+  const auto res = core::run_hitting_set(p, n, cfg);
+  return static_cast<double>(res.stats.rounds_to_first) +
+         1e-3 * static_cast<double>(res.hitting_set.size()) +
+         1e-9 * static_cast<double>(res.stats.total_push_ops);
+}
+
+// The newly threaded thm3/thm4/thm5 bench kernels must give bit-identical
+// sweep statistics for any --threads value.
+TEST(ParallelAverageRuns, ThmKernelsBitIdenticalAcrossThreadCounts) {
+  struct Kernel {
+    const char* name;
+    double (*run)(std::uint64_t);
+  };
+  const Kernel kernels[] = {
+      {"thm3", thm3_kernel}, {"thm4", thm4_kernel}, {"thm5", thm5_kernel}};
+  const std::size_t reps = 6;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const auto& kernel : kernels) {
+    const auto serial = bench::average_runs(reps, kernel.run, 1, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, hw}) {
+      const auto par = bench::average_runs(reps, kernel.run, 1, threads);
+      EXPECT_EQ(serial.count(), par.count())
+          << kernel.name << " @ " << threads << " threads";
+      EXPECT_EQ(serial.mean(), par.mean())
+          << kernel.name << " @ " << threads << " threads";
+      EXPECT_EQ(serial.min(), par.min())
+          << kernel.name << " @ " << threads << " threads";
+      EXPECT_EQ(serial.max(), par.max())
+          << kernel.name << " @ " << threads << " threads";
+      EXPECT_EQ(serial.stddev(), par.stddev())
+          << kernel.name << " @ " << threads << " threads";
+    }
   }
 }
 
@@ -131,6 +210,61 @@ TEST(ParallelNodes, HighLoadBitIdenticalToSerial) {
     EXPECT_EQ(serial.extras.max_single_w, par.extras.max_single_w);
     EXPECT_EQ(serial.extras.max_local_elements, par.extras.max_local_elements);
   }
+}
+
+TEST(ParallelNodes, HittingSetBitIdenticalToSerial) {
+  util::Rng data_rng(19);
+  const std::size_t n = 256;
+  const auto inst =
+      workloads::generate_planted_hitting_set(n, 64, 2, 2, data_rng);
+  problems::HittingSetProblem p(inst.system);
+
+  core::HittingSetConfig serial_cfg;
+  serial_cfg.seed = 77;
+  serial_cfg.hitting_set_size = 2;
+  const auto serial = core::run_hitting_set(p, n, serial_cfg);
+  ASSERT_TRUE(serial.valid);
+
+  for (const std::size_t threads : {2, 4, 8}) {
+    core::HittingSetConfig cfg = serial_cfg;
+    cfg.parallel_nodes = threads;
+    const auto par = core::run_hitting_set(p, n, cfg);
+    EXPECT_EQ(serial.hitting_set, par.hitting_set) << threads;
+    EXPECT_EQ(serial.d_used, par.d_used) << threads;
+    EXPECT_EQ(serial.sample_size, par.sample_size) << threads;
+    EXPECT_EQ(serial.stats.rounds_to_first, par.stats.rounds_to_first);
+    EXPECT_EQ(serial.stats.total_push_ops, par.stats.total_push_ops);
+    EXPECT_EQ(serial.stats.total_pull_ops, par.stats.total_pull_ops);
+    EXPECT_EQ(serial.stats.total_bytes, par.stats.total_bytes);
+    EXPECT_EQ(serial.stats.max_total_elements, par.stats.max_total_elements);
+    EXPECT_EQ(serial.stats.sampling_attempts, par.stats.sampling_attempts);
+    EXPECT_EQ(serial.stats.sampling_failures, par.stats.sampling_failures);
+  }
+}
+
+TEST(ParallelNodes, HittingSetBitIdenticalUnderFaults) {
+  util::Rng data_rng(23);
+  const std::size_t n = 128;
+  const auto inst =
+      workloads::generate_planted_hitting_set(n, 32, 2, 2, data_rng);
+  problems::HittingSetProblem p(inst.system);
+
+  core::HittingSetConfig serial_cfg;
+  serial_cfg.seed = 88;
+  serial_cfg.hitting_set_size = 2;
+  serial_cfg.faults.push_loss = 0.2;
+  serial_cfg.faults.response_loss = 0.1;
+  serial_cfg.faults.sleep_probability = 0.1;
+  const auto serial = core::run_hitting_set(p, n, serial_cfg);
+  ASSERT_TRUE(serial.valid);
+
+  core::HittingSetConfig cfg = serial_cfg;
+  cfg.parallel_nodes = 4;
+  const auto par = core::run_hitting_set(p, n, cfg);
+  EXPECT_EQ(serial.hitting_set, par.hitting_set);
+  EXPECT_EQ(serial.stats.rounds_to_first, par.stats.rounds_to_first);
+  EXPECT_EQ(serial.stats.total_push_ops, par.stats.total_push_ops);
+  EXPECT_EQ(serial.stats.total_bytes, par.stats.total_bytes);
 }
 
 TEST(ParallelNodes, TerminationProtocolStaysCorrect) {
