@@ -10,13 +10,21 @@
 //   * duo-disk is faster because its optimal basis has size 2, not 3.
 //
 // Usage: fig2_low_load [--imin=1] [--imax=13] [--reps=10] [--csv]
-//                      [--threads=1] [--parallel-nodes=1]
+//                      [--threads=1] [--parallel-nodes=1] [--dataset=name]
 //        (paper: i up to 14, 16 for duo-disk; 10 runs per point)
 //
 // --threads runs the repetitions of each point concurrently (bit-identical
 // results for any thread count); --parallel-nodes threads the per-node
 // compute phase inside each simulation.  Writes BENCH_fig2_low_load.json
-// next to the working directory (or $LPT_BENCH_JSON_DIR).
+// next to the working directory (or $LPT_BENCH_JSON_DIR); every series row
+// carries wall_per_rep so CI's bench-trend gate can compare matching
+// points across runs.
+//
+// Large-n mode: `--imin=20 --imax=20 --reps=1 --dataset=duo-disk` runs a
+// single n = 2^20 point of one dataset (the slab-backed store + sparse
+// active-node tracking keep the per-round bookkeeping O(active), so the
+// point completes in tens of seconds; see also bench/large_n for the
+// dedicated driver with bookkeeping counters).
 #include <cstdio>
 
 #include "bench_json.hpp"
@@ -37,6 +45,7 @@ int main(int argc, char** argv) {
   const std::size_t threads = bench::threads_flag(cli);
   const auto parallel_nodes =
       static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
+  const std::string only_dataset = cli.get("dataset", "");
 
   bench::banner("Figure 2: Low-Load Clarkson, rounds until first optimum",
                 "Hinnenthal-Scheideler-Struijs SPAA'19, Figure 2 / Section 5");
@@ -57,11 +66,21 @@ int main(int argc, char** argv) {
     std::vector<double> row_avgs;
     for (std::size_t di = 0; di < 4; ++di) {
       const auto dataset = workloads::kAllDiskDatasets[di];
+      if (!only_dataset.empty() &&
+          workloads::dataset_name(dataset) != only_dataset) {
+        row_avgs.push_back(-1.0);  // rendered as "-" below
+        continue;
+      }
       std::vector<double> work(reps, 0.0);
       std::vector<double> elems(reps, 0.0);
+      // Per-rep wall is timed inside the rep so the json value does not
+      // shrink when --threads overlaps repetitions (the trend gate
+      // compares it across runs with different thread counts).
+      std::vector<double> rep_secs(reps, 0.0);
       const auto stat = bench::average_runs_indexed(
           reps,
           [&](std::size_t rep, std::uint64_t seed) {
+            bench::WallTimer rep_wall;
             util::Rng data_rng(seed * 31 + i);
             const auto pts =
                 workloads::generate_disk_dataset(dataset, n, data_rng);
@@ -74,13 +93,16 @@ int main(int argc, char** argv) {
             work[rep] = static_cast<double>(res.stats.max_work_per_round);
             elems[rep] =
                 static_cast<double>(res.stats.initial_total_elements);
+            rep_secs[rep] = rep_wall.seconds();
             return static_cast<double>(res.stats.rounds_to_first);
           },
           1, threads);
       util::RunningStat work_stat;
+      double point_secs = 0.0;
       for (std::size_t rep = 0; rep < reps; ++rep) {
         work_stat.add(work[rep]);
         total_elements += static_cast<std::uint64_t>(elems[rep]);
+        point_secs += rep_secs[rep];
       }
       total_iterations += static_cast<std::uint64_t>(stat.sum());
       if (work_stat.max() > max_work_overall) {
@@ -93,14 +115,15 @@ int main(int argc, char** argv) {
                     {"n", static_cast<double>(n)},
                     {"mean_iterations", stat.mean()},
                     {"stddev", stat.stddev()},
-                    {"max_work_per_round", work_stat.max()}});
+                    {"max_work_per_round", work_stat.max()},
+                    {"wall_per_rep",
+                     point_secs / static_cast<double>(reps)}});
     }
     // Reorder to the paper's column order (duo-disk, triple, triangle, hull
     // = dataset indices 0,1,2,3 — duo first for readability).
-    row.push_back(util::fmt(row_avgs[0], 2));
-    row.push_back(util::fmt(row_avgs[1], 2));
-    row.push_back(util::fmt(row_avgs[2], 2));
-    row.push_back(util::fmt(row_avgs[3], 2));
+    for (std::size_t di = 0; di < 4; ++di) {
+      row.push_back(row_avgs[di] < 0.0 ? "-" : util::fmt(row_avgs[di], 2));
+    }
     table.add_row(row);
     if (n >= 256) xs.push_back(static_cast<double>(i));
   }
@@ -112,6 +135,7 @@ int main(int argc, char** argv) {
       "plots.\n");
   std::printf("\nIteration fits over n >= 2^8 (slope per log2 n):\n");
   for (std::size_t di = 0; di < 4; ++di) {
+    if (series[di].size() != xs.size()) continue;  // --dataset filtered out
     bench::report_log_fit(
         workloads::dataset_name(workloads::kAllDiskDatasets[di]), xs,
         series[di]);
@@ -121,6 +145,7 @@ int main(int argc, char** argv) {
         "\nRound fits in the paper's units (3 rounds/iteration, natural "
         "log;\npaper Section 5: ~1.2 ln(n) duo-disk, ~1.7 ln(n) others):\n");
     for (std::size_t di = 0; di < 4; ++di) {
+      if (series[di].size() != xs.size()) continue;
       std::vector<double> ln_n, rounds3;
       for (std::size_t k = 0; k < xs.size(); ++k) {
         ln_n.push_back(xs[k] * 0.6931471805599453);

@@ -7,11 +7,16 @@
 //   * the others: ~1.1 * log2(n) rounds.
 //
 // Usage: fig3_high_load [--imin=1] [--imax=13] [--reps=10] [--csv]
-//                       [--threads=1] [--parallel-nodes=1]
+//                       [--threads=1] [--parallel-nodes=1] [--dataset=name]
 //
 // --threads parallelizes the repetitions (bit-identical results for any
 // thread count); --parallel-nodes threads the per-node solves inside each
-// simulation.  Writes BENCH_fig3_high_load.json.
+// simulation.  Writes BENCH_fig3_high_load.json; every series row carries
+// wall_per_rep so CI's bench-trend gate can compare matching points.
+//
+// Large-n mode: `--imin=18 --imax=18 --reps=1 --dataset=duo-disk` runs a
+// single big point (high load grows |H(V)| by O(d n log n) per round, so
+// memory — not time — caps the practical i; see bench/large_n).
 #include <cstdio>
 
 #include "bench_json.hpp"
@@ -32,6 +37,7 @@ int main(int argc, char** argv) {
   const std::size_t threads = bench::threads_flag(cli);
   const auto parallel_nodes =
       static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
+  const std::string only_dataset = cli.get("dataset", "");
 
   bench::banner("Figure 3: High-Load Clarkson, rounds until first optimum",
                 "Hinnenthal-Scheideler-Struijs SPAA'19, Figure 3 / Section 5");
@@ -50,10 +56,20 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{util::fmt(i), util::fmt(n)};
     for (std::size_t di = 0; di < 4; ++di) {
       const auto dataset = workloads::kAllDiskDatasets[di];
+      if (!only_dataset.empty() &&
+          workloads::dataset_name(dataset) != only_dataset) {
+        row.push_back("-");
+        continue;
+      }
       std::vector<double> work(reps, 0.0);
+      // Per-rep wall is timed inside the rep so the json value does not
+      // shrink when --threads overlaps repetitions (the trend gate
+      // compares it across runs with different thread counts).
+      std::vector<double> rep_secs(reps, 0.0);
       const auto stat = bench::average_runs_indexed(
           reps,
           [&](std::size_t rep, std::uint64_t seed) {
+            bench::WallTimer rep_wall;
             util::Rng data_rng(seed * 37 + i);
             const auto pts =
                 workloads::generate_disk_dataset(dataset, n, data_rng);
@@ -64,9 +80,12 @@ int main(int argc, char** argv) {
             LPT_CHECK_MSG(res.stats.reached_optimum,
                           "run failed to converge");
             work[rep] = static_cast<double>(res.stats.max_work_per_round);
+            rep_secs[rep] = rep_wall.seconds();
             return static_cast<double>(res.stats.rounds_to_first);
           },
           1, threads);
+      double point_secs = 0.0;
+      for (const double s : rep_secs) point_secs += s;
       for (const double w : work) {
         if (w > max_work_overall) max_work_overall = w;
       }
@@ -77,7 +96,9 @@ int main(int argc, char** argv) {
                    {{"i", static_cast<double>(i)},
                     {"n", static_cast<double>(n)},
                     {"mean_rounds", stat.mean()},
-                    {"stddev", stat.stddev()}});
+                    {"stddev", stat.stddev()},
+                    {"wall_per_rep",
+                     point_secs / static_cast<double>(reps)}});
     }
     table.add_row(row);
     if (n >= 16) xs.push_back(static_cast<double>(i));
@@ -85,6 +106,7 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\nRound fits per log2(n) over n >= 2^4:\n");
   for (std::size_t di = 0; di < 4; ++di) {
+    if (series[di].size() != xs.size()) continue;  // --dataset filtered out
     bench::report_log_fit(
         workloads::dataset_name(workloads::kAllDiskDatasets[di]), xs,
         series[di]);
@@ -95,6 +117,7 @@ int main(int argc, char** argv) {
         "duo-disk,\n~1.1 ln(n) others; Algorithm 5 pipelines to one round "
         "per iteration):\n");
     for (std::size_t di = 0; di < 4; ++di) {
+      if (series[di].size() != xs.size()) continue;
       std::vector<double> ln_n;
       for (double x : xs) ln_n.push_back(x * 0.6931471805599453);
       const auto fit = util::fit_line(ln_n, series[di]);

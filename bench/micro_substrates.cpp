@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "reference_store.hpp"
 #include "core/clarkson.hpp"
 #include "core/sampling.hpp"
 #include "geometry/welzl.hpp"
@@ -105,6 +106,7 @@ class LegacyPullChannel {
   std::vector<std::vector<A>> responses_;
   std::vector<std::uint32_t> answered_;
 };
+
 
 // ---------------------------------------------------------------------------
 // google-benchmark kernels
@@ -396,6 +398,73 @@ void substrate_showdown(bench::BenchJson& json) {
   std::printf("PullChannel.pull_uniform: %8.0f req/s                         "
               "speedup: %.2fx\n",
               fused_pull.per_sec, fused_ratio);
+
+  // --- NodeStore showdown: slab-backed store vs the legacy per-node
+  // vectors on the engines' filter-pass shape — n nodes each holding one
+  // original, a small active set holding copies.  The legacy pass walks
+  // all n store headers (one heap block each); the slab pass visits only
+  // the copy-holders, and |H(V)| is O(1) instead of an n-header walk. ---
+  {
+    constexpr std::size_t kHolders = 256;
+    constexpr std::size_t kCopies = 4;
+    constexpr std::size_t kPassIters = 400;
+
+    gossip::NodeStore<geom::Vec2> slab(kN);
+    std::vector<bench::ReferenceNodeStore<geom::Vec2>> legacy(kN);
+    for (std::size_t v = 0; v < kN; ++v) {
+      const geom::Vec2 h{static_cast<double>(v), 1.0};
+      slab.add_original(static_cast<gossip::NodeId>(v), h);
+      legacy[v].add_original(h);
+    }
+    for (std::size_t j = 0; j < kHolders; ++j) {
+      const auto v = static_cast<gossip::NodeId>((j * 63) % kN);
+      for (std::size_t c = 0; c < kCopies; ++c) {
+        const geom::Vec2 h{static_cast<double>(j), static_cast<double>(c)};
+        slab.add_copy(v, h);
+        legacy[v].add_copy(h);
+      }
+    }
+    std::vector<util::Rng> rng_a, rng_b;
+    for (std::size_t v = 0; v < kN; ++v) {
+      rng_a.emplace_back(v);
+      rng_b.emplace_back(v);
+    }
+    // keep probability 1.0: every copy survives, so each timed pass does
+    // identical work and the holder set stays fixed.
+    bench::WallTimer t_slab;
+    std::size_t visited = 0;
+    for (std::size_t it = 0; it < kPassIters; ++it) {
+      visited = slab.filter_copies(
+          1.0, [&](gossip::NodeId v) -> util::Rng& { return rng_a[v]; });
+    }
+    const double slab_s = t_slab.seconds();
+    bench::WallTimer t_legacy;
+    for (std::size_t it = 0; it < kPassIters; ++it) {
+      for (std::size_t v = 0; v < kN; ++v) legacy[v].filter(rng_b[v], 1.0);
+    }
+    const double legacy_s = t_legacy.seconds();
+    const double slab_ps = slab_s > 0.0 ? kPassIters / slab_s : 0.0;
+    const double legacy_ps = legacy_s > 0.0 ? kPassIters / legacy_s : 0.0;
+    const double store_ratio = legacy_ps > 0.0 ? slab_ps / legacy_ps : 0.0;
+    std::printf(
+        "NodeStore.filter (%zu holders of n=2^16)  slab: %8.0f pass/s "
+        "(visits %zu)   legacy: %8.0f pass/s (visits all %zu)   "
+        "speedup: %.2fx\n",
+        kHolders, slab_ps, visited, legacy_ps, kN, store_ratio);
+    json.set("store_filter_slab_passes_per_sec", slab_ps);
+    json.set("store_filter_legacy_passes_per_sec", legacy_ps);
+    json.set("store_filter_speedup", store_ratio);
+
+    // The O(active) contract, as a hard counter (not a timing): the slab
+    // pass must visit exactly the copy-holders.
+    if (visited != kHolders) {
+      std::fprintf(stderr,
+                   "FAIL: slab filter pass visited %zu nodes, expected the "
+                   "%zu copy-holders — sparse tracking regression\n",
+                   visited, kHolders);
+      std::exit(1);
+    }
+  }
 
   // --- Deliver cost scales with messages, not n (regression check) ---
   constexpr std::size_t kFixedMsgs = 8192;

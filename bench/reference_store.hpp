@@ -1,0 +1,44 @@
+// The pre-slab per-node element store (one heap vector per node), kept as
+// the single bit-exactness / measurement reference for the slab-backed
+// gossip::NodeStore — shared by the micro_substrates store showdown and
+// tests/test_substrate_csr.cpp, the same arrangement as the LegacyMailbox /
+// LegacyHypercubeChannel references.  Semantics must stay frozen: O(1)
+// add_original via displace-swap of the first copy, append-order copies,
+// in-order Bernoulli filter compaction (one draw per copy, none when a
+// node holds no copies).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lpt::bench {
+
+template <typename Element>
+struct ReferenceNodeStore {
+  std::vector<Element> elems;
+  std::size_t h0_count = 0;
+
+  void add_original(const Element& h) {
+    elems.push_back(h);
+    const std::size_t last = elems.size() - 1;
+    if (last != h0_count) {
+      using std::swap;
+      swap(elems[h0_count], elems[last]);
+    }
+    ++h0_count;
+  }
+  void add_copy(const Element& h) { elems.push_back(h); }
+
+  void filter(util::Rng& rng, double keep_probability) {
+    std::size_t w = h0_count;
+    for (std::size_t i = h0_count; i < elems.size(); ++i) {
+      if (rng.bernoulli(keep_probability)) elems[w++] = elems[i];
+    }
+    elems.resize(w);
+  }
+};
+
+}  // namespace lpt::bench

@@ -17,8 +17,31 @@
 // Theorem 4: O(d log n) rounds at O(d log n) work per round (C = 1), or
 // O(d log n / log log n) rounds at O(d log^{1+eps} n) work.
 // bench/fig3_high_load reproduces Figure 3; bench/thm4_accelerated sweeps C.
+//
+// ## Simulator cost per round (the large-n engine contract)
+//
+// Elements live in a slab-backed gossip::NodeStore (O(1) incremental
+// |H(V)|, contiguous per-node storage), and every per-round walk runs over
+// the *occupied* node list — the sorted ids of nodes holding at least one
+// element, grown incrementally from the delivery receiver lists — or over
+// the CSR receiver lists themselves.  Early rounds therefore cost
+// O(occupied + messages) instead of O(n); once the element spread
+// saturates (occupied ~ n) every visited node is doing real per-round
+// algorithm work, so the bookkeeping stays proportional to useful work.
+// DistributedRunStats::last_round_bookkeeping_touches records the final
+// round's bookkeeping node-touches.
+//
+// ## Determinism
+//
+// One run is a pure function of (problem, h_set, n_nodes, cfg).
+// cfg.parallel_nodes only moves the stage-A compute (local basis solves,
+// violator scans — node-local state, no RNG) onto a pool; every shared-RNG
+// effect (basis and violator pushes) is replayed serially in ascending
+// node order over the sorted occupied list, so results are bit-identical
+// for every thread count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -35,6 +58,9 @@
 
 namespace lpt::core {
 
+/// Configuration for run_high_load.  Every field participates in the
+/// determinism contract above except parallel_nodes, which is guaranteed
+/// not to (bit-identical results for any value).
 struct HighLoadConfig {
   std::uint64_t seed = 1;
   std::size_t push_copies = 1;   // the C of Section 3.1 (1 = Algorithm 5)
@@ -103,10 +129,19 @@ HighLoadResult<P> run_high_load(const P& p,
   gossip::Network net(n, master.child(0), cfg.faults);
   util::Rng dist_rng = master.child(1);
 
-  std::vector<std::vector<Element>> store(n);
+  gossip::NodeStore<Element> store(n);
   for (const auto& h : h_set) {
-    store[dist_rng.below(n)].push_back(h);
+    store.add_copy(static_cast<gossip::NodeId>(dist_rng.below(n)), h);
   }
+
+  // The sorted ids of nodes holding at least one element.  Elements are
+  // never destroyed, so occupancy is monotone: newly occupied nodes are
+  // collected from each delivery's receiver list and merged in.
+  std::vector<gossip::NodeId> occupied;
+  for (gossip::NodeId v = 0; v < n; ++v) {
+    if (store.size(v) != 0) occupied.push_back(v);
+  }
+  std::vector<gossip::NodeId> newly_occupied;
 
   const std::size_t maturity = cfg.termination_maturity
                                    ? cfg.termination_maturity
@@ -119,16 +154,12 @@ HighLoadResult<P> run_high_load(const P& p,
   gossip::Mailbox<Element> elem_mail(net);
   TerminationProtocol<P> term(p, net, maturity);
 
-  auto total_elements = [&] {
-    std::size_t m = 0;
-    for (const auto& s : store) m += s.size();
-    return m;
-  };
-  res.stats.initial_total_elements = total_elements();
+  res.stats.initial_total_elements = store.total_elements();
   res.stats.max_total_elements = res.stats.initial_total_elements;
 
   // Per-node round scratch for the compute stages; persistent across
-  // rounds so the steady state allocates nothing.
+  // rounds so the steady state allocates nothing.  Only occupied nodes are
+  // ever visited; the rest keep their zero-initialized state.
   struct NodeRound {
     std::uint8_t has_sol = 0;
     typename P::Solution sol;
@@ -139,34 +170,35 @@ HighLoadResult<P> run_high_load(const P& p,
 
   std::optional<util::ThreadPool> pool;
   if (cfg.parallel_nodes > 1) pool.emplace(cfg.parallel_nodes);
-  auto for_each_node = [&](auto&& body) {
+  auto for_each_occupied = [&](auto&& body) {
     if (pool) {
-      util::parallel_for(*pool, n, body);
+      util::parallel_for(*pool, occupied.size(),
+                         [&](std::size_t k) { body(occupied[k]); });
     } else {
-      for (std::size_t v = 0; v < n; ++v) body(v);
+      for (const gossip::NodeId v : occupied) body(v);
     }
   };
 
   bool found = false;
   for (std::size_t t = 1; t <= max_rounds; ++t) {
     net.begin_round();
+    std::size_t bookkeeping = 0;
 
     // Lines 3-4: local basis computation and C pushes.  Nodes holding no
     // element yet have nothing to propose (f(∅) would mark *everything* a
     // violator); they only participate as receivers this round.  The
     // solves touch only node-local state (stage A, parallelizable); the
-    // pushes replay serially in node order (stage B), so parallel runs are
-    // bit-identical to serial ones.
-    for_each_node([&](std::size_t v) {
+    // pushes replay serially in ascending node order (stage B, the sorted
+    // occupied list), so parallel runs are bit-identical to serial ones.
+    for_each_occupied([&](gossip::NodeId v) {
       NodeRound& sc = scratch[v];
       sc.has_sol = 0;
-      if (store[v].empty() || net.asleep(static_cast<gossip::NodeId>(v))) {
-        return;
-      }
+      if (net.asleep(v)) return;
       sc.has_sol = 1;
-      sc.sol = p.solve(store[v]);
+      sc.sol = p.solve(store.view(v));
     });
-    for (gossip::NodeId v = 0; v < n; ++v) {
+    for (const gossip::NodeId v : occupied) {
+      ++bookkeeping;
       NodeRound& sc = scratch[v];
       if (!sc.has_sol) continue;
       if (!found && p.same_value(sc.sol, oracle)) {
@@ -181,24 +213,25 @@ HighLoadResult<P> run_high_load(const P& p,
       for (std::size_t k = 0; k < c_copies; ++k) {
         basis_mail.push(v, Msg{sc.sol.basis});
       }
-      if (store[v].size() > res.extras.max_local_elements) {
-        res.extras.max_local_elements = store[v].size();
+      if (store.size(v) > res.extras.max_local_elements) {
+        res.extras.max_local_elements = store.size(v);
       }
     }
     basis_mail.deliver();
 
     // Lines 5-7: violator pushes for every received basis.  Stage A scans
-    // locally; stage B pushes in node order.
-    for_each_node([&](std::size_t v) {
+    // locally (only occupied nodes can produce violators — an empty store
+    // has none to offer, so basis copies landing on empty nodes need no
+    // scan); stage B pushes in ascending node order.
+    for_each_occupied([&](gossip::NodeId v) {
       NodeRound& sc = scratch[v];
       sc.violators.clear();
       sc.max_single_w = 0;
-      if (net.asleep(static_cast<gossip::NodeId>(v))) return;
-      for (const auto& msg :
-           basis_mail.inbox(static_cast<gossip::NodeId>(v))) {
+      if (net.asleep(v)) return;
+      for (const auto& msg : basis_mail.inbox(v)) {
         const auto sol_j = p.from_basis(msg.basis);
         std::size_t w = 0;
-        for (const auto& h : store[v]) {
+        for (const auto& h : store.view(v)) {
           if (p.violates(sol_j, h)) {
             sc.violators.push_back(h);
             ++w;
@@ -207,7 +240,8 @@ HighLoadResult<P> run_high_load(const P& p,
         if (w > sc.max_single_w) sc.max_single_w = w;
       }
     });
-    for (gossip::NodeId v = 0; v < n; ++v) {
+    for (const gossip::NodeId v : occupied) {
+      ++bookkeeping;
       const NodeRound& sc = scratch[v];
       for (const auto& h : sc.violators) elem_mail.push(v, h);
       if (sc.max_single_w > res.extras.max_single_w) {
@@ -216,19 +250,33 @@ HighLoadResult<P> run_high_load(const P& p,
     }
     elem_mail.deliver();
 
-    // Line 8: add received elements.
-    for (gossip::NodeId v = 0; v < n; ++v) {
-      for (const auto& h : elem_mail.inbox(v)) store[v].push_back(h);
+    // Line 8: add received elements — walk only the receiving inboxes,
+    // collecting nodes that just became occupied.
+    newly_occupied.clear();
+    for (const gossip::NodeId v : elem_mail.receivers()) {
+      ++bookkeeping;
+      if (store.size(v) == 0) newly_occupied.push_back(v);
+      for (const auto& h : elem_mail.inbox(v)) store.add_copy(v, h);
+    }
+    if (!newly_occupied.empty()) {
+      std::sort(newly_occupied.begin(), newly_occupied.end());
+      const std::size_t mid = occupied.size();
+      occupied.insert(occupied.end(), newly_occupied.begin(),
+                      newly_occupied.end());
+      std::inplace_merge(occupied.begin(),
+                         occupied.begin() + static_cast<std::ptrdiff_t>(mid),
+                         occupied.end());
     }
 
     if (cfg.run_termination) {
-      term.round(static_cast<std::uint32_t>(t), [&](gossip::NodeId v) {
-        return std::span<const Element>(store[v].data(), store[v].size());
-      });
+      term.round(static_cast<std::uint32_t>(t),
+                 [&](gossip::NodeId v) { return store.view(v); });
     }
 
-    const std::size_t m = total_elements();
+    const std::size_t m = store.total_elements();
     if (m > res.stats.max_total_elements) res.stats.max_total_elements = m;
+    res.stats.bookkeeping_touches_total += bookkeeping;
+    res.stats.last_round_bookkeeping_touches = bookkeeping;
 
     const bool done = cfg.run_termination ? term.all_output() : found;
     if (done) {
@@ -252,7 +300,7 @@ HighLoadResult<P> run_high_load(const P& p,
   res.stats.total_push_ops = net.meter().total_push_ops();
   res.stats.total_pull_ops = net.meter().total_pull_ops();
   res.stats.total_bytes = net.meter().total_bytes();
-  res.stats.final_total_elements = total_elements();
+  res.stats.final_total_elements = store.total_elements();
   return res;
 }
 

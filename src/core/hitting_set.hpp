@@ -15,6 +15,12 @@
 //
 // Theorem 5: a hitting set of size O(d log(ds)) in O(d log n) rounds with
 // work O(d log(ds) + log n) per round, w.h.p.
+//
+// Simulator cost per round follows the same large-n contract as
+// run_low_load: slab-backed element storage (O(1) |X(V)|, O(copy-holders)
+// filter pass), receiver-list delivery walks, and a chunk-collected
+// stage-B replay that only visits winners and W_i pushers — all
+// bit-identical to a serial full scan for any parallel_nodes value.
 #pragma once
 
 #include <cmath>
@@ -23,7 +29,6 @@
 #include <span>
 #include <vector>
 
-#include "core/low_load.hpp"  // detail::NodeStore
 #include "core/result.hpp"
 #include "core/sampling.hpp"
 #include "gossip/mailbox.hpp"
@@ -35,6 +40,9 @@
 
 namespace lpt::core {
 
+/// Configuration for run_hitting_set.  Every field participates in the
+/// determinism contract except parallel_nodes, which is guaranteed not to
+/// (bit-identical results for any value).
 struct HittingSetConfig {
   std::uint64_t seed = 1;
   std::size_t hitting_set_size = 0;  // the paper's d; 0 = start doubling at 1
@@ -74,16 +82,6 @@ inline std::size_t hitting_set_sample_size(std::size_t d, std::size_t s) {
   return static_cast<std::size_t>(std::ceil(6.0 * dd * std::log(12.0 * dd * ss)));
 }
 
-namespace detail {
-
-struct HsStageOutcome {
-  bool found = false;
-  std::vector<std::uint32_t> hitting_set;
-  std::size_t rounds = 0;
-};
-
-}  // namespace detail
-
 /// Run Algorithm 6 over `n_nodes` gossip nodes.  If cfg.hitting_set_size is
 /// zero the engine performs the doubling search on d the paper sketches in
 /// Section 1.4 ("binary search on d, stopping the algorithm if it takes too
@@ -106,17 +104,13 @@ inline HittingSetRunResult run_hitting_set(
   node_rng.reserve(n);
   for (std::size_t v = 0; v < n; ++v) node_rng.push_back(master.child(2 + v));
 
-  // Initial placement of X over the nodes.
-  std::vector<detail::NodeStore<Element>> store(n);
+  // Initial placement of X over the nodes (slab-backed store: O(1) global
+  // totals, O(copy-holders) filter pass).
+  gossip::NodeStore<Element> store(n);
   for (std::uint32_t x = 0; x < x_size; ++x) {
-    store[dist_rng.below(n)].add_original(x);
+    store.add_original(static_cast<gossip::NodeId>(dist_rng.below(n)), x);
   }
-  auto total_elements = [&] {
-    std::size_t m = 0;
-    for (const auto& st : store) m += st.elems.size();
-    return m;
-  };
-  res.stats.initial_total_elements = total_elements();
+  res.stats.initial_total_elements = store.total_elements();
   res.stats.max_total_elements = res.stats.initial_total_elements;
 
   gossip::Mailbox<Element> copies_mail(net);
@@ -130,13 +124,10 @@ inline HittingSetRunResult run_hitting_set(
   // Per-node round results for the compute stage (stage A), persistent
   // across rounds so the steady state allocates nothing.  Only what stage
   // B consumes lives here — the sampler/hit-marking scratch is per worker
-  // thread (thread_local in compute_node), keeping the footprint O(n + s)
-  // per thread instead of O(n * s).
+  // thread (thread_local in the stage-A body), keeping the footprint
+  // O(n + s) per thread instead of O(n * s).
   struct NodeRound {
-    std::uint8_t attempted = 0;  // awake this round
-    std::uint8_t success = 0;    // sampler produced R_i
-    std::uint8_t winner = 0;     // R_i hits every set (sample is it)
-    std::uint8_t push_ok = 0;    // |W_i| within the cap
+    std::uint8_t winner = 0;      // R_i hits every set (sample is it)
     std::vector<Element> sample;  // the winning R_i (filled only on win)
     std::vector<Element> wi;
   };
@@ -144,6 +135,18 @@ inline HittingSetRunResult run_hitting_set(
 
   std::optional<util::ThreadPool> pool;
   if (cfg.parallel_nodes > 1) pool.emplace(cfg.parallel_nodes);
+
+  // Stage-A chunk accumulators (see run_low_load): candidates for stage-B
+  // replay in ascending node order plus sampler counters, bit-identical
+  // for any thread count.
+  struct ChunkAcc {
+    std::vector<gossip::NodeId> replay;
+    std::uint32_t attempts = 0;
+    std::uint32_t failures = 0;
+  };
+  const std::size_t chunk =
+      pool ? std::max<std::size_t>(64, n / (cfg.parallel_nodes * 8)) : n;
+  std::vector<ChunkAcc> chunks(util::chunk_count(n, chunk));
 
   while (!done) {
     const std::size_t r = cfg.sample_size
@@ -167,13 +170,14 @@ inline HittingSetRunResult run_hitting_set(
     for (std::size_t t = 1; t <= stage_rounds && !done; ++t) {
       ++global_round;
       net.begin_round();
+      std::size_t bookkeeping = 0;
 
       // Sampling (Section 2.1), as fused bulk pulls.
       sample_chan.begin_pulls();
       auto answer = [&](gossip::NodeId target, std::vector<Element>& sink) {
-        const auto& st = store[target];
-        if (!st.elems.empty()) {
-          sink.push_back(st.elems[net.rng().below(st.elems.size())]);
+        const std::size_t sz = store.size(target);
+        if (sz != 0) {
+          sink.push_back(store.elem(target, net.rng().below(sz)));
         }
       };
       for (gossip::NodeId v = 0; v < n; ++v) {
@@ -184,92 +188,100 @@ inline HittingSetRunResult run_hitting_set(
       // --- Per-node compute (stage A): sample selection, hit marking, and
       // W_i assembly.  Touches only node-local state and node_rng[v], so it
       // fans out across threads when cfg.parallel_nodes asks for it; every
-      // shared-RNG side effect (the W_i mailbox pushes) is replayed in
-      // stage B in node order, making parallel runs bit-identical to
-      // serial ones.
-      auto compute_node = [&](std::size_t vi) {
+      // shared-RNG side effect (the W_i mailbox pushes) is collected per
+      // chunk and replayed in stage B in ascending node order, making
+      // parallel runs bit-identical to serial ones.
+      auto stage_a = [&](std::size_t k, std::size_t begin, std::size_t end) {
         thread_local SampleOutcome<Element> outcome;
         thread_local std::vector<std::uint8_t> hit;
         thread_local std::vector<std::uint32_t> unhit;
-        const auto v = static_cast<gossip::NodeId>(vi);
-        NodeRound& sc = scratch[v];
-        sc.attempted = sc.success = sc.winner = sc.push_ok = 0;
-        if (net.asleep(v)) return;
-        sc.attempted = 1;
-        select_distinct_into(sample_chan.mutable_responses(v), r, node_rng[v],
-                             sampler.strict, outcome);
-        if (!outcome.success) return;
-        sc.success = 1;
-        // S_i: sets not hit by R_i.
-        problem.mark_hit(outcome.sample, hit);
-        unhit.clear();
-        for (std::uint32_t j = 0; j < s; ++j) {
-          if (!hit[j]) unhit.push_back(j);
-        }
-        if (unhit.empty()) {
-          // R_i is a hitting set: the algorithm's answer (line 13).
-          sc.winner = 1;
-          sc.sample = std::move(outcome.sample);
-          return;
-        }
-        // Random unhit set; W_i = S \ X(v_i), capped (lines 6-9).
-        const auto& chosen =
-            sys.set(unhit[node_rng[v].below(unhit.size())]);
-        sc.wi.clear();
-        for (auto x : chosen) {
-          bool have = false;
-          for (auto own : store[v].view()) {
-            if (own == x) {
-              have = true;
-              break;
+        ChunkAcc& ch = chunks[k];
+        ch.replay.clear();
+        ch.attempts = 0;
+        ch.failures = 0;
+        for (std::size_t vi = begin; vi < end; ++vi) {
+          const auto v = static_cast<gossip::NodeId>(vi);
+          NodeRound& sc = scratch[v];
+          sc.winner = 0;
+          if (net.asleep(v)) continue;
+          ++ch.attempts;
+          select_distinct_into(sample_chan.mutable_responses(v), r,
+                               node_rng[v], sampler.strict, outcome);
+          if (!outcome.success) {
+            ++ch.failures;
+            continue;
+          }
+          // S_i: sets not hit by R_i.
+          problem.mark_hit(outcome.sample, hit);
+          unhit.clear();
+          for (std::uint32_t j = 0; j < s; ++j) {
+            if (!hit[j]) unhit.push_back(j);
+          }
+          if (unhit.empty()) {
+            // R_i is a hitting set: the algorithm's answer (line 13).
+            sc.winner = 1;
+            sc.sample = std::move(outcome.sample);
+            ch.replay.push_back(v);
+            continue;
+          }
+          // Random unhit set; W_i = S \ X(v_i), capped (lines 6-9).
+          const auto& chosen =
+              sys.set(unhit[node_rng[v].below(unhit.size())]);
+          sc.wi.clear();
+          for (auto x : chosen) {
+            bool have = false;
+            for (auto own : store.view(v)) {
+              if (own == x) {
+                have = true;
+                break;
+              }
             }
+            if (!have) sc.wi.push_back(x);
           }
-          if (!have) sc.wi.push_back(x);
+          if (!sc.wi.empty() && sc.wi.size() <= push_cap) {
+            ch.replay.push_back(v);
+          }
         }
-        sc.push_ok = sc.wi.size() <= push_cap ? 1 : 0;
       };
-      if (pool) {
-        util::parallel_for(*pool, n, compute_node);
-      } else {
-        for (std::size_t v = 0; v < n; ++v) compute_node(v);
-      }
+      util::parallel_chunks(pool ? &*pool : nullptr, n, chunk, stage_a);
 
-      // --- Shared-state replay (stage B), in node order. ---
-      for (gossip::NodeId v = 0; v < n; ++v) {
-        NodeRound& sc = scratch[v];
-        if (!sc.attempted) continue;
-        ++res.stats.sampling_attempts;
-        if (!sc.success) {
-          ++res.stats.sampling_failures;
-          continue;
-        }
-        if (sc.winner) {
-          if (!done) {
-            done = true;
-            res.hitting_set = std::move(sc.sample);
-            res.stats.rounds_to_first = global_round;
-            res.stats.reached_optimum = true;
-            res.d_used = d;
-            res.sample_size = r;
+      // --- Shared-state replay (stage B): only winners and within-cap W_i
+      // pushers, in ascending node order. ---
+      for (const ChunkAcc& ch : chunks) {
+        res.stats.sampling_attempts += ch.attempts;
+        res.stats.sampling_failures += ch.failures;
+        for (const gossip::NodeId v : ch.replay) {
+          ++bookkeeping;
+          NodeRound& sc = scratch[v];
+          if (sc.winner) {
+            if (!done) {
+              done = true;
+              res.hitting_set = std::move(sc.sample);
+              res.stats.rounds_to_first = global_round;
+              res.stats.reached_optimum = true;
+              res.d_used = d;
+              res.sample_size = r;
+            }
+            continue;
           }
-          continue;
-        }
-        if (sc.push_ok) {
           for (auto x : sc.wi) copies_mail.push(v, x);
         }
       }
 
       copies_mail.deliver();
-      for (gossip::NodeId v = 0; v < n; ++v) {
-        for (const auto& x : copies_mail.inbox(v)) store[v].add_copy(x);
+      for (const gossip::NodeId v : copies_mail.receivers()) {
+        ++bookkeeping;
+        for (const auto& x : copies_mail.inbox(v)) store.add_copy(v, x);
       }
       if (cfg.filtering) {
-        for (gossip::NodeId v = 0; v < n; ++v) {
-          store[v].filter(node_rng[v], keep_p);
-        }
+        bookkeeping += store.filter_copies(
+            keep_p,
+            [&](gossip::NodeId v) -> util::Rng& { return node_rng[v]; });
       }
-      const std::size_t m = total_elements();
+      const std::size_t m = store.total_elements();
       if (m > res.stats.max_total_elements) res.stats.max_total_elements = m;
+      res.stats.bookkeeping_touches_total += bookkeeping;
+      res.stats.last_round_bookkeeping_touches = bookkeeping;
     }
 
     if (!done) {
@@ -285,7 +297,7 @@ inline HittingSetRunResult run_hitting_set(
   res.stats.total_push_ops = net.meter().total_push_ops();
   res.stats.total_pull_ops = net.meter().total_pull_ops();
   res.stats.total_bytes = net.meter().total_bytes();
-  res.stats.final_total_elements = total_elements();
+  res.stats.final_total_elements = store.total_elements();
   return res;
 }
 

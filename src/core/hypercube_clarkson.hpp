@@ -103,6 +103,24 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
     loc.weight.push_back(1.0);
   }
 
+  // Elements never move between nodes, so occupancy is fixed at placement:
+  // the per-iteration stage-A sweeps (weight totals, violation scans,
+  // doubling) visit only the occupied nodes.  Empty nodes keep their
+  // zero-initialized node_weight/tallies entries forever, so the
+  // collectives see exactly the same inputs as a full scan.
+  std::vector<std::size_t> occupied;
+  for (std::size_t v = 0; v < n_nodes; ++v) {
+    if (!node[v].elems.empty()) occupied.push_back(v);
+  }
+  auto for_each_occupied = [&](auto&& body) {
+    if (pool) {
+      util::parallel_for(*pool, occupied.size(),
+                         [&](std::size_t k) { body(occupied[k]); });
+    } else {
+      for (const std::size_t v : occupied) body(v);
+    }
+  };
+
   if (n <= r) {
     // Small input: one gather + local solve + broadcast.
     res.solution = p.solve(h_set);
@@ -148,9 +166,9 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
                              asleep, sleeping);
     }
 
-    // (1) Per-node weight totals (stage A), then exclusive prefix sums
-    //     across the cube: log n rounds.
-    hc.for_each_node([&](std::size_t v) {
+    // (1) Per-node weight totals (stage A, occupied nodes only), then
+    //     exclusive prefix sums across the cube: log n rounds.
+    for_each_occupied([&](std::size_t v) {
       double s = 0.0;
       for (double w : node[v].weight) s += w;
       node_weight[v] = s;
@@ -164,13 +182,15 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
     //     push loss drops routed elements with geometric gaps.
     for (std::size_t k = 0; k < r; ++k) {
       const double target = rng.uniform() * total;
-      std::size_t v = 0;
-      for (std::size_t cand = n_nodes; cand-- > 0;) {
-        if (prefix[cand] <= target) {
-          v = cand;
-          break;
-        }
-      }
+      // Owning node: the largest v with prefix[v] <= target.  The prefix
+      // array is nondecreasing, so binary search replaces the former
+      // backward linear scan — O(log n) instead of O(n) per draw, landing
+      // on the same node (upper_bound returns the first entry > target,
+      // i.e. one past the last run of equal <= entries, exactly where the
+      // backward scan stopped).
+      const auto owner_it =
+          std::upper_bound(prefix.begin(), prefix.end(), target) - 1;
+      const auto v = static_cast<std::size_t>(owner_it - prefix.begin());
       double within = target - prefix[v];
       const auto& loc = node[v];
       std::size_t idx = 0;
@@ -194,11 +214,11 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
     token[0] = 1;
     hc.broadcast(token, 0);
 
-    // (4) Per-node violation tests (stage A), then one commutative
-    //     all-reduce of (violated weight, any flag): log n rounds.  The
-    //     serial reduce order is the butterfly schedule either way, so
-    //     parallel runs match the serial run bit for bit.
-    hc.for_each_node([&](std::size_t v) {
+    // (4) Per-node violation tests (stage A, occupied nodes only), then
+    //     one commutative all-reduce of (violated weight, any flag): log n
+    //     rounds.  The serial reduce order is the butterfly schedule
+    //     either way, so parallel runs match the serial run bit for bit.
+    for_each_occupied([&](std::size_t v) {
       Tally t;
       const auto& loc = node[v];
       for (std::size_t i = 0; i < loc.elems.size(); ++i) {
@@ -219,7 +239,7 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
     }
     // (5) Successful iteration: local doubling (stage A, no communication).
     if (reduced.weight <= total / (3.0 * static_cast<double>(d))) {
-      hc.for_each_node([&](std::size_t v) {
+      for_each_occupied([&](std::size_t v) {
         auto& loc = node[v];
         for (std::size_t i = 0; i < loc.elems.size(); ++i) {
           if (p.violates(sol, loc.elems[i])) loc.weight[i] *= 2.0;

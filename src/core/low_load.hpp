@@ -17,6 +17,37 @@
 //
 // Theorem 3: O(d log n) rounds and O(d^2 + log n) work per node per round,
 // w.h.p.  bench/fig2_low_load reproduces Figure 2 with this engine.
+//
+// ## Simulator cost per round (the large-n engine contract)
+//
+// The only per-round loops proportional to n are the ones that do inherent
+// per-node algorithm work: issuing each awake node's sampler pulls and the
+// stage-A compute (sample selection, local solve, violator scan).  All
+// bookkeeping is proportional to the *active* sets instead:
+//
+//   * element storage is a slab-backed gossip::NodeStore — |H(V)| is O(1)
+//     (incremental), and the filter pass visits only nodes holding copies;
+//   * delivery walks only the inboxes that received something (CSR
+//     receiver lists), not all n;
+//   * the Section 2.3 pull phase is a compact sorted node list that
+//     empties after O(log n) rounds;
+//   * the stage-B replay walks only the nodes stage A flagged as needing
+//     shared-state effects (violator pushes, termination injects), with
+//     sampler statistics accumulated as per-chunk counters.
+//
+// DistributedRunStats::last_round_bookkeeping_touches records the final
+// round's bookkeeping node-touches; tests pin it to O(active) << n.
+//
+// ## Determinism
+//
+// One run is a pure function of (problem, h_set, n_nodes, cfg): the master
+// seed fans out into the network stream, the placement stream, and n
+// per-node streams.  cfg.parallel_nodes only changes *where* the stage-A
+// compute runs: that stage consumes per-node RNG streams exclusively, every
+// shared-RNG side effect is replayed serially in ascending node order in
+// stage B (the chunked stage-A collection preserves that order exactly),
+// and the filter pass consumes per-node streams only — so results are
+// bit-identical for every thread count.
 #pragma once
 
 #include <algorithm>
@@ -42,6 +73,9 @@ enum class SamplingMode {
   kIdealized,   // exact uniform draws from H(V) (ablation upper bound)
 };
 
+/// Configuration for run_low_load.  Every field participates in the
+/// determinism contract above except parallel_nodes, which is guaranteed
+/// not to (bit-identical results for any value).
 struct LowLoadConfig {
   std::uint64_t seed = 1;
   double sampler_c = 2.0;        // pull-count constant of Section 2.1
@@ -81,42 +115,10 @@ struct DistributedLpResult {
 };
 
 namespace detail {
-
-/// Per-node element store.  elems[0..h0_count) is H_0(v_i) — the original
-/// elements, which the algorithm never deletes — and the tail holds copies
-/// created by W_i pushes, which filtering may drop.
-template <typename Element>
-struct NodeStore {
-  std::vector<Element> elems;
-  std::size_t h0_count = 0;
-
-  /// O(1): grow the H_0 prefix by swapping the displaced copy (if any) to
-  /// the back.  The old middle-insert made placing |H| elements cost
-  /// O(|H| * max-load).
-  void add_original(const Element& h) {
-    elems.push_back(h);
-    const std::size_t last = elems.size() - 1;
-    if (last != h0_count) {
-      using std::swap;
-      swap(elems[h0_count], elems[last]);
-    }
-    ++h0_count;
-  }
-  void add_copy(const Element& h) { elems.push_back(h); }
-
-  std::span<const Element> view() const noexcept {
-    return {elems.data(), elems.size()};
-  }
-
-  void filter(util::Rng& rng, double keep_probability) {
-    std::size_t w = h0_count;
-    for (std::size_t i = h0_count; i < elems.size(); ++i) {
-      if (rng.bernoulli(keep_probability)) elems[w++] = elems[i];
-    }
-    elems.resize(w);
-  }
-};
-
+// "No node" sentinel for the stage-A chunk accumulators.  Namespace scope
+// (not function-local constexpr) because GCC 12 ICEs on a local struct
+// NSDMI referencing a function-local constexpr inside a template.
+inline constexpr gossip::NodeId kNoNodeId = 0xffffffffu;
 }  // namespace detail
 
 /// Run the Low-Load Clarkson Algorithm on (p, h_set) over `n_nodes` gossip
@@ -129,7 +131,6 @@ DistributedLpResult<P> run_low_load(const P& p,
                                     std::size_t n_nodes,
                                     const LowLoadConfig& cfg = {}) {
   using Element = typename P::Element;
-  using Store = detail::NodeStore<Element>;
 
   DistributedLpResult<P> res;
   const std::size_t d =
@@ -152,9 +153,9 @@ DistributedLpResult<P> run_low_load(const P& p,
 
   // Initial placement: every element lands on a uniformly random node
   // (the paper's standing assumption; achievable with one push each).
-  std::vector<Store> store(n);
+  gossip::NodeStore<Element> store(n);
   for (const auto& h : h_set) {
-    store[dist_rng.below(n)].add_original(h);
+    store.add_original(static_cast<gossip::NodeId>(dist_rng.below(n)), h);
   }
 
   SamplerConfig sampler;
@@ -180,30 +181,29 @@ DistributedLpResult<P> run_low_load(const P& p,
   TerminationProtocol<P> term(p, net, maturity);
 
   // Section 2.3: nodes with no original element start in the pull phase.
+  // The phase membership is a compact *sorted* id list (plus a flag array
+  // for O(1) stage-A checks): the request loop and the stage-B response
+  // walk cost O(phase members), which drops to zero after O(log n) rounds.
   std::vector<std::uint8_t> in_pull_phase(n, 0);
+  std::vector<gossip::NodeId> pull_nodes;
   for (std::size_t v = 0; v < n; ++v) {
-    in_pull_phase[v] = store[v].h0_count == 0 ? 1 : 0;
+    if (store.h0_count(static_cast<gossip::NodeId>(v)) == 0) {
+      in_pull_phase[v] = 1;
+      pull_nodes.push_back(static_cast<gossip::NodeId>(v));
+    }
   }
 
-  auto total_elements = [&] {
-    std::size_t m = 0;
-    for (const auto& s : store) m += s.elems.size();
-    return m;
-  };
-  res.stats.initial_total_elements = total_elements();
+  res.stats.initial_total_elements = store.total_elements();
   res.stats.max_total_elements = res.stats.initial_total_elements;
 
   // Per-node round scratch for the compute stage (stage A).  Persistent
-  // across rounds so the steady state allocates nothing.  The per-round
-  // flags live in compact side arrays: resetting them streams n bytes,
-  // not one cache line per NodeRound.
+  // across rounds so the steady state allocates nothing.
   struct NodeRound {
     typename P::Solution sol;
     std::vector<Element> violators;
     std::vector<Element> resp;  // idealized-sampling draw buffer
   };
   std::vector<NodeRound> scratch(n);
-  std::vector<std::uint8_t> success(n, 0);
   std::vector<std::size_t> prefix;  // idealized-sampling cumulative sizes
 
   const bool parallel =
@@ -211,18 +211,34 @@ DistributedLpResult<P> run_low_load(const P& p,
   std::optional<util::ThreadPool> pool;
   if (parallel) pool.emplace(cfg.parallel_nodes);
 
+  // Stage-A chunk accumulators: fixed contiguous chunks collect, each in
+  // ascending node order, the nodes whose stage-B replay has shared-state
+  // effects, plus sampler counters.  Concatenated in chunk order they
+  // recover the exact node order of a full scan at O(candidates) cost,
+  // independent of the thread count (see util::parallel_chunks).
+  struct ChunkAcc {
+    std::vector<gossip::NodeId> replay;
+    std::uint32_t attempts = 0;
+    std::uint32_t failures = 0;
+    gossip::NodeId first_opt = detail::kNoNodeId;
+  };
+  const std::size_t chunk =
+      parallel ? std::max<std::size_t>(64, n / (cfg.parallel_nodes * 8)) : n;
+  std::vector<ChunkAcc> chunks(util::chunk_count(n, chunk));
+
   bool found = false;
   for (std::size_t t = 1; t <= max_rounds; ++t) {
     net.begin_round();
+    std::size_t bookkeeping = 0;
 
-    // --- Pull phase requests (Algorithm 4, lines 2-6). ---
-    for (gossip::NodeId v = 0; v < n; ++v) {
-      if (in_pull_phase[v] && !net.asleep(v)) seed_chan.request(v);
+    // --- Pull phase requests (Algorithm 4, lines 2-6): O(phase members).
+    for (const gossip::NodeId v : pull_nodes) {
+      if (!net.asleep(v)) seed_chan.request(v);
     }
     seed_chan.resolve([&](gossip::NodeId target) -> std::optional<Element> {
-      const auto& s = store[target];
-      if (s.h0_count == 0) return std::nullopt;
-      return s.elems[net.rng().below(s.h0_count)];
+      const std::size_t h0 = store.h0_count(target);
+      if (h0 == 0) return std::nullopt;
+      return store.elem(target, net.rng().below(h0));
     });
 
     // --- Sampling (Algorithm 2 line 3 via Section 2.1), as fused bulk
@@ -230,9 +246,9 @@ DistributedLpResult<P> run_low_load(const P& p,
     if (cfg.sampling == SamplingMode::kPullBased) {
       sample_chan.begin_pulls();
       auto answer = [&](gossip::NodeId target, std::vector<Element>& sink) {
-        const auto& s = store[target];
-        if (!s.elems.empty()) {
-          sink.push_back(s.elems[net.rng().below(s.elems.size())]);
+        const std::size_t sz = store.size(target);
+        if (sz != 0) {
+          sink.push_back(store.elem(target, net.rng().below(sz)));
         }
       };
       for (gossip::NodeId v = 0; v < n; ++v) {
@@ -245,7 +261,7 @@ DistributedLpResult<P> run_low_load(const P& p,
     if (cfg.sampling == SamplingMode::kIdealized) {
       prefix.assign(n + 1, 0);
       for (std::size_t v = 0; v < n; ++v) {
-        prefix[v + 1] = prefix[v] + store[v].elems.size();
+        prefix[v + 1] = prefix[v] + store.size(static_cast<gossip::NodeId>(v));
       }
     }
 
@@ -253,113 +269,150 @@ DistributedLpResult<P> run_low_load(const P& p,
     // violator scan.  Touches only node-local state and node_rng[v], so it
     // fans out across threads when cfg.parallel_nodes asks for it; every
     // shared-RNG side effect (mailbox pushes, termination traffic) is
-    // replayed in stage B in node order, making parallel runs bit-identical
-    // to serial ones.
-    auto compute_node = [&](std::size_t v) {
-      success[v] = 0;
-      if (net.asleep(static_cast<gossip::NodeId>(v)) || in_pull_phase[v]) {
-        return;
-      }
-      NodeRound& sc = scratch[v];
-      SampleView<Element> view;
-      if (cfg.sampling == SamplingMode::kPullBased) {
-        // Select straight out of the channel's CSR slice: each slice is
-        // consumed exactly once per round, so reordering it in place is
-        // safe, and the sample stays a zero-copy view into it.
-        view = select_distinct_view(
-            sample_chan.mutable_responses(static_cast<gossip::NodeId>(v)),
-            sampler.target, node_rng[v], sampler.strict);
-      } else {
-        const std::size_t m = prefix[n];
-        sc.resp.clear();
-        sc.resp.reserve(pulls);
-        for (std::size_t k = 0; k < pulls && m > 0; ++k) {
-          net.meter().add_pull(static_cast<gossip::NodeId>(v), 0);
-          const std::size_t g = node_rng[v].below(m);
-          const auto it =
-              std::upper_bound(prefix.begin(), prefix.end(), g) - 1;
-          const auto node = static_cast<std::size_t>(it - prefix.begin());
-          sc.resp.push_back(store[node].elems[g - *it]);
-          net.meter().add_response_bytes(sizeof(Element));
+    // collected per chunk and replayed in stage B in node order, making
+    // parallel runs bit-identical to serial ones.
+    const bool found_snapshot = found;
+    auto stage_a = [&](std::size_t k, std::size_t begin, std::size_t end) {
+      ChunkAcc& ch = chunks[k];
+      ch.replay.clear();
+      ch.attempts = 0;
+      ch.failures = 0;
+      ch.first_opt = detail::kNoNodeId;
+      for (std::size_t vi = begin; vi < end; ++vi) {
+        const auto v = static_cast<gossip::NodeId>(vi);
+        if (net.asleep(v) || in_pull_phase[v]) continue;
+        ++ch.attempts;
+        NodeRound& sc = scratch[v];
+        SampleView<Element> view;
+        if (cfg.sampling == SamplingMode::kPullBased) {
+          // Select straight out of the channel's CSR slice: each slice is
+          // consumed exactly once per round, so reordering it in place is
+          // safe, and the sample stays a zero-copy view into it.
+          view = select_distinct_view(sample_chan.mutable_responses(v),
+                                      sampler.target, node_rng[v],
+                                      sampler.strict);
+        } else {
+          const std::size_t m = prefix[n];
+          sc.resp.clear();
+          sc.resp.reserve(pulls);
+          for (std::size_t k2 = 0; k2 < pulls && m > 0; ++k2) {
+            net.meter().add_pull(v, 0);
+            const std::size_t g = node_rng[v].below(m);
+            const auto it =
+                std::upper_bound(prefix.begin(), prefix.end(), g) - 1;
+            const auto node = static_cast<std::size_t>(it - prefix.begin());
+            sc.resp.push_back(store.elem(static_cast<gossip::NodeId>(node),
+                                         g - *it));
+            net.meter().add_response_bytes(sizeof(Element));
+          }
+          view = select_distinct_view(std::span<Element>(sc.resp),
+                                      sampler.target, node_rng[v],
+                                      sampler.strict);
         }
-        view = select_distinct_view(std::span<Element>(sc.resp),
-                                    sampler.target, node_rng[v],
-                                    sampler.strict);
-      }
-      if (!view.success) return;
-      success[v] = 1;
-      // A full-size sample left the selection step in uniform random
-      // order, so the problem's pre-shuffled local solve applies; lenient
-      // short samples keep dedupe order and take the shuffling solve.
-      if constexpr (requires { p.solve_shuffled(view.sample); }) {
-        sc.sol = view.randomized ? p.solve_shuffled(view.sample)
-                                 : p.solve(view.sample);
-      } else {
-        sc.sol = p.solve(view.sample);
-      }
-      // W_i: local violators (lines 5-6), pushed in stage B.
-      sc.violators.clear();
-      for (const auto& h : store[v].view()) {
-        if (p.violates(sc.sol, h)) sc.violators.push_back(h);
+        if (!view.success) {
+          ++ch.failures;
+          continue;
+        }
+        // A full-size sample left the selection step in uniform random
+        // order, so the problem's pre-shuffled local solve applies; lenient
+        // short samples keep dedupe order and take the shuffling solve.
+        if constexpr (requires { p.solve_shuffled(view.sample); }) {
+          sc.sol = view.randomized ? p.solve_shuffled(view.sample)
+                                   : p.solve(view.sample);
+        } else {
+          sc.sol = p.solve(view.sample);
+        }
+        // W_i: local violators (lines 5-6), pushed in stage B.
+        sc.violators.clear();
+        for (const auto& h : store.view(v)) {
+          if (p.violates(sc.sol, h)) sc.violators.push_back(h);
+        }
+        if (!found_snapshot && ch.first_opt == detail::kNoNodeId &&
+            p.same_value(sc.sol, oracle)) {
+          ch.first_opt = v;
+        }
+        if (!sc.violators.empty() || cfg.run_termination) {
+          ch.replay.push_back(v);
+        }
       }
     };
-    if (pool) {
-      util::parallel_for(*pool, n, compute_node);
-    } else {
-      for (std::size_t v = 0; v < n; ++v) compute_node(v);
-    }
+    util::parallel_chunks(pool ? &*pool : nullptr, n, chunk, stage_a);
 
-    // --- Shared-state replay (stage B), in node order. ---
-    for (gossip::NodeId v = 0; v < n; ++v) {
-      if (net.asleep(v)) continue;
-      if (in_pull_phase[v]) {
-        const auto got = seed_chan.responses(v);
-        if (!got.empty()) {
-          seeds_mail.push(v, got.front());
-          in_pull_phase[v] = 0;
+    // --- Shared-state replay (stage B): walk the pull-phase list and the
+    // per-chunk candidate lists merged in ascending node order — the exact
+    // order (and hence shared-RNG stream) of a full O(n) scan, at
+    // O(phase members + candidates) cost. ---
+    std::size_t pull_read = 0;
+    std::size_t pull_write = 0;
+    auto replay_pull_below = [&](gossip::NodeId limit) {
+      while (pull_read < pull_nodes.size() && pull_nodes[pull_read] < limit) {
+        const gossip::NodeId v = pull_nodes[pull_read++];
+        ++bookkeeping;
+        bool exited = false;
+        if (!net.asleep(v)) {
+          const auto got = seed_chan.responses(v);
+          if (!got.empty()) {
+            seeds_mail.push(v, got.front());
+            in_pull_phase[v] = 0;
+            exited = true;
+          }
         }
-        continue;
+        if (!exited) pull_nodes[pull_write++] = v;
       }
-      ++res.stats.sampling_attempts;
-      if (!success[v]) {
-        ++res.stats.sampling_failures;
-        continue;
-      }
-      const NodeRound& sc = scratch[v];
-      if (!found && p.same_value(sc.sol, oracle)) {
-        found = true;
-        res.solution = sc.sol;
-        res.stats.rounds_to_first = t;
-        res.stats.reached_optimum = true;
-      }
-      for (const auto& h : sc.violators) copies_mail.push(v, h);
-      if (sc.violators.empty() && cfg.run_termination) {
-        term.inject(v, static_cast<std::uint32_t>(t), sc.sol);
+    };
+    gossip::NodeId first_opt = detail::kNoNodeId;
+    for (const ChunkAcc& ch : chunks) {
+      res.stats.sampling_attempts += ch.attempts;
+      res.stats.sampling_failures += ch.failures;
+      if (first_opt == detail::kNoNodeId) first_opt = ch.first_opt;
+      for (const gossip::NodeId v : ch.replay) {
+        replay_pull_below(v);
+        ++bookkeeping;
+        const NodeRound& sc = scratch[v];
+        for (const auto& h : sc.violators) copies_mail.push(v, h);
+        if (sc.violators.empty() && cfg.run_termination) {
+          term.inject(v, static_cast<std::uint32_t>(t), sc.sol);
+        }
       }
     }
+    replay_pull_below(static_cast<gossip::NodeId>(n));
+    pull_nodes.resize(pull_write);
+    if (!found && first_opt != detail::kNoNodeId) {
+      found = true;
+      res.solution = scratch[first_opt].sol;
+      res.stats.rounds_to_first = t;
+      res.stats.reached_optimum = true;
+    }
 
-    // --- Delivery (received at the beginning of the next round). ---
+    // --- Delivery (received at the beginning of the next round): walk
+    // only the inboxes that received something. ---
     seeds_mail.deliver();
     copies_mail.deliver();
-    for (gossip::NodeId v = 0; v < n; ++v) {
-      for (const auto& h : seeds_mail.inbox(v)) store[v].add_original(h);
-      for (const auto& h : copies_mail.inbox(v)) store[v].add_copy(h);
+    for (const gossip::NodeId v : seeds_mail.receivers()) {
+      ++bookkeeping;
+      for (const auto& h : seeds_mail.inbox(v)) store.add_original(v, h);
+    }
+    for (const gossip::NodeId v : copies_mail.receivers()) {
+      ++bookkeeping;
+      for (const auto& h : copies_mail.inbox(v)) store.add_copy(v, h);
     }
 
-    // --- Filtering (lines 8-9): originals are never deleted. ---
+    // --- Filtering (lines 8-9): originals are never deleted; only the
+    // copy-holding nodes are visited, each consuming its own RNG stream.
     if (cfg.filtering) {
-      for (gossip::NodeId v = 0; v < n; ++v) {
-        store[v].filter(node_rng[v], keep_p);
-      }
+      bookkeeping += store.filter_copies(
+          keep_p, [&](gossip::NodeId v) -> util::Rng& { return node_rng[v]; });
     }
 
     if (cfg.run_termination) {
       term.round(static_cast<std::uint32_t>(t),
-                 [&](gossip::NodeId v) { return store[v].view(); });
+                 [&](gossip::NodeId v) { return store.view(v); });
     }
 
-    const std::size_t m = total_elements();
+    const std::size_t m = store.total_elements();
     if (m > res.stats.max_total_elements) res.stats.max_total_elements = m;
+    res.stats.bookkeeping_touches_total += bookkeeping;
+    res.stats.last_round_bookkeeping_touches = bookkeeping;
 
     const bool done = cfg.run_termination ? term.all_output() : found;
     if (done && t >= cfg.min_rounds) {
@@ -389,7 +442,7 @@ DistributedLpResult<P> run_low_load(const P& p,
   res.stats.total_push_ops = net.meter().total_push_ops();
   res.stats.total_pull_ops = net.meter().total_pull_ops();
   res.stats.total_bytes = net.meter().total_bytes();
-  res.stats.final_total_elements = total_elements();
+  res.stats.final_total_elements = store.total_elements();
   return res;
 }
 

@@ -52,9 +52,14 @@ class Encoder {
   std::size_t size() const noexcept { return buf_.size(); }
 
  private:
+  // resize + memcpy rather than vector::insert: the insert's inlined
+  // range-copy trips GCC 12's -Wstringop-overflow analysis in Release
+  // (a false positive against the freshly allocated buffer), and memcpy
+  // into resized storage is what the insert lowers to anyway.
   void put_raw(const void* p, std::size_t len) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + len);
+    const std::size_t old_size = buf_.size();
+    buf_.resize(old_size + len);
+    std::memcpy(buf_.data() + old_size, p, len);
   }
   std::vector<std::uint8_t> buf_;
 };

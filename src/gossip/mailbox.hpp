@@ -28,6 +28,14 @@
 // Fault injection: message loss is sampled with geometric gap draws (one
 // RNG draw per *lost* message, not per message), and the fault-free path is
 // dispatched once per delivery so the hot loops carry no fault branches.
+//
+// Complexity per round: deliver()/resolve() are O(messages) time, O(1)
+// amortized allocation (buffers persist); inbox()/responses()/receivers()
+// are O(1) lookups into the epoch's CSR index.  Determinism: the channels
+// draw peers/losses from the Network's shared RNG stream in call order, so
+// any engine that issues its channel calls in a fixed node order gets a
+// bit-identical traffic pattern — the serial stage-B half of the engines'
+// stage-A/stage-B contract (docs/ARCHITECTURE.md).
 #pragma once
 
 #include <algorithm>
@@ -132,6 +140,13 @@ class CsrIndex {
   /// Distinct keys that received entries in the current epoch.
   std::size_t touched() const noexcept { return touched_.size(); }
 
+  /// The touched keys themselves, in first-touch order (valid until the
+  /// next new_epoch()).  Lets delivery consumers walk exactly the inboxes
+  /// that received something — O(receivers), not O(n).
+  std::span<const NodeId> keys() const noexcept {
+    return {touched_.data(), touched_.size()};
+  }
+
  private:
   std::vector<std::uint32_t> begin_;
   std::vector<std::uint32_t> count_;
@@ -184,6 +199,14 @@ class Mailbox {
 
   /// Total messages currently buffered for delivery.
   std::size_t pending() const noexcept { return outbox_.size(); }
+
+  /// Nodes whose inbox received at least one message in the last deliver(),
+  /// in first-touch (= earliest-message) order; valid until the next
+  /// deliver().  Walking this instead of all n node ids makes the engines'
+  /// "add received elements" pass O(receivers) — receiver order is
+  /// irrelevant to them because each node's adds come from its own inbox
+  /// only and consume no shared RNG.
+  std::span<const NodeId> receivers() const noexcept { return index_.keys(); }
 
   /// Diagnostics for the "deliver cost scales with messages, not n"
   /// contract: inboxes written / messages routed by the last deliver().

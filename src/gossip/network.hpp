@@ -13,13 +13,18 @@
 // another node's state directly, preserving the model's information flow.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "gossip/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/slab.hpp"
 
 namespace lpt::gossip {
 
@@ -128,6 +133,11 @@ class Network {
   /// True if node v sleeps through the current round (fault injection).
   bool asleep(NodeId v) const noexcept { return asleep_[v] != 0; }
 
+  /// Number of nodes asleep this round (the sparse sleep set's size) — lets
+  /// engines compute "how many nodes acted" arithmetically instead of
+  /// scanning all n asleep flags.
+  std::size_t asleep_count() const noexcept { return sleeping_.size(); }
+
   /// Batched fault draw on the network's shared stream (see geometric_gap).
   std::uint64_t loss_gap(double p) noexcept { return geometric_gap(rng_, p); }
 
@@ -154,6 +164,170 @@ class Network {
   std::vector<std::uint8_t> asleep_;
   std::vector<NodeId> sleeping_;  // nodes asleep this round (sparse reset)
   std::size_t round_ = 0;
+};
+
+/// Slab-backed per-node element storage for all n simulated nodes.
+///
+/// The Clarkson-style engines keep a multiset H(v_i) at every node:
+/// elems[0..h0_count) is H_0(v_i) — the node's *original* elements, which
+/// the algorithms never delete — and the tail holds *copies* created by
+/// W_i pushes, which the per-round filter pass may drop.  The old design
+/// (one std::vector per node) meant ~n separate heap blocks; at n = 2^20
+/// the store-header walks and the filter pass were cache-miss bound and
+/// the per-round cost was O(n) even in quiescent late rounds.
+///
+/// This store owns every node's elements in a util::SlabPool: per-node
+/// headers are four flat u32 arrays (slab ref, size, h0, copy-holder flag)
+/// and each node's elements live contiguously in a size-class arena slot,
+/// so random indexing is O(1) and the filter pass streams memory.  On top
+/// of that it maintains, incrementally:
+///
+///   * total_elements() — the global |H(V)| in O(1) (no store-header walk);
+///   * copy_holders() — the compact list of nodes currently holding at
+///     least one non-original copy, so the filter pass costs O(holders)
+///     instead of O(n).  A node enters the list when a copy arrives and
+///     leaves it lazily when filter_copies() empties its tail.
+///
+/// Determinism contract: the logical per-node element sequences (and hence
+/// every RNG draw an engine makes against them) are bit-identical to the
+/// per-node-vector design — add_copy appends, add_original grows the H_0
+/// prefix by displacing the first copy to the back (O(1), order of copies
+/// otherwise preserved), and filtering compacts in the same element order
+/// with one Bernoulli draw per copy.  Nodes with no copies consume no
+/// filter draws, so skipping them is exact, not approximate.
+///
+/// Not thread-safe for writes; concurrent *reads* (view/elem/size) from a
+/// stage-A parallel compute phase are safe while no adds/filters run.
+template <typename Element>
+class NodeStore {
+ public:
+  explicit NodeStore(std::size_t n)
+      : ref_(n, kNullRef), size_(n, 0), h0_(n, 0) {}
+
+  std::size_t nodes() const noexcept { return ref_.size(); }
+  std::size_t size(NodeId v) const noexcept { return size_[v]; }
+  std::size_t h0_count(NodeId v) const noexcept { return h0_[v]; }
+  std::size_t copy_count(NodeId v) const noexcept {
+    return size_[v] - h0_[v];
+  }
+
+  /// Global element count across all nodes, maintained incrementally: O(1)
+  /// where the per-node-vector design walked n store headers.
+  std::size_t total_elements() const noexcept { return total_; }
+
+  /// Node v's elements: originals first, then copies in arrival order.
+  std::span<const Element> view(NodeId v) const noexcept {
+    if (ref_[v] == kNullRef) return {};
+    return {pool_.data(ref_[v]), size_[v]};
+  }
+
+  /// O(1) random access (the pull samplers' answer path).
+  const Element& elem(NodeId v, std::size_t i) const noexcept {
+    return pool_.data(ref_[v])[i];
+  }
+
+  /// Append an original element, growing the H_0 prefix by swapping the
+  /// displaced copy (if any) to the back — O(1) amortized.
+  void add_original(NodeId v, const Element& h) {
+    Element* slot = push_slot(v);
+    *slot = h;
+    Element* base = pool_.data(ref_[v]);
+    const std::size_t last = size_[v] - 1;
+    if (last != h0_[v]) {
+      using std::swap;
+      swap(base[h0_[v]], base[last]);
+    }
+    ++h0_[v];
+  }
+
+  /// Append a copy (filter-droppable); registers v as a copy holder on the
+  /// 0 -> 1 transition.
+  void add_copy(NodeId v, const Element& h) {
+    *push_slot(v) = h;
+    if (size_[v] - h0_[v] == 1) holders_.push_back(v);
+  }
+
+  /// Nodes currently holding at least one copy (compact, deduplicated;
+  /// order is first-arrival, irrelevant to results because filtering draws
+  /// from per-node RNG streams only).
+  std::span<const NodeId> copy_holders() const noexcept {
+    return {holders_.data(), holders_.size()};
+  }
+
+  /// Algorithm 2 lines 8-9 for one node: keep each copy independently with
+  /// probability keep_p (one draw per copy from `rng`), never touching the
+  /// H_0 prefix.  Compacts in element order — the same draws and the same
+  /// surviving sequence as the per-node-vector filter.
+  template <typename Rng>
+  void filter_node(NodeId v, Rng& rng, double keep_p) {
+    if (size_[v] == h0_[v]) return;  // no copies: zero draws, zero work
+    Element* base = pool_.data(ref_[v]);
+    std::size_t w = h0_[v];
+    for (std::size_t i = h0_[v]; i < size_[v]; ++i) {
+      if (rng.bernoulli(keep_p)) base[w++] = base[i];
+    }
+    total_ -= size_[v] - w;
+    size_[v] = static_cast<std::uint32_t>(w);
+  }
+
+  /// Run the filter pass over exactly the copy-holding nodes — O(holders),
+  /// not O(n) — compacting the holder list as nodes go copy-free.
+  /// `rng_at(v)` must return node v's own RNG stream (cross-node order is
+  /// then irrelevant: each node's draws come from its private stream).
+  /// Returns the number of nodes visited (the pass's bookkeeping cost).
+  template <typename RngAt>
+  std::size_t filter_copies(double keep_p, RngAt&& rng_at) {
+    const std::size_t visited = holders_.size();
+    std::size_t w = 0;
+    for (const NodeId v : holders_) {
+      filter_node(v, rng_at(v), keep_p);
+      if (size_[v] > h0_[v]) holders_[w++] = v;
+    }
+    holders_.resize(w);
+    return visited;
+  }
+
+  /// Recycle every node's storage while keeping the slab arenas (O(n)
+  /// header clear, O(1) arena recycling) — a fresh epoch over a warm pool.
+  void reset() {
+    std::fill(ref_.begin(), ref_.end(), kNullRef);
+    std::fill(size_.begin(), size_.end(), std::uint32_t{0});
+    std::fill(h0_.begin(), h0_.end(), std::uint32_t{0});
+    holders_.clear();
+    total_ = 0;
+    pool_.reset();
+  }
+
+  /// Reserved slab memory (diagnostics).
+  std::size_t arena_bytes() const noexcept { return pool_.arena_bytes(); }
+
+ private:
+  static constexpr std::uint32_t kNullRef = 0xffffffffu;
+
+  /// Make room for one more element at node v and return its address.
+  /// Grows by size class: allocate the next class's slot, copy, release
+  /// the old slot to its free list (amortized O(1) per add, like vector
+  /// growth but with both buffers recycled in-arena).
+  Element* push_slot(NodeId v) {
+    std::uint32_t r = ref_[v];
+    if (r == kNullRef) {
+      r = ref_[v] = pool_.allocate_for(1);
+    } else if (size_[v] == util::SlabPool<Element>::capacity(r)) {
+      const std::uint32_t grown = pool_.allocate_for(size_[v] + 1);
+      std::copy_n(pool_.data(r), size_[v], pool_.data(grown));
+      pool_.release(r);
+      ref_[v] = r = grown;
+    }
+    ++total_;
+    return pool_.data(r) + size_[v]++;
+  }
+
+  util::SlabPool<Element> pool_;
+  std::vector<std::uint32_t> ref_;   // slab handle per node (kNullRef: none)
+  std::vector<std::uint32_t> size_;  // elements per node
+  std::vector<std::uint32_t> h0_;    // H_0 prefix length per node
+  std::vector<NodeId> holders_;      // nodes with >= 1 copy (compact)
+  std::size_t total_ = 0;            // sum of size_ (incremental)
 };
 
 }  // namespace lpt::gossip

@@ -1,0 +1,163 @@
+// Size-class slab allocator for per-node element storage.
+//
+// At n = 2^20 simulated nodes, one std::vector per node means a million
+// separate heap blocks: every store-header touch is a pointer chase, every
+// filter pass hops between unrelated cache lines, and constructing or
+// destroying a run costs a million mallocs.  SlabPool replaces that with a
+// handful of contiguous arenas: each *size class* c hands out fixed-capacity
+// slots of kMinCap << c elements, carved from geometrically chunked arrays,
+// with a per-class free list.  Allocation and release are O(1); a slot's
+// elements are contiguous (random indexing stays O(1)); neighbouring slots
+// of the same class sit in the same arena, so linear sweeps over many small
+// stores (the engines' filter pass) stream memory instead of chasing
+// pointers; and reset() recycles every slot while keeping the arenas, so a
+// new epoch (e.g. a fresh simulation run over the same pool) costs O(number
+// of size classes), not O(allocations).
+//
+// Handles are 32-bit: [class : 5 bits | slot : 27 bits].  The pool never
+// moves a live slot — growing a logical store to the next size class is the
+// *caller's* copy (see gossip::NodeStore), exactly like a vector's
+// reallocation but with the old and new buffers both recycled in-arena.
+//
+// T must be trivially copyable (all gossiped element types are: Vec2,
+// Halfplane, element ids), which keeps chunks as raw uninitialized arrays.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace lpt::util {
+
+template <typename T>
+class SlabPool {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SlabPool slots are raw storage; T must be trivially "
+                "copyable");
+
+ public:
+  using Ref = std::uint32_t;
+
+  static constexpr std::size_t kMinCapLog2 = 2;   // class 0 holds 4 elements
+  static constexpr std::size_t kMinCap = std::size_t{1} << kMinCapLog2;
+  static constexpr std::size_t kClassBits = 5;
+  static constexpr std::size_t kSlotBits = 32 - kClassBits;
+  static constexpr std::size_t kClasses = 26;     // caps 4 .. 128M elements
+  // Small classes pack 2^kChunkSlotsLog2 slots per chunk; a class whose
+  // slots are already >= 4096 elements gets one slot per chunk.
+  static constexpr std::size_t kChunkSlotsLog2 = 10;
+
+  /// Capacity (elements) of a slot of size class `cls`.
+  static constexpr std::size_t class_capacity(std::size_t cls) noexcept {
+    return kMinCap << cls;
+  }
+
+  /// Smallest size class whose slots hold at least `cap` elements.
+  static std::size_t class_for(std::size_t cap) noexcept {
+    const std::size_t log2 = ceil_log2(cap < kMinCap ? kMinCap : cap);
+    return log2 - kMinCapLog2;
+  }
+
+  /// Allocate a slot holding at least `cap` elements.  O(1): pops the
+  /// class free list, else bumps into the current chunk, else adds a chunk.
+  Ref allocate_for(std::size_t cap) {
+    const std::size_t cls = class_for(cap);
+    LPT_CHECK_MSG(cls < kClasses, "SlabPool: store too large for any class");
+    SizeClass& sc = classes_[cls];
+    std::uint32_t slot;
+    if (!sc.free_list.empty()) {
+      slot = sc.free_list.back();
+      sc.free_list.pop_back();
+    } else {
+      const std::size_t spc = slots_per_chunk(cls);
+      if (sc.bump == sc.chunks.size() * spc) {
+        sc.chunks.push_back(
+            std::make_unique<T[]>(spc * class_capacity(cls)));
+      }
+      slot = sc.bump++;
+    }
+    LPT_CHECK_MSG(slot < (std::uint32_t{1} << kSlotBits),
+                  "SlabPool: class slot space exhausted");
+    ++live_slots_;
+    return static_cast<Ref>((cls << kSlotBits) | slot);
+  }
+
+  /// Return a slot to its class free list.  O(1); the memory is recycled by
+  /// the next allocate_for of the same class.
+  void release(Ref ref) {
+    classes_[ref_class(ref)].free_list.push_back(ref_slot(ref));
+    --live_slots_;
+  }
+
+  T* data(Ref ref) noexcept {
+    const std::size_t cls = ref_class(ref);
+    const std::uint32_t slot = ref_slot(ref);
+    const std::size_t spc_log2 = slots_per_chunk_log2(cls);
+    return classes_[cls].chunks[slot >> spc_log2].get() +
+           ((slot & ((std::size_t{1} << spc_log2) - 1))
+            << (kMinCapLog2 + cls));
+  }
+  const T* data(Ref ref) const noexcept {
+    return const_cast<SlabPool*>(this)->data(ref);
+  }
+
+  /// Capacity of the slot behind `ref`.
+  static constexpr std::size_t capacity(Ref ref) noexcept {
+    return class_capacity(ref_class(ref));
+  }
+
+  /// Recycle every slot while keeping the chunk arenas: O(kClasses).  All
+  /// outstanding Refs become invalid; the next epoch's allocations reuse
+  /// the already-reserved memory.
+  void reset() noexcept {
+    for (SizeClass& sc : classes_) {
+      sc.free_list.clear();
+      sc.bump = 0;
+    }
+    live_slots_ = 0;
+  }
+
+  /// Live (allocated, unreleased) slots — diagnostics and tests.
+  std::size_t live_slots() const noexcept { return live_slots_; }
+
+  /// Reserved arena memory in bytes (diagnostics).
+  std::size_t arena_bytes() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      total += classes_[c].chunks.size() * slots_per_chunk(c) *
+               class_capacity(c) * sizeof(T);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t ref_class(Ref ref) noexcept {
+    return ref >> kSlotBits;
+  }
+  static constexpr std::uint32_t ref_slot(Ref ref) noexcept {
+    return ref & ((std::uint32_t{1} << kSlotBits) - 1);
+  }
+  static constexpr std::size_t slots_per_chunk_log2(std::size_t cls) noexcept {
+    return cls >= kChunkSlotsLog2 ? 0 : kChunkSlotsLog2 - cls;
+  }
+  static constexpr std::size_t slots_per_chunk(std::size_t cls) noexcept {
+    return std::size_t{1} << slots_per_chunk_log2(cls);
+  }
+
+  struct SizeClass {
+    std::vector<std::unique_ptr<T[]>> chunks;
+    std::vector<std::uint32_t> free_list;
+    std::uint32_t bump = 0;  // next never-used slot index
+  };
+
+  std::array<SizeClass, kClasses> classes_;
+  std::size_t live_slots_ = 0;
+};
+
+}  // namespace lpt::util

@@ -85,6 +85,40 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   pool.wait_idle();
 }
 
+std::size_t chunk_count(std::size_t n, std::size_t chunk) noexcept {
+  if (n == 0) return 0;
+  const std::size_t c = chunk == 0 ? 1 : chunk;
+  return (n + c - 1) / c;
+}
+
+void parallel_chunks(
+    ThreadPool* pool, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t c = chunk == 0 ? 1 : chunk;
+  const std::size_t chunks = chunk_count(n, c);
+  if (pool == nullptr || pool->thread_count() <= 1 || chunks == 1) {
+    for (std::size_t k = 0; k < chunks; ++k) {
+      body(k, k * c, std::min(n, (k + 1) * c));
+    }
+    return;
+  }
+  // Workers claim whole chunks; the chunk boundaries are fixed above, so
+  // only the assignment of chunks to threads varies with the schedule.
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers = std::min(pool->thread_count(), chunks);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool->submit([&next, n, c, chunks, &body] {
+      for (;;) {
+        const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= chunks) return;
+        body(k, k * c, std::min(n, (k + 1) * c));
+      }
+    });
+  }
+  pool->wait_idle();
+}
+
 ThreadPool& default_pool() {
   static ThreadPool pool;
   return pool;

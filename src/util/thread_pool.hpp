@@ -49,6 +49,22 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
 
+/// Partition [0, n) into ceil(n / chunk) fixed contiguous chunks and run
+/// body(chunk_index, begin, end) for each, on the pool when one is given
+/// (nullptr or a 1-thread pool runs serially, in chunk order).
+///
+/// The partition depends only on n and chunk — never on the thread count or
+/// the schedule — so per-chunk accumulations (candidate lists, counters)
+/// concatenated in chunk-index order are bit-identical for every pool size.
+/// This is the engines' stage-A collection primitive: each chunk appends
+/// the node ids needing stage-B replay to its own slot in ascending order,
+/// and the serial stage-B walk visits chunks in order, recovering the exact
+/// ascending node order of a full O(n) scan at O(candidates) cost.
+std::size_t chunk_count(std::size_t n, std::size_t chunk) noexcept;
+void parallel_chunks(
+    ThreadPool* pool, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
 /// Global default pool (lazily constructed, sized to the hardware).
 ThreadPool& default_pool();
 

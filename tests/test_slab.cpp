@@ -1,0 +1,140 @@
+// Tests for the size-class slab allocator behind gossip::NodeStore: class
+// sizing, O(1) allocate/release recycling, slot data integrity across many
+// live slots, epoch reset, and store growth across size classes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gossip/network.hpp"
+#include "util/rng.hpp"
+#include "util/slab.hpp"
+
+namespace lpt::util {
+namespace {
+
+TEST(SlabPool, ClassSizing) {
+  using Pool = SlabPool<std::uint32_t>;
+  EXPECT_EQ(Pool::class_for(1), 0u);
+  EXPECT_EQ(Pool::class_for(4), 0u);
+  EXPECT_EQ(Pool::class_for(5), 1u);
+  EXPECT_EQ(Pool::class_for(8), 1u);
+  EXPECT_EQ(Pool::class_for(9), 2u);
+  EXPECT_EQ(Pool::class_capacity(0), 4u);
+  EXPECT_EQ(Pool::class_capacity(3), 32u);
+  // A slot always holds at least what was asked for.
+  for (std::size_t cap = 1; cap < 5000; cap = cap * 3 + 1) {
+    EXPECT_GE(Pool::class_capacity(Pool::class_for(cap)), cap);
+  }
+}
+
+TEST(SlabPool, SlotsHoldDataIndependently) {
+  SlabPool<std::uint64_t> pool;
+  const std::size_t slots = 5000;  // spans several chunks of class 1
+  std::vector<std::uint32_t> refs;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const auto ref = pool.allocate_for(8);
+    std::uint64_t* p = pool.data(ref);
+    for (std::size_t j = 0; j < 8; ++j) p[j] = i * 100 + j;
+    refs.push_back(ref);
+  }
+  EXPECT_EQ(pool.live_slots(), slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    const std::uint64_t* p = pool.data(refs[i]);
+    for (std::size_t j = 0; j < 8; ++j) {
+      ASSERT_EQ(p[j], i * 100 + j) << "slot " << i;
+    }
+  }
+}
+
+TEST(SlabPool, ReleaseRecyclesWithinClass) {
+  SlabPool<int> pool;
+  const auto a = pool.allocate_for(4);
+  const auto b = pool.allocate_for(4);
+  pool.release(a);
+  const auto c = pool.allocate_for(3);  // same class: must reuse a's slot
+  EXPECT_EQ(c, a);
+  EXPECT_NE(c, b);
+  EXPECT_EQ(pool.live_slots(), 2u);
+}
+
+TEST(SlabPool, ResetRecyclesEverything) {
+  SlabPool<int> pool;
+  std::vector<std::uint32_t> first_epoch;
+  for (int i = 0; i < 100; ++i) first_epoch.push_back(pool.allocate_for(16));
+  const std::size_t reserved = pool.arena_bytes();
+  pool.reset();
+  EXPECT_EQ(pool.live_slots(), 0u);
+  EXPECT_EQ(pool.arena_bytes(), reserved);  // arenas kept, slots recycled
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(pool.allocate_for(16), first_epoch[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SlabPool, MixedClassesDoNotAlias) {
+  SlabPool<std::uint32_t> pool;
+  util::Rng rng(7);
+  struct Live {
+    std::uint32_t ref;
+    std::size_t len;
+    std::uint32_t tag;
+  };
+  std::vector<Live> live;
+  std::uint32_t tag = 1;
+  for (int step = 0; step < 4000; ++step) {
+    if (!live.empty() && rng.bernoulli(0.4)) {
+      const std::size_t pick = rng.below(live.size());
+      pool.release(live[pick].ref);
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const std::size_t len = 1 + rng.below(200);
+      const auto ref = pool.allocate_for(len);
+      ASSERT_GE(SlabPool<std::uint32_t>::capacity(ref), len);
+      std::uint32_t* p = pool.data(ref);
+      for (std::size_t j = 0; j < len; ++j) p[j] = tag;
+      live.push_back({ref, len, tag++});
+    }
+  }
+  for (const auto& l : live) {
+    const std::uint32_t* p = pool.data(l.ref);
+    for (std::size_t j = 0; j < l.len; ++j) {
+      ASSERT_EQ(p[j], l.tag) << "aliased slot";
+    }
+  }
+}
+
+TEST(NodeStoreSlab, GrowsThroughSizeClasses) {
+  // One node absorbing thousands of elements crosses many size classes;
+  // the logical sequence must survive every grow-copy.
+  gossip::NodeStore<std::uint32_t> store(3);
+  const std::size_t count = 10000;
+  for (std::uint32_t i = 0; i < count; ++i) store.add_copy(1, i);
+  ASSERT_EQ(store.size(1), count);
+  EXPECT_EQ(store.total_elements(), count);
+  const auto view = store.view(1);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ASSERT_EQ(view[i], i);
+    ASSERT_EQ(store.elem(1, i), i);
+  }
+  EXPECT_TRUE(store.view(0).empty());
+  EXPECT_TRUE(store.view(2).empty());
+}
+
+TEST(NodeStoreSlab, ResetReusesArenas) {
+  gossip::NodeStore<std::uint32_t> store(128);
+  for (std::uint32_t i = 0; i < 2000; ++i) store.add_copy(i % 128, i);
+  const std::size_t reserved = store.arena_bytes();
+  EXPECT_GT(reserved, 0u);
+  store.reset();
+  EXPECT_EQ(store.total_elements(), 0u);
+  EXPECT_EQ(store.copy_holders().size(), 0u);
+  EXPECT_EQ(store.arena_bytes(), reserved);
+  for (gossip::NodeId v = 0; v < 128; ++v) EXPECT_TRUE(store.view(v).empty());
+  store.add_original(5, 42);
+  EXPECT_EQ(store.elem(5, 0), 42u);
+  EXPECT_EQ(store.total_elements(), 1u);
+}
+
+}  // namespace
+}  // namespace lpt::util

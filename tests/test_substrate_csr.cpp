@@ -4,11 +4,13 @@
 // invariants behind the O(1) add_original.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <numeric>
 #include <vector>
 
 #include "core/low_load.hpp"
+#include "reference_store.hpp"
 #include "core/sampling.hpp"
 #include "gossip/mailbox.hpp"
 #include "gossip/network.hpp"
@@ -77,6 +79,35 @@ TEST(CsrMailbox, DeliverTouchesOnlyDestinations) {
   EXPECT_EQ(mb.inbox(1).size(), 3u);
   EXPECT_EQ(mb.inbox(2).size(), 3u);
   EXPECT_TRUE(mb.inbox(3).empty());
+}
+
+TEST(CsrMailbox, ReceiversListExactlyTheNonEmptyInboxes) {
+  // receivers() is what makes the engines' delivery walk O(receivers):
+  // it must name exactly the nodes with a non-empty inbox, once each,
+  // and stay consistent across reused epochs.
+  const std::size_t n = 1 << 12;
+  auto net = make_net(n, 29);
+  Mailbox<int> mb(net);
+  for (int round = 0; round < 5; ++round) {
+    net.begin_round();
+    const int msgs = 20 + round;
+    for (int i = 0; i < msgs; ++i) {
+      mb.push_to(0, static_cast<NodeId>((i * 37 + round) % 50), i);
+    }
+    mb.deliver();
+    const auto recv = mb.receivers();
+    EXPECT_EQ(recv.size(), mb.last_delivered_inboxes());
+    std::vector<NodeId> seen(recv.begin(), recv.end());
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end())
+        << "duplicate receiver";
+    std::size_t received = 0;
+    for (const NodeId v : recv) {
+      EXPECT_FALSE(mb.inbox(v).empty());
+      received += mb.inbox(v).size();
+    }
+    EXPECT_EQ(received, static_cast<std::size_t>(msgs));
+  }
 }
 
 TEST(CsrMailbox, PushLossIsUnbiasedAndDeterministic) {
@@ -220,36 +251,127 @@ TEST(Network, SparseSleepDrawsResetEachRound) {
 namespace lpt::core {
 namespace {
 
+
 TEST(NodeStore, AddOriginalKeepsPrefixInvariant) {
-  detail::NodeStore<int> store;
-  store.add_original(1);
-  store.add_copy(100);
-  store.add_copy(101);
-  store.add_original(2);  // displaces a copy to the back in O(1)
-  store.add_original(3);
-  ASSERT_EQ(store.h0_count, 3u);
-  ASSERT_EQ(store.elems.size(), 5u);
+  gossip::NodeStore<int> store(4);
+  const gossip::NodeId v = 2;
+  store.add_original(v, 1);
+  store.add_copy(v, 100);
+  store.add_copy(v, 101);
+  store.add_original(v, 2);  // displaces a copy to the back in O(1)
+  store.add_original(v, 3);
+  ASSERT_EQ(store.h0_count(v), 3u);
+  ASSERT_EQ(store.size(v), 5u);
+  EXPECT_EQ(store.total_elements(), 5u);
+  EXPECT_TRUE(store.view(0).empty());
+  const auto view = store.view(v);
   // The H_0 prefix holds exactly the originals (order unspecified).
-  std::vector<int> originals(store.elems.begin(),
-                             store.elems.begin() + 3);
+  std::vector<int> originals(view.begin(), view.begin() + 3);
   std::sort(originals.begin(), originals.end());
   EXPECT_EQ(originals, (std::vector<int>{1, 2, 3}));
-  std::vector<int> copies(store.elems.begin() + 3, store.elems.end());
+  std::vector<int> copies(view.begin() + 3, view.end());
   std::sort(copies.begin(), copies.end());
   EXPECT_EQ(copies, (std::vector<int>{100, 101}));
 }
 
 TEST(NodeStore, FilterNeverDropsOriginals) {
-  detail::NodeStore<int> store;
-  for (int i = 0; i < 10; ++i) store.add_original(i);
-  for (int i = 100; i < 200; ++i) store.add_copy(i);
+  gossip::NodeStore<int> store(2);
+  for (int i = 0; i < 10; ++i) store.add_original(0, i);
+  for (int i = 100; i < 200; ++i) store.add_copy(0, i);
+  EXPECT_EQ(store.total_elements(), 110u);
   util::Rng rng(5);
-  store.filter(rng, 0.0);  // drop every copy
-  EXPECT_EQ(store.elems.size(), 10u);
-  EXPECT_EQ(store.h0_count, 10u);
-  for (int i = 0; i < 10; ++i) {
-    EXPECT_LT(store.elems[static_cast<std::size_t>(i)], 10);
+  store.filter_node(0, rng, 0.0);  // drop every copy
+  EXPECT_EQ(store.size(0), 10u);
+  EXPECT_EQ(store.h0_count(0), 10u);
+  EXPECT_EQ(store.total_elements(), 10u);
+  for (const int x : store.view(0)) EXPECT_LT(x, 10);
+}
+
+TEST(NodeStore, MatchesReferenceStoreOnRandomizedOps) {
+  // Drive the slab store and the pre-slab per-node-vector store through an
+  // identical randomized op sequence (adds, copies, filter passes) with
+  // cloned RNG streams: every node's element sequence — not just its set —
+  // must match, along with the incremental total.  This is the
+  // old-path/new-path bit-identity contract at the store level.
+  const std::size_t n = 64;
+  gossip::NodeStore<std::uint32_t> slab(n);
+  std::vector<bench::ReferenceNodeStore<std::uint32_t>> ref(n);
+  util::Rng ops(123);
+  std::vector<util::Rng> slab_rng, ref_rng;
+  for (std::size_t v = 0; v < n; ++v) {
+    slab_rng.emplace_back(1000 + v);
+    ref_rng.emplace_back(1000 + v);
   }
+  std::uint32_t next_val = 0;
+  for (int round = 0; round < 40; ++round) {
+    const int adds = static_cast<int>(ops.below(200));
+    for (int a = 0; a < adds; ++a) {
+      const auto v = static_cast<gossip::NodeId>(ops.below(n));
+      const std::uint32_t val = next_val++;
+      if (ops.bernoulli(0.3)) {
+        slab.add_original(v, val);
+        ref[v].add_original(val);
+      } else {
+        slab.add_copy(v, val);
+        ref[v].add_copy(val);
+      }
+    }
+    if (round % 3 == 0) {
+      // Reference path filters every node; the slab path filters only the
+      // copy-holders.  Nodes without copies draw nothing, so the streams
+      // stay aligned — that equivalence is the point of the test.
+      slab.filter_copies(0.7, [&](gossip::NodeId v) -> util::Rng& {
+        return slab_rng[v];
+      });
+      for (std::size_t v = 0; v < n; ++v) ref[v].filter(ref_rng[v], 0.7);
+    }
+  }
+  std::size_t ref_total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto got = slab.view(static_cast<gossip::NodeId>(v));
+    ASSERT_EQ(got.size(), ref[v].elems.size()) << "node " << v;
+    ASSERT_EQ(slab.h0_count(static_cast<gossip::NodeId>(v)), ref[v].h0_count);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], ref[v].elems[i]) << "node " << v << " slot " << i;
+    }
+    ref_total += ref[v].elems.size();
+  }
+  EXPECT_EQ(slab.total_elements(), ref_total);
+}
+
+TEST(NodeStore, FilterPassVisitsOnlyCopyHolders) {
+  // The O(active)-not-O(n) counter contract: with copies on k of n nodes,
+  // the filter pass must visit exactly k nodes, and the holder list must
+  // compact as nodes go copy-free.
+  const std::size_t n = 1 << 16;
+  const std::size_t k = 100;
+  gossip::NodeStore<std::uint32_t> store(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    store.add_original(static_cast<gossip::NodeId>(v), 1);
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto v = static_cast<gossip::NodeId>(j * 599);
+    store.add_copy(v, 7);
+    store.add_copy(v, 8);
+  }
+  ASSERT_EQ(store.copy_holders().size(), k);
+  std::vector<util::Rng> rng;
+  for (std::size_t v = 0; v < n; ++v) rng.emplace_back(v);
+  // keep_p = 1: every copy survives, every holder stays.
+  std::size_t visited = store.filter_copies(
+      1.0, [&](gossip::NodeId v) -> util::Rng& { return rng[v]; });
+  EXPECT_EQ(visited, k);
+  EXPECT_EQ(store.copy_holders().size(), k);
+  // keep_p = 0: all copies drop, the holder list empties, and the next
+  // pass is free.
+  visited = store.filter_copies(
+      0.0, [&](gossip::NodeId v) -> util::Rng& { return rng[v]; });
+  EXPECT_EQ(visited, k);
+  EXPECT_EQ(store.copy_holders().size(), 0u);
+  visited = store.filter_copies(
+      0.0, [&](gossip::NodeId v) -> util::Rng& { return rng[v]; });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(store.total_elements(), n);
 }
 
 TEST(SelectDistinct, ViewAndOwningVariantsAgree) {

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Bench-trend gate: compare freshly produced BENCH_*.json artifacts against
+the snapshots committed at the repo root and fail on a >MAX_RATIO wall-time
+(or throughput) regression.
+
+Checked (see docs/BENCHMARKS.md for the schemas):
+
+  * BENCH_micro_substrates.json — every ``*_speedup`` ratio must stay within
+    MAX_RATIO of the committed value (ratios are same-machine measurements,
+    so they transfer across hardware), and ``deliver_n_scaling_cost_ratio``
+    must not grow past MAX_RATIO x the committed value.
+  * BENCH_fig3_high_load.json — per-point ``wall_per_rep`` for every
+    (dataset, i) present in both files must not exceed MAX_RATIO x the
+    committed value.  Points faster than MIN_WALL seconds per rep are
+    skipped as noise.
+
+Absolute wall comparisons assume comparable hardware between the machine
+that produced the committed snapshot and the machine running the gate;
+MAX_RATIO (default 2.0, override with --max-ratio or the
+LPT_BENCH_TREND_MAX_RATIO env var) is deliberately generous to absorb
+runner variance while still catching real order-of-magnitude regressions.
+
+Usage: check_bench_trend.py --baseline <repo root> --fresh <build dir>
+Exit status: 0 ok, 1 regression, 2 missing inputs.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+MIN_WALL = 1e-2  # seconds per rep below which points are too noisy to gate
+# (millisecond points on shared CI runners flap well past 2x from scheduler
+# noise alone; 10 ms keeps only the points where a 2x move means something)
+
+FIG3_SERIES = ["duo-disk", "triple-disk", "triangle", "hull"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+def check_micro(baseline, fresh, max_ratio, failures, checked):
+    for key, base_value in baseline.items():
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        if key.endswith("speedup") or "_speedup_" in key:
+            fresh_value = fresh.get(key)
+            if not isinstance(fresh_value, (int, float)):
+                continue
+            checked.append(key)
+            if fresh_value < base_value / max_ratio:
+                failures.append(
+                    f"micro_substrates {key}: {fresh_value:.2f}x vs committed "
+                    f"{base_value:.2f}x (allowed >= {base_value / max_ratio:.2f}x)"
+                )
+    key = "deliver_n_scaling_cost_ratio"
+    base_value, fresh_value = baseline.get(key), fresh.get(key)
+    if isinstance(base_value, (int, float)) and isinstance(fresh_value, (int, float)):
+        checked.append(key)
+        if fresh_value > base_value * max_ratio:
+            failures.append(
+                f"micro_substrates {key}: {fresh_value:.2f} vs committed "
+                f"{base_value:.2f} (allowed <= {base_value * max_ratio:.2f})"
+            )
+
+
+def check_fig3(baseline, fresh, max_ratio, failures, checked):
+    for series in FIG3_SERIES:
+        base_rows = {row["i"]: row for row in baseline.get(series, [])}
+        for row in fresh.get(series, []):
+            base_row = base_rows.get(row.get("i"))
+            if base_row is None:
+                continue
+            base_wall = base_row.get("wall_per_rep")
+            fresh_wall = row.get("wall_per_rep")
+            if not isinstance(base_wall, (int, float)) or not isinstance(
+                fresh_wall, (int, float)
+            ):
+                continue  # pre-PR-4 snapshot rows carry no per-point wall
+            if base_wall < MIN_WALL:
+                continue
+            checked.append(f"fig3 {series} i={row['i']}")
+            if fresh_wall > base_wall * max_ratio:
+                failures.append(
+                    f"fig3_high_load {series} i={row['i']}: "
+                    f"{fresh_wall * 1e3:.1f} ms/rep vs committed "
+                    f"{base_wall * 1e3:.1f} ms/rep "
+                    f"(allowed <= {base_wall * max_ratio * 1e3:.1f})"
+                )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding the freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=float(os.environ.get("LPT_BENCH_TREND_MAX_RATIO", "2.0")),
+    )
+    args = parser.parse_args()
+
+    failures, checked = [], []
+    any_input = False
+    for name, checker in [
+        ("micro_substrates", check_micro),
+        ("fig3_high_load", check_fig3),
+    ]:
+        baseline = load(os.path.join(args.baseline, f"BENCH_{name}.json"))
+        fresh = load(os.path.join(args.fresh, f"BENCH_{name}.json"))
+        if baseline is None:
+            print(f"[bench-trend] no committed BENCH_{name}.json — skipping")
+            continue
+        if fresh is None:
+            print(f"[bench-trend] fresh BENCH_{name}.json missing in "
+                  f"{args.fresh} — did the bench run?")
+            return 2
+        any_input = True
+        checker(baseline, fresh, args.max_ratio, failures, checked)
+
+    print(f"[bench-trend] {len(checked)} comparison(s), "
+          f"max allowed regression {args.max_ratio:.1f}x")
+    if not any_input:
+        print("[bench-trend] nothing to compare")
+        return 2
+    if failures:
+        for failure in failures:
+            print(f"[bench-trend] REGRESSION: {failure}")
+        return 1
+    print("[bench-trend] ok — no wall-time regression past the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
