@@ -8,10 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "shard/runtime.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "workloads/disk_data.hpp"
 
 namespace lpt::bench {
 
@@ -57,6 +59,43 @@ inline std::size_t threads_flag(const util::Cli& cli) {
   const auto t = cli.get_int("threads", 1);
   if (t <= 0) return std::thread::hardware_concurrency();
   return static_cast<std::size_t>(t);
+}
+
+/// The shared --shards / --shard-transport flags: benches opt sweeps into
+/// the shard runtime with --shards=N (0 = disabled, the default; results
+/// are bit-identical either way) and pick the worker transport with
+/// --shard-transport=inproc|pipe (default inproc).
+inline shard::ShardConfig shard_flags(const util::Cli& cli) {
+  shard::ShardConfig cfg;
+  const std::int64_t shards = cli.get_int("shards", 0);
+  if (shards < 0) {
+    std::fprintf(stderr, "--shards=%lld is negative, running unsharded\n",
+                 static_cast<long long>(shards));
+  } else {
+    cfg.shards = static_cast<std::size_t>(shards);
+  }
+  const std::string transport = cli.get("shard-transport", "inproc");
+  if (transport == "pipe") {
+    cfg.transport = shard::TransportKind::kPipe;
+  } else if (transport != "inproc") {
+    std::fprintf(stderr, "unknown --shard-transport=%s, using inproc\n",
+                 transport.c_str());
+  }
+  return cfg;
+}
+
+/// The shared --dataset flag: resolve a Figure 1 disk dataset by name,
+/// warning and falling back to duo-disk on an unknown name.
+inline workloads::DiskDataset dataset_flag(const util::Cli& cli,
+                                           const std::string& def =
+                                               "duo-disk") {
+  const std::string name = cli.get("dataset", def);
+  for (const auto d : workloads::kAllDiskDatasets) {
+    if (workloads::dataset_name(d) == name) return d;
+  }
+  std::fprintf(stderr, "unknown --dataset=%s, using duo-disk\n",
+               name.c_str());
+  return workloads::kAllDiskDatasets[0];
 }
 
 /// Standard bench banner.

@@ -11,11 +11,15 @@
 //
 // Usage: fig2_low_load [--imin=1] [--imax=13] [--reps=10] [--csv]
 //                      [--threads=1] [--parallel-nodes=1] [--dataset=name]
+//                      [--shards=0] [--shard-transport=inproc|pipe]
 //        (paper: i up to 14, 16 for duo-disk; 10 runs per point)
 //
 // --threads runs the repetitions of each point concurrently (bit-identical
 // results for any thread count); --parallel-nodes threads the per-node
-// compute phase inside each simulation.  Writes BENCH_fig2_low_load.json
+// compute phase inside each simulation; --shards routes each simulation's
+// stage-A compute through the shard runtime (src/shard/) on that many
+// workers — results stay bit-identical for every setting of all three
+// flags.  Writes BENCH_fig2_low_load.json
 // next to the working directory (or $LPT_BENCH_JSON_DIR); every series row
 // carries wall_per_rep so CI's bench-trend gate can compare matching
 // points across runs.
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
   const std::size_t threads = bench::threads_flag(cli);
   const auto parallel_nodes =
       static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
+  const auto shard_cfg = bench::shard_flags(cli);
   const std::string only_dataset = cli.get("dataset", "");
 
   bench::banner("Figure 2: Low-Load Clarkson, rounds until first optimum",
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
             core::LowLoadConfig cfg;
             cfg.seed = seed;
             cfg.parallel_nodes = parallel_nodes;
+            cfg.shard = shard_cfg;
             const auto res = core::run_low_load(p, pts, n, cfg);
             LPT_CHECK_MSG(res.stats.reached_optimum,
                           "run failed to converge");
@@ -172,6 +178,7 @@ int main(int argc, char** argv) {
   json.set("wall_seconds", secs);
   json.set("threads", static_cast<std::uint64_t>(threads));
   json.set("parallel_nodes", static_cast<std::uint64_t>(parallel_nodes));
+  json.set("shards", static_cast<std::uint64_t>(shard_cfg.shards));
   json.set("reps", static_cast<std::uint64_t>(reps));
   json.set("imin", static_cast<std::uint64_t>(imin));
   json.set("imax", static_cast<std::uint64_t>(imax));

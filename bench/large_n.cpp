@@ -12,11 +12,14 @@
 //
 // Usage: large_n [--i=20] [--ihigh=16] [--reps=1] [--dataset=duo-disk]
 //                [--engine=both|low|high] [--parallel-nodes=1]
+//                [--shards=0] [--shard-transport=inproc|pipe]
 //
 // --i sizes the low-load point (n = 2^i nodes on n points; memory stays
 // O(n) thanks to filtering).  --ihigh sizes the high-load point separately:
 // high load grows |H(V)| by O(d n log n) per round with no filtering, so
-// memory — not time — caps its practical size.
+// memory — not time — caps its practical size.  --shards routes the
+// low-load point's stage-A compute through the shard runtime (bit-identical
+// results; the high-load engine has no shard path yet and ignores it).
 #include <cstdio>
 #include <string>
 
@@ -30,20 +33,6 @@
 #include "util/table.hpp"
 #include "workloads/disk_data.hpp"
 
-namespace {
-
-lpt::workloads::DiskDataset pick_dataset(const std::string& name) {
-  using lpt::workloads::dataset_name;
-  using lpt::workloads::kAllDiskDatasets;
-  for (const auto d : kAllDiskDatasets) {
-    if (dataset_name(d) == name) return d;
-  }
-  std::fprintf(stderr, "unknown --dataset=%s, using duo-disk\n", name.c_str());
-  return kAllDiskDatasets[0];
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace lpt;
   util::Cli cli(argc, argv);
@@ -52,8 +41,9 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 1));
   const auto parallel_nodes =
       static_cast<std::size_t>(cli.get_int("parallel-nodes", 1));
+  const auto shard_cfg = bench::shard_flags(cli);
   const std::string engine = cli.get("engine", "both");
-  const auto dataset = pick_dataset(cli.get("dataset", "duo-disk"));
+  const auto dataset = bench::dataset_flag(cli);
 
   bench::banner("Large-n engine: slab store + sparse active-node tracking",
                 "n = 2^i sweep points beyond the Figure 2/3 range");
@@ -113,6 +103,7 @@ int main(int argc, char** argv) {
                 core::LowLoadConfig cfg;
                 cfg.seed = seed;
                 cfg.parallel_nodes = parallel_nodes;
+                cfg.shard = shard_cfg;
                 return core::run_low_load(p, pts, n, cfg).stats;
               });
   }
@@ -141,6 +132,7 @@ int main(int argc, char** argv) {
   json.set("ihigh", static_cast<std::uint64_t>(i_high));
   json.set("dataset", workloads::dataset_name(dataset));
   json.set("parallel_nodes", static_cast<std::uint64_t>(parallel_nodes));
+  json.set("shards", static_cast<std::uint64_t>(shard_cfg.shards));
   const auto path = json.write();
   if (!path.empty()) std::printf("\n[bench-json] wrote %s\n", path.c_str());
   return 0;

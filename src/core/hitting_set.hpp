@@ -34,6 +34,7 @@
 #include "gossip/mailbox.hpp"
 #include "gossip/network.hpp"
 #include "problems/hitting_set_problem.hpp"
+#include "shard/runtime.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
@@ -65,6 +66,14 @@ struct HittingSetConfig {
                                    // load.  One pool level only: combining
                                    // with a bench --threads sweep
                                    // oversubscribes.
+  shard::ShardConfig shard;  // shards >= 1: stage A runs on shard workers
+                             // (threads or fork()ed processes) over
+                             // contiguous node ranges with the stage-B
+                             // replay applied after the deterministic
+                             // shard-order merge — bit-identical to the
+                             // serial and parallel_nodes paths for every
+                             // shard count and transport.  Takes precedence
+                             // over parallel_nodes.
 };
 
 struct HittingSetRunResult {
@@ -81,6 +90,125 @@ inline std::size_t hitting_set_sample_size(std::size_t d, std::size_t s) {
   const double ss = static_cast<double>(s);
   return static_cast<std::size_t>(std::ceil(6.0 * dd * std::log(12.0 * dd * ss)));
 }
+
+namespace detail {
+
+/// Per-worker scratch for one hitting-set stage-A node evaluation
+/// (thread_local in the in-process path, closure-owned on shard workers).
+struct HsStageAScratch {
+  SampleOutcome<std::uint32_t> outcome;
+  std::vector<std::uint8_t> hit;
+  std::vector<std::uint32_t> unhit;
+};
+
+enum class HsNodeOutcome : std::uint8_t {
+  kFailed,  // sample came up short (strict mode) or empty
+  kWinner,  // R_i hits every set: `sample` holds the answer
+  kPusher,  // `wi` holds W_i = S \ X(v_i) for a random unhit S (may be
+            // empty or over the push cap; the caller applies the cap)
+};
+
+/// One node's stage A (sample selection, hit marking, W_i assembly) from
+/// explicit inputs — the single definition executed by both the in-process
+/// chunk loop and the shard workers.  Consumes `rng` exactly as a serial
+/// full scan would.
+inline HsNodeOutcome hitting_set_node_stage_a(
+    const problems::HittingSetProblem& problem,
+    std::span<std::uint32_t> responses, std::size_t r, bool strict,
+    std::span<const std::uint32_t> local, util::Rng& rng, HsStageAScratch& scr,
+    std::vector<std::uint32_t>& sample, std::vector<std::uint32_t>& wi) {
+  const auto& sys = problem.system();
+  const std::size_t s = sys.set_count();
+  select_distinct_into(responses, r, rng, strict, scr.outcome);
+  if (!scr.outcome.success) return HsNodeOutcome::kFailed;
+  // S_i: sets not hit by R_i.
+  problem.mark_hit(scr.outcome.sample, scr.hit);
+  scr.unhit.clear();
+  for (std::uint32_t j = 0; j < s; ++j) {
+    if (!scr.hit[j]) scr.unhit.push_back(j);
+  }
+  if (scr.unhit.empty()) {
+    // R_i is a hitting set: the algorithm's answer (line 13).
+    sample = std::move(scr.outcome.sample);
+    return HsNodeOutcome::kWinner;
+  }
+  // Random unhit set; W_i = S \ X(v_i) (lines 6-9; cap applied by caller).
+  const auto& chosen = sys.set(scr.unhit[rng.below(scr.unhit.size())]);
+  wi.clear();
+  for (auto x : chosen) {
+    bool have = false;
+    for (auto own : local) {
+      if (own == x) {
+        have = true;
+        break;
+      }
+    }
+    if (!have) wi.push_back(x);
+  }
+  return HsNodeOutcome::kPusher;
+}
+
+/// Build the stage-A serve handler every hitting-set shard worker runs.
+/// Captures the problem by value: the set system is part of the problem
+/// description every node knows (Section 4), so it ships once at spawn
+/// (fork inheritance / closure copy), never per round.
+///
+/// Task payload (after the MsgType byte):
+///   u32 r · u64 push_cap · u32 begin · u32 end · per node:
+///     u8 flags; if kActive: rng state, responses seq, local-elements seq.
+/// Result payload:
+///   per node: u8 flags; if kActive: rng state (advanced); if kWinner:
+///   winning-sample seq; else if kReplay: capped W_i seq — then
+///   u32 attempts, u32 failures.
+inline auto make_hitting_set_serve(problems::HittingSetProblem problem,
+                                   bool strict) {
+  using Element = std::uint32_t;
+  return [problem = std::move(problem), strict, rng = util::Rng{},
+          scr = HsStageAScratch{}, responses = std::vector<Element>{},
+          local = std::vector<Element>{}, sample = std::vector<Element>{},
+          wi = std::vector<Element>{}](gossip::Decoder& d,
+                                       gossip::Encoder& e) mutable {
+    const std::uint32_t r = d.get_u32();
+    const std::uint64_t push_cap = d.get_u64();
+    const gossip::NodeId begin = d.get_u32();
+    const gossip::NodeId end = d.get_u32();
+    shard::put_msg_type(e, shard::MsgType::kStageAResult);
+    std::uint32_t attempts = 0;
+    std::uint32_t failures = 0;
+    for (gossip::NodeId v = begin; v < end; ++v) {
+      if (!(d.get_u8() & shard::nodeflag::kActive)) {
+        e.put_u8(0);
+        continue;
+      }
+      shard::get_rng(d, rng);
+      shard::get_seq(d, responses);
+      shard::get_seq(d, local);
+      ++attempts;
+      const HsNodeOutcome out = hitting_set_node_stage_a(
+          problem, std::span<Element>(responses), r, strict,
+          std::span<const Element>(local), rng, scr, sample, wi);
+      std::uint8_t flags = shard::nodeflag::kActive;
+      if (out == HsNodeOutcome::kFailed) {
+        ++failures;
+      } else if (out == HsNodeOutcome::kWinner) {
+        flags |= shard::nodeflag::kWinner | shard::nodeflag::kReplay;
+      } else if (!wi.empty() && wi.size() <= push_cap) {
+        flags |= shard::nodeflag::kReplay;
+      }
+      e.put_u8(flags);
+      shard::put_rng(e, rng);
+      if (flags & shard::nodeflag::kWinner) {
+        shard::put_seq(e, std::span<const Element>(sample));
+      } else if (flags & shard::nodeflag::kReplay) {
+        shard::put_seq(e, std::span<const Element>(wi));
+      }
+    }
+    e.put_u32(attempts);
+    e.put_u32(failures);
+  };
+}
+
+}  // namespace detail
 
 /// Run Algorithm 6 over `n_nodes` gossip nodes.  If cfg.hitting_set_size is
 /// zero the engine performs the doubling search on d the paper sketches in
@@ -133,12 +261,25 @@ inline HittingSetRunResult run_hitting_set(
   };
   std::vector<NodeRound> scratch(n);
 
+  // Shard runtime (shard/runtime.hpp): stage A on shard workers over
+  // contiguous node ranges, stage B applied in shard order — bit-identical
+  // to the serial and parallel_nodes paths.  Workers spawn (PipeTransport:
+  // fork) before any thread pool exists.
+  const bool sharded = cfg.shard.enabled();
+  std::optional<shard::ShardHarness> harness;
+  if (sharded) {
+    harness.emplace(
+        n, cfg.shard,
+        detail::make_hitting_set_serve(problem, cfg.strict_sampling));
+  }
+
   std::optional<util::ThreadPool> pool;
-  if (cfg.parallel_nodes > 1) pool.emplace(cfg.parallel_nodes);
+  if (!sharded && cfg.parallel_nodes > 1) pool.emplace(cfg.parallel_nodes);
 
   // Stage-A chunk accumulators (see run_low_load): candidates for stage-B
   // replay in ascending node order plus sampler counters, bit-identical
-  // for any thread count.
+  // for any thread count.  In the sharded run the chunks are the shards
+  // themselves.
   struct ChunkAcc {
     std::vector<gossip::NodeId> replay;
     std::uint32_t attempts = 0;
@@ -146,7 +287,8 @@ inline HittingSetRunResult run_hitting_set(
   };
   const std::size_t chunk =
       pool ? std::max<std::size_t>(64, n / (cfg.parallel_nodes * 8)) : n;
-  std::vector<ChunkAcc> chunks(util::chunk_count(n, chunk));
+  std::vector<ChunkAcc> chunks(sharded ? harness->frame_count()
+                                       : util::chunk_count(n, chunk));
 
   while (!done) {
     const std::size_t r = cfg.sample_size
@@ -192,9 +334,7 @@ inline HittingSetRunResult run_hitting_set(
       // chunk and replayed in stage B in ascending node order, making
       // parallel runs bit-identical to serial ones.
       auto stage_a = [&](std::size_t k, std::size_t begin, std::size_t end) {
-        thread_local SampleOutcome<Element> outcome;
-        thread_local std::vector<std::uint8_t> hit;
-        thread_local std::vector<std::uint32_t> unhit;
+        thread_local detail::HsStageAScratch scr;
         ChunkAcc& ch = chunks[k];
         ch.replay.clear();
         ch.attempts = 0;
@@ -205,45 +345,68 @@ inline HittingSetRunResult run_hitting_set(
           sc.winner = 0;
           if (net.asleep(v)) continue;
           ++ch.attempts;
-          select_distinct_into(sample_chan.mutable_responses(v), r,
-                               node_rng[v], sampler.strict, outcome);
-          if (!outcome.success) {
+          const detail::HsNodeOutcome out = detail::hitting_set_node_stage_a(
+              problem, sample_chan.mutable_responses(v), r, sampler.strict,
+              store.view(v), node_rng[v], scr, sc.sample, sc.wi);
+          if (out == detail::HsNodeOutcome::kFailed) {
             ++ch.failures;
             continue;
           }
-          // S_i: sets not hit by R_i.
-          problem.mark_hit(outcome.sample, hit);
-          unhit.clear();
-          for (std::uint32_t j = 0; j < s; ++j) {
-            if (!hit[j]) unhit.push_back(j);
-          }
-          if (unhit.empty()) {
-            // R_i is a hitting set: the algorithm's answer (line 13).
+          if (out == detail::HsNodeOutcome::kWinner) {
             sc.winner = 1;
-            sc.sample = std::move(outcome.sample);
             ch.replay.push_back(v);
             continue;
-          }
-          // Random unhit set; W_i = S \ X(v_i), capped (lines 6-9).
-          const auto& chosen =
-              sys.set(unhit[node_rng[v].below(unhit.size())]);
-          sc.wi.clear();
-          for (auto x : chosen) {
-            bool have = false;
-            for (auto own : store.view(v)) {
-              if (own == x) {
-                have = true;
-                break;
-              }
-            }
-            if (!have) sc.wi.push_back(x);
           }
           if (!sc.wi.empty() && sc.wi.size() <= push_cap) {
             ch.replay.push_back(v);
           }
         }
       };
-      util::parallel_chunks(pool ? &*pool : nullptr, n, chunk, stage_a);
+      if (sharded) {
+        // Ship each shard its stage-A inputs in bounded sub-frames;
+        // frame-indexed ChunkAccs walked in order by stage B recover the
+        // ascending node order (the deterministic-merge contract).
+        harness->round(
+            [&](shard::ShardRange rg, gossip::Encoder& e) {
+              e.put_u32(static_cast<std::uint32_t>(r));
+              e.put_u64(static_cast<std::uint64_t>(push_cap));
+              e.put_u32(rg.begin);
+              e.put_u32(rg.end);
+              for (gossip::NodeId v = rg.begin; v < rg.end; ++v) {
+                const bool active = !net.asleep(v);
+                e.put_u8(active ? shard::nodeflag::kActive : std::uint8_t{0});
+                if (!active) continue;
+                shard::put_rng(e, node_rng[v]);
+                shard::put_seq(e, sample_chan.responses(v));
+                shard::put_seq(e, store.view(v));
+              }
+            },
+            [&](std::size_t frame, shard::ShardRange rg,
+                gossip::Decoder& dec) {
+              ChunkAcc& ch = chunks[frame];
+              ch.replay.clear();
+              for (gossip::NodeId v = rg.begin; v < rg.end; ++v) {
+                const std::uint8_t flags = dec.get_u8();
+                NodeRound& sc = scratch[v];
+                sc.winner = 0;
+                if (flags & shard::nodeflag::kActive) {
+                  shard::get_rng(dec, node_rng[v]);
+                }
+                if (flags & shard::nodeflag::kWinner) {
+                  sc.winner = 1;
+                  shard::get_seq(dec, sc.sample);
+                  ch.replay.push_back(v);
+                } else if (flags & shard::nodeflag::kReplay) {
+                  shard::get_seq(dec, sc.wi);
+                  ch.replay.push_back(v);
+                }
+              }
+              ch.attempts = dec.get_u32();
+              ch.failures = dec.get_u32();
+            });
+      } else {
+        util::parallel_chunks(pool ? &*pool : nullptr, n, chunk, stage_a);
+      }
 
       // --- Shared-state replay (stage B): only winners and within-cap W_i
       // pushers, in ascending node order. ---

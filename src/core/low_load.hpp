@@ -62,6 +62,7 @@
 #include "core/termination.hpp"
 #include "gossip/mailbox.hpp"
 #include "gossip/network.hpp"
+#include "shard/runtime.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
@@ -106,6 +107,20 @@ struct LowLoadConfig {
                                    // with a bench-level --threads sweep
                                    // oversubscribes (threads x parallel_
                                    // nodes OS threads) — pick one level.
+  shard::ShardConfig shard;  // shards >= 1: the stage-A compute runs on that
+                             // many shard workers (in-process threads or
+                             // fork()ed processes; see shard/runtime.hpp)
+                             // over contiguous node ranges, with the stage-B
+                             // replay applied after a deterministic merge of
+                             // the per-shard candidate streams.  Results are
+                             // bit-identical to the serial and the
+                             // parallel_nodes paths for every shard count
+                             // and either transport.  Takes precedence over
+                             // parallel_nodes; requires kPullBased sampling
+                             // and a problem with shard wire codecs
+                             // (wire_put/wire_get for Element and Solution),
+                             // else the run falls back to the in-process
+                             // paths.
 };
 
 template <LpTypeProblem P>
@@ -119,6 +134,116 @@ namespace detail {
 // (not function-local constexpr) because GCC 12 ICEs on a local struct
 // NSDMI referencing a function-local constexpr inside a template.
 inline constexpr gossip::NodeId kNoNodeId = 0xffffffffu;
+
+/// One node's stage-A compute (sample selection, local solve, violator
+/// scan) from explicit inputs — the single definition executed by both the
+/// in-process chunk loop and the shard workers, so the two paths cannot
+/// drift.  Consumes `rng` exactly as a serial full scan would; returns
+/// false when the sample failed (no solve, no further draws).
+template <LpTypeProblem P>
+bool low_load_node_stage_a(const P& p, const SamplerConfig& sampler,
+                           std::span<typename P::Element> responses,
+                           std::span<const typename P::Element> local,
+                           util::Rng& rng, typename P::Solution& sol,
+                           std::vector<typename P::Element>& violators) {
+  const SampleView<typename P::Element> view =
+      select_distinct_view(responses, sampler.target, rng, sampler.strict);
+  if (!view.success) return false;
+  // A full-size sample left the selection step in uniform random order, so
+  // the problem's pre-shuffled local solve applies; lenient short samples
+  // keep dedupe order and take the shuffling solve.
+  if constexpr (requires { p.solve_shuffled(view.sample); }) {
+    sol = view.randomized ? p.solve_shuffled(view.sample)
+                          : p.solve(view.sample);
+  } else {
+    sol = p.solve(view.sample);
+  }
+  // W_i: local violators (Algorithm 2 lines 5-6), pushed in stage B.
+  violators.clear();
+  for (const auto& h : local) {
+    if (p.violates(sol, h)) violators.push_back(h);
+  }
+  return true;
+}
+
+/// The sharded runtime is available for P when its element and solution
+/// types have shard wire codecs (shard/wire.hpp customization point).
+template <typename P>
+concept ShardableLowLoad = shard::Wirable<typename P::Element> &&
+                           shard::Wirable<typename P::Solution>;
+
+/// Build the stage-A serve handler every low-load shard worker runs.
+/// Captures only run-static state (problem, oracle, sampler constants) by
+/// value, so it stays valid in a fork()ed child and is data-race-free
+/// across in-process worker threads (each worker owns a copy).
+///
+/// Task payload (after the MsgType byte):
+///   u8 found_snapshot · u32 begin · u32 end · per node in [begin, end):
+///     u8 flags; if kActive: rng state, responses seq, local-elements seq.
+/// Result payload:
+///   per node: u8 flags; if kActive: rng state (advanced); if kReplay:
+///   violators seq; if kSolution: solution — then u32 attempts,
+///   u32 failures, u32 first_opt (kNoNodeId when none).
+template <LpTypeProblem P>
+auto make_low_load_serve(P p, typename P::Solution oracle,
+                         SamplerConfig sampler, bool run_termination) {
+  using Element = typename P::Element;
+  using Solution = typename P::Solution;
+  return [p = std::move(p), oracle = std::move(oracle), sampler,
+          run_termination, rng = util::Rng{}, sol = Solution{},
+          responses = std::vector<Element>{}, local = std::vector<Element>{},
+          violators = std::vector<Element>{}](gossip::Decoder& d,
+                                              gossip::Encoder& e) mutable {
+    const bool found_snapshot = d.get_u8() != 0;
+    const gossip::NodeId begin = d.get_u32();
+    const gossip::NodeId end = d.get_u32();
+    shard::put_msg_type(e, shard::MsgType::kStageAResult);
+    std::uint32_t attempts = 0;
+    std::uint32_t failures = 0;
+    gossip::NodeId first_opt = kNoNodeId;
+    for (gossip::NodeId v = begin; v < end; ++v) {
+      if (!(d.get_u8() & shard::nodeflag::kActive)) {
+        e.put_u8(0);
+        continue;
+      }
+      shard::get_rng(d, rng);
+      shard::get_seq(d, responses);
+      shard::get_seq(d, local);
+      ++attempts;
+      const bool ok = low_load_node_stage_a(
+          p, sampler, std::span<Element>(responses),
+          std::span<const Element>(local), rng, sol, violators);
+      std::uint8_t flags = shard::nodeflag::kActive;
+      if (!ok) {
+        ++failures;
+      } else {
+        bool is_first_opt = false;
+        if (!found_snapshot && first_opt == kNoNodeId &&
+            p.same_value(sol, oracle)) {
+          first_opt = v;
+          is_first_opt = true;
+        }
+        const bool replay = !violators.empty() || run_termination;
+        if (replay) flags |= shard::nodeflag::kReplay;
+        // Ship the solution only where stage B can read it: termination
+        // injects (replay with no violators) and the round's first
+        // optimum (res.solution).
+        if ((replay && violators.empty()) || is_first_opt) {
+          flags |= shard::nodeflag::kSolution;
+        }
+      }
+      e.put_u8(flags);
+      shard::put_rng(e, rng);
+      if (flags & shard::nodeflag::kReplay) {
+        shard::put_seq(e, std::span<const Element>(violators));
+      }
+      if (flags & shard::nodeflag::kSolution) wire_put(e, sol);
+    }
+    e.put_u32(attempts);
+    e.put_u32(failures);
+    e.put_u32(first_opt);
+  };
+}
 }  // namespace detail
 
 /// Run the Low-Load Clarkson Algorithm on (p, h_set) over `n_nodes` gossip
@@ -174,6 +299,23 @@ DistributedLpResult<P> run_low_load(const P& p,
       cfg.max_rounds ? cfg.max_rounds
                      : 60 * d * (util::ceil_log2(n) + 2) + 8 * maturity + 60;
 
+  // Shard runtime (shard/runtime.hpp): when configured and the problem has
+  // wire codecs, stage A runs on shard workers over contiguous node ranges
+  // and stage B applies the per-shard candidate streams merged in shard
+  // order — bit-identical to the serial and parallel_nodes paths.  Workers
+  // spawn (PipeTransport: fork) here, before any thread pool exists.
+  constexpr bool kShardable = detail::ShardableLowLoad<P>;
+  const bool sharded = kShardable && cfg.shard.enabled() &&
+                       cfg.sampling == SamplingMode::kPullBased;
+  std::optional<shard::ShardHarness> harness;
+  if constexpr (kShardable) {
+    if (sharded) {
+      harness.emplace(n, cfg.shard,
+                      detail::make_low_load_serve<P>(p, oracle, sampler,
+                                                     cfg.run_termination));
+    }
+  }
+
   gossip::PullChannel<Element> sample_chan(net);
   gossip::PullChannel<Element> seed_chan(net);  // Section 2.3 pull phase
   gossip::Mailbox<Element> copies_mail(net);    // W_i pushes
@@ -206,8 +348,8 @@ DistributedLpResult<P> run_low_load(const P& p,
   std::vector<NodeRound> scratch(n);
   std::vector<std::size_t> prefix;  // idealized-sampling cumulative sizes
 
-  const bool parallel =
-      cfg.parallel_nodes > 1 && cfg.sampling == SamplingMode::kPullBased;
+  const bool parallel = !sharded && cfg.parallel_nodes > 1 &&
+                        cfg.sampling == SamplingMode::kPullBased;
   std::optional<util::ThreadPool> pool;
   if (parallel) pool.emplace(cfg.parallel_nodes);
 
@@ -215,7 +357,9 @@ DistributedLpResult<P> run_low_load(const P& p,
   // ascending node order, the nodes whose stage-B replay has shared-state
   // effects, plus sampler counters.  Concatenated in chunk order they
   // recover the exact node order of a full scan at O(candidates) cost,
-  // independent of the thread count (see util::parallel_chunks).
+  // independent of the thread count (see util::parallel_chunks).  In the
+  // sharded run the chunks are the shards themselves (contiguous ascending
+  // ranges, applied in shard order — the same contract over the wire).
   struct ChunkAcc {
     std::vector<gossip::NodeId> replay;
     std::uint32_t attempts = 0;
@@ -224,7 +368,8 @@ DistributedLpResult<P> run_low_load(const P& p,
   };
   const std::size_t chunk =
       parallel ? std::max<std::size_t>(64, n / (cfg.parallel_nodes * 8)) : n;
-  std::vector<ChunkAcc> chunks(util::chunk_count(n, chunk));
+  std::vector<ChunkAcc> chunks(sharded ? harness->frame_count()
+                                       : util::chunk_count(n, chunk));
 
   bool found = false;
   for (std::size_t t = 1; t <= max_rounds; ++t) {
@@ -283,14 +428,14 @@ DistributedLpResult<P> run_low_load(const P& p,
         if (net.asleep(v) || in_pull_phase[v]) continue;
         ++ch.attempts;
         NodeRound& sc = scratch[v];
-        SampleView<Element> view;
+        bool ok;
         if (cfg.sampling == SamplingMode::kPullBased) {
           // Select straight out of the channel's CSR slice: each slice is
           // consumed exactly once per round, so reordering it in place is
           // safe, and the sample stays a zero-copy view into it.
-          view = select_distinct_view(sample_chan.mutable_responses(v),
-                                      sampler.target, node_rng[v],
-                                      sampler.strict);
+          ok = detail::low_load_node_stage_a(
+              p, sampler, sample_chan.mutable_responses(v), store.view(v),
+              node_rng[v], sc.sol, sc.violators);
         } else {
           const std::size_t m = prefix[n];
           sc.resp.clear();
@@ -305,27 +450,13 @@ DistributedLpResult<P> run_low_load(const P& p,
                                          g - *it));
             net.meter().add_response_bytes(sizeof(Element));
           }
-          view = select_distinct_view(std::span<Element>(sc.resp),
-                                      sampler.target, node_rng[v],
-                                      sampler.strict);
+          ok = detail::low_load_node_stage_a(
+              p, sampler, std::span<Element>(sc.resp), store.view(v),
+              node_rng[v], sc.sol, sc.violators);
         }
-        if (!view.success) {
+        if (!ok) {
           ++ch.failures;
           continue;
-        }
-        // A full-size sample left the selection step in uniform random
-        // order, so the problem's pre-shuffled local solve applies; lenient
-        // short samples keep dedupe order and take the shuffling solve.
-        if constexpr (requires { p.solve_shuffled(view.sample); }) {
-          sc.sol = view.randomized ? p.solve_shuffled(view.sample)
-                                   : p.solve(view.sample);
-        } else {
-          sc.sol = p.solve(view.sample);
-        }
-        // W_i: local violators (lines 5-6), pushed in stage B.
-        sc.violators.clear();
-        for (const auto& h : store.view(v)) {
-          if (p.violates(sc.sol, h)) sc.violators.push_back(h);
         }
         if (!found_snapshot && ch.first_opt == detail::kNoNodeId &&
             p.same_value(sc.sol, oracle)) {
@@ -336,7 +467,54 @@ DistributedLpResult<P> run_low_load(const P& p,
         }
       }
     };
-    util::parallel_chunks(pool ? &*pool : nullptr, n, chunk, stage_a);
+    bool ran_on_shards = false;
+    if constexpr (kShardable) {
+      if (sharded) {
+        // Ship each shard its per-node stage-A inputs in bounded
+        // sub-frames; per-frame results land in frame-indexed ChunkAccs,
+        // which stage B walks in index order — shard-major contiguous
+        // ascending ranges, i.e. the serial full-scan node order.
+        harness->round(
+            [&](shard::ShardRange r, gossip::Encoder& e) {
+              e.put_u8(found_snapshot ? 1 : 0);
+              e.put_u32(r.begin);
+              e.put_u32(r.end);
+              for (gossip::NodeId v = r.begin; v < r.end; ++v) {
+                const bool active = !net.asleep(v) && !in_pull_phase[v];
+                e.put_u8(active ? shard::nodeflag::kActive : std::uint8_t{0});
+                if (!active) continue;
+                shard::put_rng(e, node_rng[v]);
+                shard::put_seq(e, sample_chan.responses(v));
+                shard::put_seq(e, store.view(v));
+              }
+            },
+            [&](std::size_t frame, shard::ShardRange r,
+                gossip::Decoder& dec) {
+              ChunkAcc& ch = chunks[frame];
+              ch.replay.clear();
+              for (gossip::NodeId v = r.begin; v < r.end; ++v) {
+                const std::uint8_t flags = dec.get_u8();
+                if (flags & shard::nodeflag::kActive) {
+                  shard::get_rng(dec, node_rng[v]);
+                }
+                if (flags & shard::nodeflag::kReplay) {
+                  shard::get_seq(dec, scratch[v].violators);
+                  ch.replay.push_back(v);
+                }
+                if (flags & shard::nodeflag::kSolution) {
+                  wire_get(dec, scratch[v].sol);
+                }
+              }
+              ch.attempts = dec.get_u32();
+              ch.failures = dec.get_u32();
+              ch.first_opt = dec.get_u32();
+            });
+        ran_on_shards = true;
+      }
+    }
+    if (!ran_on_shards) {
+      util::parallel_chunks(pool ? &*pool : nullptr, n, chunk, stage_a);
+    }
 
     // --- Shared-state replay (stage B): walk the pull-phase list and the
     // per-chunk candidate lists merged in ascending node order — the exact

@@ -5,11 +5,13 @@
 // the problem the paper's experimental evaluation (Figures 1-3) runs.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "geometry/circle.hpp"
 #include "geometry/welzl.hpp"
+#include "gossip/codec.hpp"
 
 namespace lpt::problems {
 
@@ -20,6 +22,25 @@ struct MinDiskSolution {
   friend bool operator==(const MinDiskSolution& a,
                          const MinDiskSolution& b) = default;
 };
+
+/// Shard wire codec (found by ADL from shard/wire.hpp): exact round-trip —
+/// center, radius, and the sorted support set, so a solution crossing a
+/// shard-worker boundary compares bit-identically on the coordinator.
+inline void wire_put(gossip::Encoder& e, const MinDiskSolution& s) {
+  e.put(s.disk.center);
+  e.put_f64(s.disk.radius);
+  e.put_u8(static_cast<std::uint8_t>(s.basis.size()));
+  for (const geom::Vec2& b : s.basis) e.put(b);
+}
+
+inline void wire_get(gossip::Decoder& d, MinDiskSolution& s) {
+  s.disk.center = d.get_vec2();
+  s.disk.radius = d.get_f64();
+  const std::uint8_t k = d.get_u8();
+  s.basis.clear();
+  s.basis.reserve(k);
+  for (std::uint8_t i = 0; i < k; ++i) s.basis.push_back(d.get_vec2());
+}
 
 class MinDisk {
  public:

@@ -1,0 +1,74 @@
+// Shard partition of the simulated node range.
+//
+// The shard runtime (shard/runtime.hpp) splits the node range [0, n) into
+// `shards` *contiguous* ranges, one per worker.  Contiguity is load-bearing,
+// not cosmetic: the engines' stage-B replay recovers the exact node order
+// (and hence the exact shared-RNG stream) of a serial full scan by
+// concatenating per-shard ascending candidate lists in shard order — the
+// same contract util::parallel_chunks gives the in-process thread pool.  A
+// non-contiguous ownership map would break that concatenation and with it
+// the bit-identity guarantee.
+//
+// The partition depends only on (n, shards) — never on transport, schedule,
+// or machine — so every participant (coordinator, workers, tests) derives
+// the identical plan locally instead of negotiating it.
+#pragma once
+
+#include <cstddef>
+
+#include "gossip/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace lpt::shard {
+
+/// Half-open node range [begin, end) owned by one shard.
+struct ShardRange {
+  gossip::NodeId begin = 0;
+  gossip::NodeId end = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+  bool contains(gossip::NodeId v) const noexcept {
+    return begin <= v && v < end;
+  }
+};
+
+/// Deterministic contiguous partition of [0, n) into `shards` ranges whose
+/// sizes differ by at most one (shard s owns [floor(s*n/k), floor((s+1)*n/k))).
+class ShardPlan {
+ public:
+  ShardPlan(std::size_t n, std::size_t shards) : n_(n), shards_(shards) {
+    LPT_CHECK_MSG(n >= 1, "ShardPlan needs at least one node");
+    LPT_CHECK_MSG(shards >= 1, "ShardPlan needs at least one shard");
+    LPT_CHECK_MSG(shards <= n,
+                  "more shards than nodes: empty shards are pointless");
+  }
+
+  std::size_t nodes() const noexcept { return n_; }
+  std::size_t shard_count() const noexcept { return shards_; }
+
+  ShardRange range(std::size_t s) const noexcept {
+    return {boundary(s), boundary(s + 1)};
+  }
+
+  /// Ownership map: the shard whose range contains node v.  Closed form of
+  /// the floor-split inverse; O(1), no boundary table.
+  std::size_t owner(gossip::NodeId v) const noexcept {
+    // begin(s) = floor(s*n/k) <= v  <=>  s <= (v*k + k - 1) / n (integer),
+    // so the owner is the largest such s.
+    const std::size_t s =
+        (static_cast<std::size_t>(v) * shards_ + shards_ - 1) / n_;
+    // Guard the closed form against its own off-by-one at range starts.
+    if (s < shards_ && range(s).contains(v)) return s;
+    return s == 0 ? 0 : s - 1;
+  }
+
+ private:
+  gossip::NodeId boundary(std::size_t s) const noexcept {
+    return static_cast<gossip::NodeId>((s * n_) / shards_);
+  }
+
+  std::size_t n_;
+  std::size_t shards_;
+};
+
+}  // namespace lpt::shard

@@ -1,0 +1,265 @@
+// Transport implementations for the shard runtime (see shard/transport.hpp
+// for the design).  Everything transport-specific lives here so the
+// header-only engine glue stays free of OS includes.
+#include "shard/transport.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "shard/wire.hpp"
+#include "util/assert.hpp"
+
+namespace lpt::shard {
+
+namespace detail {
+
+void FrameQueue::push(std::vector<std::uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frames_.push_back(std::move(frame));
+  }
+  cv_.notify_one();
+}
+
+std::vector<std::uint8_t> FrameQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !frames_.empty(); });
+  std::vector<std::uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+namespace {
+
+/// Queue-backed endpoint: the in-process analogue of a pipe pair.  The
+/// payload is copied on send — the receiving side must never alias the
+/// sender's buffers, or the in-process mode would stop being a faithful
+/// rehearsal of the process mode.
+class QueueEndpoint final : public Endpoint {
+ public:
+  QueueEndpoint(FrameQueue& in, FrameQueue& out) : in_(&in), out_(&out) {}
+
+  void send(std::span<const std::uint8_t> payload) override {
+    LPT_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                  "shard frame exceeds kMaxFrameBytes");
+    out_->push(std::vector<std::uint8_t>(payload.begin(), payload.end()));
+  }
+
+  std::vector<std::uint8_t> recv() override { return in_->pop(); }
+
+ private:
+  FrameQueue* in_;
+  FrameQueue* out_;
+};
+
+/// Close every fd the forked worker inherited except stdio and its own
+/// pipe ends.  Concurrent harnesses (a bench running repetitions on a
+/// thread pool spawns one per rep) interleave pipe()/fork() freely, so a
+/// child would otherwise hold other runs' pipe write ends open — breaking
+/// their EOF-based cleanup and leaking fds.  The /proc sweep makes each
+/// child self-contained no matter how the spawns interleaved.
+void close_inherited_fds(int keep_read, int keep_write) {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return;  // /proc unavailable: best effort only
+  std::vector<int> to_close;
+  const int dir_fd = ::dirfd(dir);
+  while (const dirent* entry = ::readdir(dir)) {
+    char* end = nullptr;
+    const long fd = std::strtol(entry->d_name, &end, 10);
+    if (end == entry->d_name || *end != '\0') continue;  // "." / ".."
+    if (fd <= 2 || fd == keep_read || fd == keep_write || fd == dir_fd) {
+      continue;
+    }
+    to_close.push_back(static_cast<int>(fd));
+  }
+  ::closedir(dir);
+  for (const int fd : to_close) ::close(fd);
+}
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t w = ::write(fd, p, len);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      LPT_CHECK_MSG(false, "shard pipe write failed");
+    }
+    p += w;
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Read exactly len bytes.  Returns false on clean EOF at a frame
+/// boundary (offset 0); aborts on EOF mid-frame or on errors.
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::read(fd, p + got, len - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      LPT_CHECK_MSG(false, "shard pipe read failed");
+    }
+    if (r == 0) {
+      LPT_CHECK_MSG(got == 0, "shard pipe truncated mid-frame");
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace detail
+
+// --- InProcTransport ------------------------------------------------------
+
+struct InProcTransport::Lane {
+  detail::FrameQueue to_worker;
+  detail::FrameQueue to_coordinator;
+  // Endpoints are constructed after the queues they reference.
+  detail::QueueEndpoint coordinator{to_coordinator, to_worker};
+  detail::QueueEndpoint worker{to_worker, to_coordinator};
+};
+
+InProcTransport::InProcTransport() = default;
+
+InProcTransport::~InProcTransport() { join(); }
+
+void InProcTransport::spawn(std::size_t shards, WorkerFn worker) {
+  LPT_CHECK_MSG(lanes_.empty(), "Transport::spawn called twice");
+  lanes_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  threads_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    threads_.emplace_back(
+        [s, worker, lane = lanes_[s].get()] { worker(s, lane->worker); });
+  }
+}
+
+Endpoint& InProcTransport::endpoint(std::size_t shard) {
+  return lanes_[shard]->coordinator;
+}
+
+void InProcTransport::join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+// --- PipeTransport --------------------------------------------------------
+
+PipeEndpoint::~PipeEndpoint() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0) ::close(write_fd_);
+}
+
+void PipeEndpoint::send(std::span<const std::uint8_t> payload) {
+  LPT_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                "shard frame exceeds kMaxFrameBytes");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  detail::write_all(write_fd_, &len, sizeof len);
+  detail::write_all(write_fd_, payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> PipeEndpoint::recv() {
+  std::uint32_t len = 0;
+  if (!detail::read_all(read_fd_, &len, sizeof len)) {
+    // Clean EOF at a frame boundary: the peer is gone.  Returned as an
+    // empty frame; worker_loop treats it as shutdown (a coordinator that
+    // died mid-run must not leave children aborting), while a coordinator
+    // expecting a result trips the result-type check loudly.
+    return {};
+  }
+  LPT_CHECK_MSG(len <= kMaxFrameBytes,
+                "shard frame length prefix exceeds kMaxFrameBytes");
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0) {
+    LPT_CHECK_MSG(detail::read_all(read_fd_, payload.data(), len),
+                  "shard pipe truncated mid-frame");
+  }
+  return payload;
+}
+
+PipeTransport::PipeTransport() = default;
+
+PipeTransport::~PipeTransport() {
+  // Endpoints close first (their destructors run in join's caller chain
+  // anyway): a child blocked in recv() sees EOF and exits if the shutdown
+  // frame never made it.
+  endpoints_.clear();
+  join();
+}
+
+void PipeTransport::spawn(std::size_t shards, WorkerFn worker) {
+  LPT_CHECK_MSG(endpoints_.empty(), "Transport::spawn called twice");
+  // A write to a dead worker must surface as EPIPE (and the loud
+  // write_all check), not kill the coordinator with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  for (std::size_t s = 0; s < shards; ++s) {
+    int task_pipe[2];    // coordinator -> worker
+    int result_pipe[2];  // worker -> coordinator
+    LPT_CHECK_MSG(::pipe(task_pipe) == 0 && ::pipe(result_pipe) == 0,
+                  "pipe() failed");
+    const pid_t pid = ::fork();
+    LPT_CHECK_MSG(pid >= 0, "fork() failed");
+    if (pid == 0) {
+      // Worker process: keep only stdio and this worker's own pipe ends —
+      // sibling shards' fds AND any concurrently spawning harness's fds
+      // (bench thread pools fork in parallel) are swept via /proc.
+      detail::close_inherited_fds(task_pipe[0], result_pipe[1]);
+      {
+        PipeEndpoint ep(task_pipe[0], result_pipe[1]);
+        worker(s, ep);
+      }
+      // _exit, not exit: no atexit handlers / stream flushes inherited
+      // from the coordinator may run in the child.
+      ::_exit(0);
+    }
+    ::close(task_pipe[0]);
+    ::close(result_pipe[1]);
+    endpoints_.push_back(
+        std::make_unique<PipeEndpoint>(result_pipe[0], task_pipe[1]));
+    children_.push_back(pid);
+  }
+}
+
+Endpoint& PipeTransport::endpoint(std::size_t shard) {
+  return *endpoints_[shard];
+}
+
+void PipeTransport::join() {
+  for (const pid_t pid : children_) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    LPT_CHECK_MSG(r == pid, "waitpid failed for shard worker");
+    LPT_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                  "shard worker process exited abnormally");
+  }
+  children_.clear();
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProc:
+      return std::make_unique<InProcTransport>();
+    case TransportKind::kPipe:
+      return std::make_unique<PipeTransport>();
+  }
+  LPT_CHECK_MSG(false, "unknown TransportKind");
+  return nullptr;
+}
+
+}  // namespace lpt::shard

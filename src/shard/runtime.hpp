@@ -1,0 +1,211 @@
+// The shard runtime: a coordinator/worker harness for the engines'
+// stage-A/stage-B split across process (or thread) boundaries.
+//
+// ## What is sharded, and why it stays bit-identical
+//
+// The engines (core/low_load.hpp, core/hitting_set.hpp) already execute one
+// simulated round as stage A (embarrassingly parallel per-node compute on
+// private RNG streams) followed by stage B (every shared-state side effect,
+// replayed serially in ascending node order).  The shard runtime moves
+// stage A into per-shard workers:
+//
+//   1. the coordinator owns the whole simulation state (network, store,
+//      channels) and remains the only writer of shared state;
+//   2. per round it ships each worker a stage-A task frame with the
+//      worker's shard of per-node inputs (shard/wire.hpp);
+//   3. each worker computes stage A for its contiguous node range and
+//      answers with its stage-B candidate list in ascending node order,
+//      plus payloads and advanced per-node RNG states;
+//   4. the coordinator applies results *in shard order*.  Shards are
+//      contiguous and ascending (shard/plan.hpp), so the concatenated
+//      candidate stream is exactly the ascending node order of a serial
+//      full scan — the identical util::parallel_chunks contract that makes
+//      `parallel_nodes` bit-identical, now across process boundaries.
+//
+// Solutions, round counts, and every DistributedRunStats counter are
+// therefore bit-identical to the serial and parallel_nodes paths for any
+// shard count and either transport; tests/test_shard.cpp pins this.
+//
+// ## Round-trip schedule
+//
+// round() sends all task frames before receiving any result frame, so
+// workers compute concurrently; receives then proceed in shard order (the
+// order results must be applied anyway, so a faster later shard never
+// blocks progress it could legally make).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "gossip/codec.hpp"
+#include "shard/plan.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+#include "util/assert.hpp"
+
+namespace lpt::shard {
+
+/// Engine-facing knob: how to shard a run.  Lives alongside
+/// `parallel_nodes` in the engine configs; `shards >= 1` routes the
+/// stage-A compute through the shard runtime (1 = one worker, useful for
+/// exercising the wire path and measuring pure runtime overhead), and 0
+/// keeps the in-process paths.  Sharding does not participate in the
+/// determinism contract: results are bit-identical for every value.
+struct ShardConfig {
+  std::size_t shards = 0;  // 0: disabled; >= 1: worker count
+  TransportKind transport = TransportKind::kInProc;
+  std::size_t max_frame_nodes = 8192;  // cap on nodes per task/result frame:
+                                       // a shard's round splits into
+                                       // ceil(range / cap) sub-frames, so
+                                       // frame bytes stay bounded by
+                                       // per-node state, not by n (a 2^20
+                                       // node range in one frame would blow
+                                       // kMaxFrameBytes).  0 = one frame
+                                       // per shard.  Like the transport,
+                                       // this never affects results.
+
+  bool enabled() const noexcept { return shards >= 1; }
+};
+
+/// Generic worker serve loop: block for frames, dispatch task frames to
+/// `serve(decoder, encoder)`, stop on the shutdown frame.  `serve` decodes
+/// one task payload (message type already consumed) and encodes the
+/// complete result payload including its leading message type.
+template <typename Serve>
+void worker_loop(Endpoint& ep, Serve&& serve) {
+  for (;;) {
+    const std::vector<std::uint8_t> frame = ep.recv();
+    if (frame.empty()) return;  // peer gone (EOF): treat as shutdown
+    gossip::Decoder d(frame);
+    const MsgType type = get_msg_type(d);
+    if (type == MsgType::kShutdown) return;
+    LPT_CHECK_MSG(type == MsgType::kStageATask,
+                  "shard worker: unexpected frame type");
+    gossip::Encoder e;
+    serve(d, e);
+    LPT_CHECK_MSG(d.exhausted(), "shard worker: trailing bytes in task");
+    ep.send(e.bytes());
+  }
+}
+
+/// Coordinator-side harness: plan + transport + worker lifecycle.  One
+/// harness serves one engine run; the destructor shuts the workers down.
+///
+/// A shard's round is split into `ceil(range / max_frame_nodes)`
+/// contiguous ascending *sub-frames* so a frame's size is bounded by
+/// per-node state, never by n.  The global frame list is laid out
+/// shard-major (all of shard 0's sub-frames, then shard 1's, ...), so
+/// per-frame accumulations concatenated in frame-index order are still
+/// exactly the ascending node order of a serial full scan.
+class ShardHarness {
+ public:
+  /// Spawns cfg.shards workers running worker_loop(endpoint, serve) —
+  /// `serve` is the engine's stage-A handler and must capture only state
+  /// that is (a) immutable for the whole run and (b) meaningful in a
+  /// forked child (the static problem description, sampler constants).
+  /// For PipeTransport the fork happens here, before the engine's round
+  /// loop allocates anything thread-related.
+  template <typename Serve>
+  ShardHarness(std::size_t n, const ShardConfig& cfg, Serve serve)
+      : plan_(n, std::min(cfg.shards, n)) {
+    const std::size_t limit =
+        cfg.max_frame_nodes ? cfg.max_frame_nodes : n;
+    for (std::size_t s = 0; s < plan_.shard_count(); ++s) {
+      const ShardRange r = plan_.range(s);
+      frame_offset_.push_back(frames_.size());
+      for (gossip::NodeId b = r.begin; b < r.end;
+           b = static_cast<gossip::NodeId>(
+               std::min<std::size_t>(b + limit, r.end))) {
+        frames_.push_back(
+            {b, static_cast<gossip::NodeId>(
+                    std::min<std::size_t>(b + limit, r.end))});
+      }
+      steps_ = std::max(steps_, frames_.size() - frame_offset_.back());
+    }
+    transport_ = make_transport(cfg.transport);
+    transport_->spawn(
+        plan_.shard_count(),
+        // mutable: serve handlers own per-worker scratch (each spawned
+        // worker gets its own copy of this closure, so no sharing).
+        [serve = std::move(serve)](std::size_t, Endpoint& ep) mutable {
+          worker_loop(ep, serve);
+        });
+  }
+
+  ~ShardHarness() {
+    gossip::Encoder bye;
+    put_msg_type(bye, MsgType::kShutdown);
+    for (std::size_t s = 0; s < plan_.shard_count(); ++s) {
+      transport_->endpoint(s).send(bye.bytes());
+    }
+    transport_->join();
+  }
+
+  ShardHarness(const ShardHarness&) = delete;
+  ShardHarness& operator=(const ShardHarness&) = delete;
+
+  const ShardPlan& plan() const noexcept { return plan_; }
+
+  /// Total sub-frames per round; engines size their per-frame accumulator
+  /// vectors to this (frame i covers frame_range(i), shard-major, so
+  /// accumulators walked in index order recover ascending node order).
+  std::size_t frame_count() const noexcept { return frames_.size(); }
+  ShardRange frame_range(std::size_t frame) const noexcept {
+    return frames_[frame];
+  }
+
+  /// One simulated round: encode_task(range, encoder) builds one task
+  /// payload (after the message type, which round() writes);
+  /// apply_result(frame, range, decoder) consumes one result payload.
+  ///
+  /// Sub-frames are scheduled round-robin across shards in strict
+  /// send-all / receive-all steps: within a step every worker's previous
+  /// result has been fully drained, so a worker blocked writing a large
+  /// result can never deadlock against a coordinator blocked writing its
+  /// next task (pipe buffers are small).  Workers overlap within a step;
+  /// apply_result runs once per sub-frame, in any order the schedule
+  /// produces — it must only write frame-indexed slots, never shared
+  /// streams (stage B does that later, walking frames in index order).
+  template <typename EncodeTask, typename ApplyResult>
+  void round(EncodeTask&& encode_task, ApplyResult&& apply_result) {
+    for (std::size_t step = 0; step < steps_; ++step) {
+      for (std::size_t s = 0; s < plan_.shard_count(); ++s) {
+        const std::size_t frame = frame_offset_[s] + step;
+        if (frame >= frames_end(s)) continue;
+        gossip::Encoder e;
+        put_msg_type(e, MsgType::kStageATask);
+        encode_task(frames_[frame], e);
+        transport_->endpoint(s).send(e.bytes());
+      }
+      for (std::size_t s = 0; s < plan_.shard_count(); ++s) {
+        const std::size_t frame = frame_offset_[s] + step;
+        if (frame >= frames_end(s)) continue;
+        const std::vector<std::uint8_t> bytes =
+            transport_->endpoint(s).recv();
+        gossip::Decoder d(bytes);
+        LPT_CHECK_MSG(get_msg_type(d) == MsgType::kStageAResult,
+                      "shard coordinator: expected a stage-A result");
+        apply_result(frame, frames_[frame], d);
+        LPT_CHECK_MSG(d.exhausted(),
+                      "shard coordinator: trailing bytes in result");
+      }
+    }
+  }
+
+ private:
+  std::size_t frames_end(std::size_t s) const noexcept {
+    return s + 1 < frame_offset_.size() ? frame_offset_[s + 1]
+                                        : frames_.size();
+  }
+
+  ShardPlan plan_;
+  std::vector<ShardRange> frames_;        // shard-major sub-frame ranges
+  std::vector<std::size_t> frame_offset_; // first frame index per shard
+  std::size_t steps_ = 0;                 // max sub-frames of any shard
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace lpt::shard

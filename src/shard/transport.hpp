@@ -1,0 +1,161 @@
+// Coordinator/worker transports for the shard runtime.
+//
+// A Transport owns the lifecycle of `shards` workers and one bidirectional
+// frame stream per worker.  Frames are length-prefixed byte blobs (u32
+// little-endian payload length, then the payload — see shard/wire.hpp for
+// the payload schema); the framing and its malformed-input rejection live
+// in Endpoint so both transports and both directions share one
+// implementation.
+//
+// Two implementations:
+//
+//   * InProcTransport — workers are std::threads inside the coordinator
+//     process; frames travel through mutex+condvar byte queues.  The worker
+//     code still sees only *serialized* frames (never the coordinator's
+//     memory), so the in-process mode exercises the identical wire path as
+//     the process mode — it is the fast default and the test vehicle, not a
+//     shortcut.
+//
+//   * PipeTransport — workers are fork()ed child processes; frames travel
+//     through pipe(2) pairs.  The child inherits the engine's static
+//     problem description (the paper's "every node knows the problem"
+//     standing assumption) at fork time, sweeps every inherited fd except
+//     its own pipe ends (/proc/self/fd — concurrent harnesses on a bench
+//     thread pool interleave pipe()/fork() freely), and from then on
+//     communicates only via frames.  The runtime spawns workers before the
+//     engine's round loop starts, so an engine run never forks with its
+//     own pool live; forking from a bench-level repetition pool relies on
+//     glibc's malloc atfork handlers (works in practice, and each child
+//     touches only its closure state).
+//
+// Both transports present the same blocking Endpoint API, so the engines'
+// coordinator loop is transport-agnostic.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace lpt::shard {
+
+/// One side of a bidirectional frame stream.  send() frames and writes the
+/// payload; recv() blocks for the next frame and rejects malformed input
+/// (length prefix past kMaxFrameBytes, or a stream truncated mid-frame)
+/// with a loud LPT_CHECK abort — a shard runtime with a corrupt stream must
+/// not keep simulating.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void send(std::span<const std::uint8_t> payload) = 0;
+  virtual std::vector<std::uint8_t> recv() = 0;
+};
+
+/// A worker body: runs the per-shard serve loop until shutdown.  Invoked
+/// once per shard with that shard's index and endpoint.
+using WorkerFn = std::function<void(std::size_t shard, Endpoint& ep)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Launch `shards` workers, each running `worker(shard, endpoint)`.
+  /// Must be called exactly once, before any endpoint() use.
+  virtual void spawn(std::size_t shards, WorkerFn worker) = 0;
+
+  /// The coordinator-side endpoint for `shard` (valid after spawn()).
+  virtual Endpoint& endpoint(std::size_t shard) = 0;
+
+  /// Block until every worker has exited its loop (callers send the
+  /// shutdown frames first).  Idempotent; also invoked by destructors.
+  virtual void join() = 0;
+
+ protected:
+  Transport() = default;
+};
+
+// --- In-process transport (worker threads + frame queues). ---------------
+
+namespace detail {
+
+/// Unbounded blocking frame queue (one direction of one worker's stream).
+class FrameQueue {
+ public:
+  void push(std::vector<std::uint8_t> frame);
+  std::vector<std::uint8_t> pop();  // blocks until a frame arrives
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<std::uint8_t>> frames_;
+};
+
+}  // namespace detail
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport();
+  ~InProcTransport() override;
+
+  void spawn(std::size_t shards, WorkerFn worker) override;
+  Endpoint& endpoint(std::size_t shard) override;
+  void join() override;
+
+ private:
+  struct Lane;  // the queue pair + both endpoints for one shard
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+};
+
+// --- Process transport (fork + pipes). -----------------------------------
+
+/// Frame stream over a (read fd, write fd) pair.  Public so tests can frame
+/// arbitrary fds (e.g. to inject malformed length prefixes).
+class PipeEndpoint final : public Endpoint {
+ public:
+  PipeEndpoint(int read_fd, int write_fd)
+      : read_fd_(read_fd), write_fd_(write_fd) {}
+  ~PipeEndpoint() override;
+
+  void send(std::span<const std::uint8_t> payload) override;
+  std::vector<std::uint8_t> recv() override;
+
+ private:
+  int read_fd_;
+  int write_fd_;
+};
+
+class PipeTransport final : public Transport {
+ public:
+  PipeTransport();
+  ~PipeTransport() override;
+
+  void spawn(std::size_t shards, WorkerFn worker) override;
+  Endpoint& endpoint(std::size_t shard) override;
+  void join() override;
+
+ private:
+  std::vector<std::unique_ptr<PipeEndpoint>> endpoints_;  // coordinator side
+  std::vector<pid_t> children_;
+};
+
+/// Which transport a ShardConfig asks for.
+enum class TransportKind : std::uint8_t {
+  kInProc = 0,  // worker threads, serialized frames through memory queues
+  kPipe = 1,    // fork()ed worker processes, frames through pipes
+};
+
+/// Factory for the configured kind.
+std::unique_ptr<Transport> make_transport(TransportKind kind);
+
+}  // namespace lpt::shard

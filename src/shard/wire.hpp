@@ -1,0 +1,158 @@
+// Wire messages for the shard runtime, framed with the gossip codec.
+//
+// The coordinator/worker protocol is a strict request/response lockstep per
+// simulated round: the coordinator sends each worker one stage-A *task*
+// frame carrying the per-node inputs of the worker's shard (node flags, the
+// node's private RNG state, its pull responses, its local element multiset),
+// and the worker answers with one stage-A *result* frame carrying the
+// shard's ascending-node-order stage-B candidate list, sampler counters,
+// per-node violator/push payloads, solutions where stage B will need them,
+// and the advanced per-node RNG states (the coordinator's filter pass and
+// the next round's stage A continue those streams, so they must round-trip
+// exactly).  A shutdown frame ends the worker loop.
+//
+// Framing: every frame is a u32 little-endian payload length followed by
+// the payload; the payload's first byte is the MsgType.  Length prefixes
+// past kMaxFrameBytes are rejected (a garbage or truncated stream otherwise
+// turns into an attempted multi-gigabyte allocation).
+//
+// Element and solution payloads go through the `wire_put` / `wire_get`
+// customization point (ADL): overloads for the built-in gossiped element
+// types live here; problem-specific solution overloads live next to the
+// problem type (e.g. MinDiskSolution in problems/min_disk.hpp).  Sequences
+// are u32-length-prefixed directly rather than via Encoder::put_sequence —
+// a node's local multiset is bounded by the simulation, not by the gossip
+// model's O(log n)-bit message limit, so the codec's 2^16 sequence guard
+// does not apply to shard frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "gossip/codec.hpp"
+#include "lp/halfplane.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::shard {
+
+/// First payload byte of every frame.
+enum class MsgType : std::uint8_t {
+  kStageATask = 1,
+  kStageAResult = 2,
+  kShutdown = 3,
+};
+
+/// Upper bound on a frame payload; recv rejects longer length prefixes.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;  // 256 MiB
+
+inline void put_msg_type(gossip::Encoder& e, MsgType t) {
+  e.put_u8(static_cast<std::uint8_t>(t));
+}
+
+inline MsgType get_msg_type(gossip::Decoder& d) {
+  const std::uint8_t t = d.get_u8();
+  LPT_CHECK_MSG(t >= 1 && t <= 3, "shard wire: unknown message type");
+  return static_cast<MsgType>(t);
+}
+
+// --- wire_put / wire_get: the per-type payload customization point. ------
+//
+// Overloads must be exact round-trips (encode then decode reproduces the
+// value bit-for-bit): the shard runtime's bit-identity guarantee rides on
+// RNG states, elements, and solutions surviving the wire unchanged.
+
+inline void wire_put(gossip::Encoder& e, std::uint32_t v) { e.put_u32(v); }
+inline void wire_get(gossip::Decoder& d, std::uint32_t& v) { v = d.get_u32(); }
+
+inline void wire_put(gossip::Encoder& e, const geom::Vec2& p) { e.put(p); }
+inline void wire_get(gossip::Decoder& d, geom::Vec2& p) { p = d.get_vec2(); }
+
+inline void wire_put(gossip::Encoder& e, const lp::Halfplane& h) { e.put(h); }
+inline void wire_get(gossip::Decoder& d, lp::Halfplane& h) {
+  h = d.get_halfplane();
+}
+
+// A node's private xoshiro256** stream is consumed on both sides of the
+// process boundary (stage A on the worker, the filter pass and later
+// rounds on the coordinator), so each round ships the state out with the
+// task and back with the result.  util::RngState is the engine's complete
+// serializable state; the round-trip is exact by construction (fixed-width
+// words through the little-endian codec).
+
+inline void wire_put(gossip::Encoder& e, const util::RngState& s) {
+  for (const std::uint64_t w : s.words) e.put_u64(w);
+  e.put_f64(s.normal_spare);
+  e.put_u8(s.has_normal_spare ? 1 : 0);
+}
+
+inline void wire_get(gossip::Decoder& d, util::RngState& s) {
+  for (std::uint64_t& w : s.words) w = d.get_u64();
+  s.normal_spare = d.get_f64();
+  s.has_normal_spare = d.get_u8() != 0;
+}
+
+/// A type is Wirable when wire_put/wire_get overloads are visible (here or
+/// via ADL next to the type).  The engines use this to gate the sharded
+/// code path at compile time: problems without wire codecs still compile
+/// and simply run the in-process paths.
+template <typename T>
+concept Wirable = requires(gossip::Encoder& e, gossip::Decoder& d, const T& cv,
+                           T& v) {
+  wire_put(e, cv);
+  wire_get(d, v);
+};
+
+/// u32-length-prefixed sequence of Wirable values (no 2^16 cap; see above).
+template <Wirable T>
+void put_seq(gossip::Encoder& e, std::span<const T> xs) {
+  LPT_CHECK_MSG(xs.size() < kMaxFrameBytes, "shard wire: sequence too long");
+  e.put_u32(static_cast<std::uint32_t>(xs.size()));
+  for (const T& x : xs) wire_put(e, x);
+}
+
+template <Wirable T>
+void get_seq(gossip::Decoder& d, std::vector<T>& out) {
+  const std::uint32_t len = d.get_u32();
+  // Every element occupies at least one payload byte, so a length prefix
+  // beyond the remaining bytes is corrupt — reject it before reserve()
+  // turns it into a giant allocation.
+  LPT_CHECK_MSG(len <= d.remaining(), "shard wire: sequence too long");
+  out.clear();
+  out.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    T x;
+    wire_get(d, x);
+    out.push_back(x);
+  }
+}
+
+// --- RNG stream state convenience wrappers. ------------------------------
+
+inline void put_rng(gossip::Encoder& e, const util::Rng& rng) {
+  wire_put(e, rng.state());
+}
+
+inline void get_rng(gossip::Decoder& d, util::Rng& rng) {
+  util::RngState s;
+  wire_get(d, s);
+  rng.set_state(s);
+}
+
+// --- Per-node stage-A framing shared by the engines. ---------------------
+//
+// Task frames and result frames both walk the shard's node range in
+// ascending order with one flag byte per node; the flag bits say which
+// optional fields follow.  Keeping the schema in one place (rather than
+// per-engine ad hoc framing) is what the codec round-trip tests pin.
+
+namespace nodeflag {
+inline constexpr std::uint8_t kActive = 1u << 0;   // node runs stage A
+inline constexpr std::uint8_t kReplay = 1u << 1;   // node needs stage-B replay
+inline constexpr std::uint8_t kSolution = 1u << 2; // a solution payload follows
+inline constexpr std::uint8_t kWinner = 1u << 3;   // hitting set: R_i wins
+}  // namespace nodeflag
+
+}  // namespace lpt::shard

@@ -25,6 +25,19 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Complete serializable state of an Rng stream.  The shard runtime ships
+/// per-node streams across process boundaries each round (stage A advances
+/// them on a worker, the filter pass continues them on the coordinator), so
+/// the state must round-trip exactly: the four engine words plus the
+/// Marsaglia-polar spare that normal() may have banked.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double normal_spare = 0.0;
+  bool has_normal_spare = false;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// xoshiro256** 1.0 by Blackman & Vigna. Small state, very fast, passes
 /// BigCrush; ideal for simulations issuing billions of draws.
 class Rng {
@@ -132,6 +145,17 @@ class Rng {
   /// Sample k distinct indices from [0, n) (k <= n), uniformly.
   /// Floyd's algorithm; O(k) expected for hash-based membership.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Snapshot / restore the complete stream state (exact: a restored stream
+  /// produces the identical draw sequence the snapshotted one would have).
+  RngState state() const noexcept {
+    return {state_, spare_, has_spare_};
+  }
+  void set_state(const RngState& s) noexcept {
+    state_ = s.words;
+    spare_ = s.normal_spare;
+    has_spare_ = s.has_normal_spare;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -13,6 +13,8 @@ Checked (see docs/BENCHMARKS.md for the schemas):
     (dataset, i) present in both files must not exceed MAX_RATIO x the
     committed value.  Points faster than MIN_WALL seconds per rep are
     skipped as noise.
+  * BENCH_shard_scaling.json — per-(series, shards) ``wall_per_rep`` under
+    the same rule (series ``serial`` / ``inproc`` / ``pipe``).
 
 Absolute wall comparisons assume comparable hardware between the machine
 that produced the committed snapshot and the machine running the gate;
@@ -20,8 +22,16 @@ MAX_RATIO (default 2.0, override with --max-ratio or the
 LPT_BENCH_TREND_MAX_RATIO env var) is deliberately generous to absorb
 runner variance while still catching real order-of-magnitude regressions.
 
+A benchmark whose committed snapshot is missing (or unparseable) is
+SKIPPED with a warning rather than failing the gate: a PR that introduces
+a new bench would otherwise face a chicken-and-egg failure — the fresh
+artifact exists in the working tree before any snapshot can be committed.
+A missing *fresh* artifact still fails for the required benches (the CI
+smoke steps are expected to have produced them) but only warns for
+optional ones.
+
 Usage: check_bench_trend.py --baseline <repo root> --fresh <build dir>
-Exit status: 0 ok, 1 regression, 2 missing inputs.
+Exit status: 0 ok, 1 regression, 2 missing required inputs.
 """
 
 import argparse
@@ -41,6 +51,10 @@ def load(path):
         with open(path) as f:
             return json.load(f)
     except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as err:
+        print(f"[bench-trend] WARNING: {path} is not valid JSON ({err}) — "
+              "treating as missing")
         return None
 
 
@@ -94,6 +108,32 @@ def check_fig3(baseline, fresh, max_ratio, failures, checked):
                 )
 
 
+def check_shard_scaling(baseline, fresh, max_ratio, failures, checked):
+    for series in ["serial", "inproc", "pipe"]:
+        base_rows = {(row.get("i"), row.get("shards", 0)): row
+                     for row in baseline.get(series, [])}
+        for row in fresh.get(series, []):
+            base_row = base_rows.get((row.get("i"), row.get("shards", 0)))
+            if base_row is None:
+                continue
+            base_wall = base_row.get("wall_per_rep")
+            fresh_wall = row.get("wall_per_rep")
+            if not isinstance(base_wall, (int, float)) or not isinstance(
+                fresh_wall, (int, float)
+            ):
+                continue
+            if base_wall < MIN_WALL:
+                continue
+            point = f"shard_scaling {series} shards={row.get('shards', 0)}"
+            checked.append(point)
+            if fresh_wall > base_wall * max_ratio:
+                failures.append(
+                    f"{point}: {fresh_wall * 1e3:.1f} ms/rep vs committed "
+                    f"{base_wall * 1e3:.1f} ms/rep "
+                    f"(allowed <= {base_wall * max_ratio * 1e3:.1f})"
+                )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -109,19 +149,27 @@ def main():
 
     failures, checked = [], []
     any_input = False
-    for name, checker in [
-        ("micro_substrates", check_micro),
-        ("fig3_high_load", check_fig3),
+    for name, checker, required in [
+        ("micro_substrates", check_micro, True),
+        ("fig3_high_load", check_fig3, True),
+        ("shard_scaling", check_shard_scaling, False),
     ]:
         baseline = load(os.path.join(args.baseline, f"BENCH_{name}.json"))
         fresh = load(os.path.join(args.fresh, f"BENCH_{name}.json"))
         if baseline is None:
-            print(f"[bench-trend] no committed BENCH_{name}.json — skipping")
+            # New-bench chicken-and-egg: a fresh artifact in the working
+            # tree with no committed snapshot yet must not fail the gate.
+            print(f"[bench-trend] WARNING: no committed BENCH_{name}.json — "
+                  "skipping (commit a snapshot to enable this gate)")
             continue
         if fresh is None:
-            print(f"[bench-trend] fresh BENCH_{name}.json missing in "
-                  f"{args.fresh} — did the bench run?")
-            return 2
+            if required:
+                print(f"[bench-trend] fresh BENCH_{name}.json missing in "
+                      f"{args.fresh} — did the bench run?")
+                return 2
+            print(f"[bench-trend] WARNING: fresh BENCH_{name}.json missing "
+                  f"in {args.fresh} — skipping optional bench")
+            continue
         any_input = True
         checker(baseline, fresh, args.max_ratio, failures, checked)
 
