@@ -61,18 +61,25 @@ MinDiskResult min_disk(std::span<const Vec2> points) {
 
 MinDiskResult min_disk_preshuffled(std::span<const Vec2> points) {
   MinDiskResult res;
-  if (points.empty()) return res;
-  res.disk = circle_from(points[0]);
-  double r2 = padded_r2(res.disk);
-  Support support{{points[0], {}, {}}, 1};
+  min_disk_preshuffled_into(points, res.disk, res.support);
+  return res;
+}
+
+void min_disk_preshuffled_into(std::span<const Vec2> points, Circle& disk,
+                               std::vector<Vec2>& support) {
+  disk = Circle{};
+  support.clear();
+  if (points.empty()) return;
+  disk = circle_from(points[0]);
+  double r2 = padded_r2(disk);
+  Support sup{{points[0], {}, {}}, 1};
   for (std::size_t i = 1; i < points.size(); ++i) {
-    if (dist2(res.disk.center, points[i]) > r2) {
-      res.disk = with_one(points, i, points[i], support);
-      r2 = padded_r2(res.disk);
+    if (dist2(disk.center, points[i]) > r2) {
+      disk = with_one(points, i, points[i], sup);
+      r2 = padded_r2(disk);
     }
   }
-  res.support.assign(support.pts, support.pts + support.count);
-  return res;
+  support.assign(sup.pts, sup.pts + sup.count);
 }
 
 bool encloses_all(const Circle& disk, std::span<const Vec2> points,

@@ -36,6 +36,13 @@ MinDiskResult min_disk(std::span<const Vec2> points);
 /// RNG draws per local solve.
 MinDiskResult min_disk_preshuffled(std::span<const Vec2> points);
 
+/// As min_disk_preshuffled, but writing into caller-owned outputs whose
+/// capacity is reused across calls (the support never exceeds 3 points, so
+/// after the first call the steady state allocates nothing — the query
+/// service's serve-path contract).  Bit-identical to min_disk_preshuffled.
+void min_disk_preshuffled_into(std::span<const Vec2> points, Circle& disk,
+                               std::vector<Vec2>& support);
+
 /// True if `disk` encloses every point of `points` (with tolerance).
 bool encloses_all(const Circle& disk, std::span<const Vec2> points,
                   double eps = Circle::kEps);

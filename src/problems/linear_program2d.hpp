@@ -5,9 +5,11 @@
 // number of variables = 2.  The LP substrate is Seidel's algorithm (src/lp).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "gossip/codec.hpp"
 #include "lp/seidel.hpp"
 
 namespace lpt::problems {
@@ -18,6 +20,28 @@ struct Lp2dSolution {
 
   friend bool operator==(const Lp2dSolution&, const Lp2dSolution&) = default;
 };
+
+/// Shard wire codec (found by ADL from shard/wire.hpp): exact round-trip of
+/// the canonical value and the sorted basis, mirroring MinDiskSolution's —
+/// it makes LinearProgram2D shardable and lets the query service frame LP
+/// solutions in its responses.
+inline void wire_put(gossip::Encoder& e, const Lp2dSolution& s) {
+  e.put_f64(s.value.objective);
+  e.put(s.value.point);
+  e.put_u8(s.value.infeasible ? 1 : 0);
+  e.put_u8(static_cast<std::uint8_t>(s.basis.size()));
+  for (const lp::Halfplane& h : s.basis) e.put(h);
+}
+
+inline void wire_get(gossip::Decoder& d, Lp2dSolution& s) {
+  s.value.objective = d.get_f64();
+  s.value.point = d.get_vec2();
+  s.value.infeasible = d.get_u8() != 0;
+  const std::uint8_t k = d.get_u8();
+  s.basis.clear();
+  s.basis.reserve(k);
+  for (std::uint8_t i = 0; i < k; ++i) s.basis.push_back(d.get_halfplane());
+}
 
 class LinearProgram2D {
  public:

@@ -86,6 +86,28 @@ MinDisk::Solution MinDisk::solve_shuffled(std::span<const Element> s) const {
   return sol;
 }
 
+void MinDisk::solve_into(std::span<const Element> s, std::span<Element> buf,
+                         Solution& out) const {
+  LPT_CHECK_MSG(buf.size() >= s.size(),
+                "MinDisk::solve_into: shuffle buffer smaller than the input");
+  out.disk = geom::Circle{};
+  out.basis.clear();
+  if (s.empty()) return;
+  // Exactly solve()'s computation — same fingerprint seed, same shuffle
+  // draw sequence (span and vector shuffles are identical), same Welzl
+  // core, same canonicalization — so the results are bit-identical; only
+  // the copy lands in the caller's buffer instead of a fresh vector.
+  util::Rng rng(fingerprint(s));
+  std::span<Element> pts = buf.first(s.size());
+  std::copy(s.begin(), s.end(), pts.begin());
+  rng.shuffle(pts);
+  geom::min_disk_preshuffled_into(pts, out.disk, out.basis);
+  std::sort(out.basis.begin(), out.basis.end());
+  out.basis.erase(std::unique(out.basis.begin(), out.basis.end()),
+                  out.basis.end());
+  out.disk = disk_of_small(out.basis);
+}
+
 MinDisk::Solution MinDisk::from_basis(std::span<const Element> b) const {
   if (b.size() <= 3) {
     Solution sol;

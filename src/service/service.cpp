@@ -1,0 +1,207 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <span>
+#include <utility>
+
+#include "problems/linear_program2d.hpp"
+#include "util/assert.hpp"
+
+namespace lpt::service {
+
+namespace {
+
+std::uint64_t nanos_between(std::chrono::steady_clock::time_point t0,
+                            std::chrono::steady_clock::time_point t1) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+}  // namespace
+
+LptService::LptService(ServiceConfig cfg) : cfg_(cfg) {
+  LPT_CHECK_MSG(cfg_.max_batch >= 1, "LptService: max_batch must be >= 1");
+  LPT_CHECK_MSG(cfg_.distributed_nodes >= 1,
+                "LptService: distributed_nodes must be >= 1");
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  arenas_.resize(cfg_.workers);
+}
+
+QueryRequest LptService::acquire_request() {
+  if (free_pool_.empty()) return QueryRequest{};
+  QueryRequest q = std::move(free_pool_.back());
+  free_pool_.pop_back();
+  q.id = 0;
+  q.kind = QueryKind::kMinDisk;
+  q.seed = 0;
+  q.points.clear();  // capacity kept — the point of the pool
+  q.planes.clear();
+  q.objective = {0.0, -1.0};
+  return q;
+}
+
+void LptService::submit(QueryRequest&& q) {
+  ++stats_.submitted;
+  queue_.push_back(std::move(q));
+}
+
+void LptService::recycle_response(QueryResponse&& r) {
+  response_pool_.push_back(std::move(r));
+}
+
+core::LowLoadConfig LptService::engine_config_for(
+    const QueryRequest& q) const {
+  core::LowLoadConfig cfg = cfg_.engine;
+  cfg.seed = q.seed ^ (0x9e3779b97f4a7c15ULL * (q.id + 1));
+  return cfg;
+}
+
+void LptService::admit_batch() {
+  // One batch = up to max_batch queries of the head's kind, in arrival
+  // order; everything else compacts forward (stable) for a later epoch.
+  // Moves only — slot buffers keep their capacity through the cycle.
+  const QueryKind kind = queue_.front().kind;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (batch_.size() < cfg_.max_batch && queue_[i].kind == kind) {
+      batch_.push_back(std::move(queue_[i]));
+    } else {
+      if (kept != i) queue_[kept] = std::move(queue_[i]);
+      ++kept;
+    }
+  }
+  queue_.resize(kept);
+}
+
+std::size_t LptService::run_epoch(std::vector<QueryResponse>& out) {
+  if (queue_.empty()) return 0;
+  admit_batch();
+  const std::size_t served = batch_.size();
+  const std::size_t base = out.size();
+  for (std::size_t i = 0; i < served; ++i) {
+    if (!response_pool_.empty()) {
+      out.push_back(std::move(response_pool_.back()));
+      response_pool_.pop_back();
+    } else {
+      out.push_back(QueryResponse{});
+    }
+  }
+
+  // Fixed contiguous chunks, one worker arena per chunk: the partition
+  // depends only on (served, workers), and each solve touches only its own
+  // query, response slot, and arena — responses are bit-identical for
+  // every worker count (the same contract as the engines' stage A).  The
+  // single-worker path is a plain loop: parallel_chunks would build a
+  // std::function whose captures exceed the small-buffer size, and that
+  // heap allocation per epoch would break the serve-path contract.
+  const std::size_t workers = arenas_.size();
+  if (workers == 1) {
+    for (std::size_t i = 0; i < served; ++i) {
+      serve_one(batch_[i], out[base + i], arenas_[0]);
+    }
+  } else {
+    const std::size_t chunk = (served + workers - 1) / workers;
+    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(workers);
+    util::parallel_chunks(
+        pool_.get(), served, chunk,
+        [&](std::size_t k, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            serve_one(batch_[i], out[base + i], arenas_[k]);
+          }
+        });
+  }
+
+  // Stats accounting runs serially after the parallel region.
+  for (std::size_t i = 0; i < served; ++i) {
+    const QueryResponse& r = out[base + i];
+    switch (r.engine) {
+      case EngineUsed::kDirect:
+        ++stats_.direct_solves;
+        break;
+      case EngineUsed::kDistributed:
+        ++stats_.distributed_solves;
+        stats_.distributed_rounds += r.rounds;
+        break;
+      case EngineUsed::kNone:
+        break;
+    }
+    if (r.status == QueryStatus::kUnsupported) ++stats_.unsupported;
+  }
+
+  for (QueryRequest& q : batch_) free_pool_.push_back(std::move(q));
+  batch_.clear();
+  for (util::SlabPool<geom::Vec2>& a : arenas_) {
+    a.reset();
+    ++stats_.arena_resets;
+  }
+  ++stats_.epochs;
+  stats_.served += served;
+  return served;
+}
+
+void LptService::serve_one(const QueryRequest& q, QueryResponse& r,
+                           util::SlabPool<geom::Vec2>& arena) const {
+  r.id = q.id;
+  r.kind = q.kind;
+  r.status = QueryStatus::kOk;
+  r.engine = EngineUsed::kNone;
+  r.disk.disk = geom::Circle{};
+  r.disk.basis.clear();
+  r.lp.value = lp::LpValue{};
+  r.lp.basis.clear();
+  r.rounds = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  switch (q.kind) {
+    case QueryKind::kMinDisk:
+      serve_min_disk(q, r, arena);
+      break;
+    case QueryKind::kLp2d:
+      serve_lp2d(q, r);
+      break;
+    case QueryKind::kMinBall:
+    case QueryKind::kHittingSet:
+      r.status = QueryStatus::kUnsupported;
+      break;
+  }
+  r.solve_nanos = nanos_between(t0, std::chrono::steady_clock::now());
+}
+
+void LptService::serve_min_disk(const QueryRequest& q, QueryResponse& r,
+                                util::SlabPool<geom::Vec2>& arena) const {
+  const std::span<const geom::Vec2> pts(q.points);
+  if (pts.size() < cfg_.direct_cutoff) {
+    r.engine = EngineUsed::kDirect;
+    // Shuffle buffer from the epoch arena: allocate_for is O(1) and, once
+    // the arena chunks exist, allocation-free; the slot is reclaimed by
+    // the epoch-end reset (no per-query release).
+    const auto ref = arena.allocate_for(pts.empty() ? 1 : pts.size());
+    min_disk_.solve_into(
+        pts,
+        std::span<geom::Vec2>(arena.data(ref),
+                              util::SlabPool<geom::Vec2>::capacity(ref)),
+        r.disk);
+  } else {
+    r.engine = EngineUsed::kDistributed;
+    auto res = core::run_low_load(min_disk_, pts, cfg_.distributed_nodes,
+                                  engine_config_for(q));
+    r.disk = std::move(res.solution);
+    r.rounds = static_cast<std::uint32_t>(res.stats.rounds_to_first);
+  }
+}
+
+void LptService::serve_lp2d(const QueryRequest& q, QueryResponse& r) const {
+  const problems::LinearProgram2D p(q.objective);
+  const std::span<const lp::Halfplane> planes(q.planes);
+  if (planes.size() < cfg_.direct_cutoff) {
+    r.engine = EngineUsed::kDirect;
+    r.lp = p.solve(planes);
+  } else {
+    r.engine = EngineUsed::kDistributed;
+    auto res = core::run_low_load(p, planes, cfg_.distributed_nodes,
+                                  engine_config_for(q));
+    r.lp = std::move(res.solution);
+    r.rounds = static_cast<std::uint32_t>(res.stats.rounds_to_first);
+  }
+}
+
+}  // namespace lpt::service

@@ -1,0 +1,132 @@
+// The query-service front end: lpt_service, the layer above lpt_core.
+//
+// ROADMAP north star: a production query service answering LP-type queries
+// with the paper's engines as the compute backend.  LptService is that
+// front end, single-threaded-client, epoch-driven:
+//
+//   1. Clients obtain recycled request slots (acquire_request), fill the
+//      payload, and submit().  Submission is queueing only — no solve runs.
+//   2. run_epoch() admits one batch — up to max_batch pending queries of
+//      the same kind as the oldest (compatible queries batch; the rest keep
+//      their arrival order for a later epoch) — executes it, and appends
+//      one response per admitted query, in admission order.
+//   3. Dispatch per query mirrors the auto-dimension driver's size split:
+//      instances below direct_cutoff short-circuit to the sequential
+//      oracles (MinDisk::solve_into over an arena buffer, Seidel for LP),
+//      larger ones run the low-load Clarkson engine over distributed_nodes
+//      gossip nodes with the config engine_config_for(q) publishes.
+//
+// ## The serve-path allocation contract
+//
+// Steady-state serving of direct min-disk queries allocates nothing: slots
+// cycle between the free pool, the queue, and the batch by move (payload
+// buffers keep their capacity); every shuffle buffer is a slot in a
+// per-worker util::SlabPool arena, recycled at epoch end with one
+// O(classes) reset; the solve itself is MinDisk::solve_into, which reuses
+// the response's basis capacity.  bench/service_qps gates this with an
+// operator-new counter over a warmed all-small phase.  Distributed runs and
+// direct LP solves are the compute backend, not the serve path — they
+// allocate internally.
+//
+// ## Bit-identity
+//
+// A served solution is bit-identical to the corresponding engine run:
+// direct min-disk responses equal MinDisk::solve(points) (solve_into is
+// solve() with a caller-owned buffer), and distributed responses equal
+// run_low_load(problem, payload, distributed_nodes, engine_config_for(q))
+// — the config is exposed precisely so tests and CI can re-run it and
+// compare field by field.  cfg.workers only moves the per-query compute
+// onto threads; every solve consumes query-local state, so responses are
+// bit-identical for every worker count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/low_load.hpp"
+#include "problems/min_disk.hpp"
+#include "service/query.hpp"
+#include "util/slab.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lpt::service {
+
+struct ServiceConfig {
+  std::size_t direct_cutoff = 2048;    // payload size below which the query
+                                       // short-circuits to the direct solver
+  std::size_t distributed_nodes = 64;  // gossip nodes for large instances
+  std::size_t max_batch = 256;         // queries admitted per epoch
+  std::size_t workers = 1;             // worker lanes per epoch (each owns a
+                                       // slab arena; responses bit-identical
+                                       // for every value)
+  core::LowLoadConfig engine;          // distributed-run template; the seed
+                                       // field is overridden per query (see
+                                       // engine_config_for)
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t direct_solves = 0;
+  std::uint64_t distributed_solves = 0;
+  std::uint64_t unsupported = 0;
+  std::uint64_t distributed_rounds = 0;  // summed over distributed solves
+  std::uint64_t arena_resets = 0;        // SlabPool::reset calls (epochs x
+                                         // worker arenas)
+};
+
+class LptService {
+ public:
+  explicit LptService(ServiceConfig cfg = {});
+
+  /// A request slot from the free pool (fields reset, payload capacity
+  /// kept), or a fresh one while the pool warms up.  Using these is what
+  /// keeps steady-state submission allocation-free; a caller-constructed
+  /// QueryRequest works too.
+  QueryRequest acquire_request();
+
+  /// Queue q for a later epoch.  The slot's buffers travel by move.
+  void submit(QueryRequest&& q);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Admit and execute one batch; append one response per admitted query to
+  /// `out` in admission order.  Returns the number served (0 when idle).
+  std::size_t run_epoch(std::vector<QueryResponse>& out);
+
+  /// Return a consumed response slot for reuse by a later epoch.
+  void recycle_response(QueryResponse&& r);
+
+  /// The exact engine config q's distributed run uses: cfg.engine with the
+  /// seed derived from (q.seed, q.id) by a SplitMix64-style mix, so equal
+  /// payloads submitted under different ids still take independent
+  /// randomness.  Re-running run_low_load with this config reproduces the
+  /// served solution bit-for-bit — the CI gate does exactly that.
+  core::LowLoadConfig engine_config_for(const QueryRequest& q) const;
+
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  const ServiceStats& stats() const noexcept { return stats_; }
+
+ private:
+  void admit_batch();
+  void serve_one(const QueryRequest& q, QueryResponse& r,
+                 util::SlabPool<geom::Vec2>& arena) const;
+  void serve_min_disk(const QueryRequest& q, QueryResponse& r,
+                      util::SlabPool<geom::Vec2>& arena) const;
+  void serve_lp2d(const QueryRequest& q, QueryResponse& r) const;
+
+  ServiceConfig cfg_;
+  ServiceStats stats_;
+  problems::MinDisk min_disk_;
+  std::vector<QueryRequest> queue_;      // pending, arrival order
+  std::vector<QueryRequest> batch_;      // the epoch under execution
+  std::vector<QueryRequest> free_pool_;  // recycled request slots
+  std::vector<QueryResponse> response_pool_;  // recycled response slots
+  std::vector<util::SlabPool<geom::Vec2>> arenas_;  // one per worker lane
+  std::unique_ptr<util::ThreadPool> pool_;  // lazily built when workers > 1
+};
+
+}  // namespace lpt::service

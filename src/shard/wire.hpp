@@ -105,21 +105,54 @@ concept Wirable = requires(gossip::Encoder& e, gossip::Decoder& d, const T& cv,
   wire_get(d, v);
 };
 
+/// Encoded bytes of one wire element.  Exact for the fixed-size built-in
+/// types; 1 — a conservative lower bound — for variable-size types (their
+/// sequences are additionally bounded by the post-encode byte check in
+/// put_seq).  The sequence guards below are sized in *bytes*, not element
+/// counts: a count-based cap would let a sequence of multi-byte elements
+/// blow past the frame limit while passing the check.
+template <typename T>
+inline constexpr std::size_t kWireElemBytes = 1;
+template <>
+inline constexpr std::size_t kWireElemBytes<std::uint32_t> =
+    gossip::kWireBytesElementId;
+template <>
+inline constexpr std::size_t kWireElemBytes<geom::Vec2> =
+    gossip::kWireBytesVec2;
+template <>
+inline constexpr std::size_t kWireElemBytes<lp::Halfplane> =
+    gossip::kWireBytesHalfplane;
+template <>
+inline constexpr std::size_t kWireElemBytes<util::RngState> =
+    4 * sizeof(std::uint64_t) + sizeof(double) + 1;
+
 /// u32-length-prefixed sequence of Wirable values (no 2^16 cap; see above).
+/// Bounded by *encoded bytes* against `max_bytes` (default: the frame cap;
+/// parameterized so tests can exercise the guard without 256 MiB inputs):
+/// a pre-encode element-size-aware check fails before a doomed sequence is
+/// encoded, and a post-encode check catches variable-size element types
+/// whose lower bound was optimistic.
 template <Wirable T>
-void put_seq(gossip::Encoder& e, std::span<const T> xs) {
-  LPT_CHECK_MSG(xs.size() < kMaxFrameBytes, "shard wire: sequence too long");
+void put_seq(gossip::Encoder& e, std::span<const T> xs,
+             std::size_t max_bytes = kMaxFrameBytes) {
+  LPT_CHECK_MSG(
+      xs.size() <= (max_bytes - sizeof(std::uint32_t)) / kWireElemBytes<T>,
+      "shard wire: sequence exceeds the frame byte budget");
+  const std::size_t start = e.size();
   e.put_u32(static_cast<std::uint32_t>(xs.size()));
   for (const T& x : xs) wire_put(e, x);
+  LPT_CHECK_MSG(e.size() - start <= max_bytes,
+                "shard wire: sequence exceeds the frame byte budget");
 }
 
 template <Wirable T>
 void get_seq(gossip::Decoder& d, std::vector<T>& out) {
   const std::uint32_t len = d.get_u32();
-  // Every element occupies at least one payload byte, so a length prefix
-  // beyond the remaining bytes is corrupt — reject it before reserve()
-  // turns it into a giant allocation.
-  LPT_CHECK_MSG(len <= d.remaining(), "shard wire: sequence too long");
+  // Every element occupies at least kWireElemBytes<T> payload bytes, so a
+  // length prefix beyond the remaining bytes is corrupt — reject it before
+  // reserve() turns it into a giant allocation.
+  LPT_CHECK_MSG(len <= d.remaining() / kWireElemBytes<T>,
+                "shard wire: sequence too long");
   out.clear();
   out.reserve(len);
   for (std::uint32_t i = 0; i < len; ++i) {

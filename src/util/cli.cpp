@@ -1,8 +1,26 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace lpt::util {
+
+namespace {
+
+// A numeric flag that fails to parse must be a loud error, not a silent
+// truncation: strtoll("12x") is 12 and strtoll("abc") is 0, so a typo like
+// --imax=12x or --reps=abc would quietly run the wrong experiment (and the
+// service front end feeds request sizes through this same parser).
+[[noreturn]] void invalid_flag_value(const std::string& name,
+                                     const std::string& value,
+                                     const char* expected) {
+  std::fprintf(stderr, "error: --%s expects %s, got \"%s\"\n", name.c_str(),
+               expected, value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   program_ = argc > 0 ? argv[0] : "";
@@ -35,12 +53,34 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    invalid_flag_value(name, s, "an integer");
+  }
+  if (errno == ERANGE) {
+    invalid_flag_value(name, s, "an integer in range");
+  }
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   auto it = flags_.find(name);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  const std::string& s = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    invalid_flag_value(name, s, "a number");
+  }
+  if (errno == ERANGE) {
+    invalid_flag_value(name, s, "a number in range");
+  }
+  return v;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace lpt::util {
@@ -132,14 +133,22 @@ class Rng {
     return u * mul;
   }
 
-  /// Fisher–Yates shuffle.
+  /// Fisher–Yates shuffle over a span (identical draw sequence to the
+  /// vector overload, so shuffling a caller-provided buffer — e.g. a slab
+  /// arena slot — reproduces a vector shuffle bit-for-bit).
   template <typename T>
-  void shuffle(std::vector<T>& v) noexcept {
+  void shuffle(std::span<T> v) noexcept {
     for (std::size_t i = v.size(); i > 1; --i) {
       std::size_t j = below(i);
       using std::swap;
       swap(v[i - 1], v[j]);
     }
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    shuffle(std::span<T>(v));
   }
 
   /// Sample k distinct indices from [0, n) (k <= n), uniformly.

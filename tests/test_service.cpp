@@ -1,0 +1,355 @@
+// Query-service tests: schema wire round-trips, admission batching by
+// kind, size dispatch (direct short-circuit vs distributed engine), edge
+// payloads (empty, singleton, duplicates), the unsupported-kind path, and
+// the headline contract — every served solution is bit-identical to the
+// corresponding engine run (MinDisk::solve for direct, run_low_load under
+// engine_config_for for distributed), for every worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/low_load.hpp"
+#include "problems/linear_program2d.hpp"
+#include "problems/min_disk.hpp"
+#include "service/query.hpp"
+#include "service/service.hpp"
+#include "support/test_support.hpp"
+#include "workloads/disk_data.hpp"
+#include "workloads/lp_data.hpp"
+
+namespace lpt {
+namespace {
+
+using service::EngineUsed;
+using service::LptService;
+using service::QueryKind;
+using service::QueryRequest;
+using service::QueryResponse;
+using service::QueryStatus;
+using service::ServiceConfig;
+using workloads::DiskDataset;
+
+ServiceConfig small_test_config() {
+  ServiceConfig cfg;
+  cfg.direct_cutoff = 128;    // small enough to exercise both paths cheaply
+  cfg.distributed_nodes = 32;
+  return cfg;
+}
+
+QueryRequest disk_query(std::uint64_t id, std::vector<geom::Vec2> pts) {
+  QueryRequest q;
+  q.id = id;
+  q.kind = QueryKind::kMinDisk;
+  q.seed = 5;
+  q.points = std::move(pts);
+  return q;
+}
+
+std::vector<QueryResponse> serve_all(LptService& svc) {
+  std::vector<QueryResponse> out;
+  while (svc.pending() > 0) svc.run_epoch(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Wire schema.
+// ---------------------------------------------------------------------
+
+TEST(ServiceWire, RequestBatchRoundTripsBitIdentically) {
+  std::vector<QueryRequest> batch;
+  batch.push_back(disk_query(1, testsupport::golden_disk_points(
+                                    DiskDataset::kDuoDisk, 16)));
+  QueryRequest lp;
+  lp.id = 2;
+  lp.kind = QueryKind::kLp2d;
+  lp.seed = 9;
+  lp.planes = {{{1.0, 0.0}, 4.0}, {{-1.0, 0.5}, 2.0}};
+  lp.objective = {0.25, -1.0};
+  batch.push_back(lp);
+  batch.push_back(disk_query(3, {}));  // empty payload must survive
+
+  gossip::Encoder e;
+  service::put_request_batch(e, batch);
+  gossip::Decoder d(e.bytes());
+  std::vector<QueryRequest> got;
+  service::get_request_batch(d, got);
+  EXPECT_TRUE(d.exhausted());
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got[i], batch[i]) << "request " << i;
+  }
+}
+
+TEST(ServiceWire, ResponseBatchRoundTripsBitIdentically) {
+  LptService svc(small_test_config());
+  svc.submit(disk_query(7, testsupport::golden_disk_points(
+                               DiskDataset::kTripleDisk, 64)));
+  svc.submit(disk_query(8, {}));
+  const auto served = serve_all(svc);
+  ASSERT_EQ(served.size(), 2u);
+
+  gossip::Encoder e;
+  service::put_response_batch(e, served);
+  gossip::Decoder d(e.bytes());
+  std::vector<QueryResponse> got;
+  service::get_response_batch(d, got);
+  EXPECT_TRUE(d.exhausted());
+  ASSERT_EQ(got.size(), served.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(got[i], served[i]) << "response " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Edge payloads through the direct path.
+// ---------------------------------------------------------------------
+
+TEST(Service, EmptyPointSetYieldsEmptyDisk) {
+  LptService svc(small_test_config());
+  svc.submit(disk_query(1, {}));
+  const auto served = serve_all(svc);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].status, QueryStatus::kOk);
+  EXPECT_EQ(served[0].engine, EngineUsed::kDirect);
+  EXPECT_TRUE(served[0].disk.basis.empty());
+  EXPECT_TRUE(served[0].disk.disk.empty());
+}
+
+TEST(Service, SingletonAndDuplicatePointsSolveCanonically) {
+  LptService svc(small_test_config());
+  svc.submit(disk_query(1, {{2.0, -3.0}}));
+  svc.submit(disk_query(2, std::vector<geom::Vec2>(17, {1.0, 1.0})));
+  const auto served = serve_all(svc);
+  ASSERT_EQ(served.size(), 2u);
+
+  EXPECT_EQ(served[0].disk.basis.size(), 1u);
+  EXPECT_EQ(served[0].disk.disk.center, (geom::Vec2{2.0, -3.0}));
+  EXPECT_EQ(served[0].disk.disk.radius, 0.0);
+
+  // 17 copies of one point: the canonical basis dedupes to that point.
+  EXPECT_EQ(served[1].disk.basis.size(), 1u);
+  EXPECT_EQ(served[1].disk.disk.center, (geom::Vec2{1.0, 1.0}));
+  EXPECT_EQ(served[1].disk.disk.radius, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch and admission.
+// ---------------------------------------------------------------------
+
+TEST(Service, SizeDispatchRoutesAcrossTheCutoff) {
+  LptService svc(small_test_config());
+  const auto small = testsupport::golden_disk_points(DiskDataset::kHull, 100);
+  const auto large =
+      testsupport::golden_disk_points(DiskDataset::kDuoDisk, 300);
+  svc.submit(disk_query(1, small));
+  svc.submit(disk_query(2, large));
+  svc.submit(disk_query(3, small));
+  const auto served = serve_all(svc);
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0].engine, EngineUsed::kDirect);
+  EXPECT_EQ(served[1].engine, EngineUsed::kDistributed);
+  EXPECT_EQ(served[2].engine, EngineUsed::kDirect);
+  EXPECT_GT(served[1].rounds, 0u);
+  EXPECT_EQ(svc.stats().direct_solves, 2u);
+  EXPECT_EQ(svc.stats().distributed_solves, 1u);
+}
+
+TEST(Service, EpochsBatchByKindPreservingArrivalOrder) {
+  LptService svc(small_test_config());
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kTriangle, 20);
+  QueryRequest lp;
+  lp.kind = QueryKind::kLp2d;
+  lp.id = 2;
+  lp.planes = {{{0.0, 1.0}, 5.0}};
+  svc.submit(disk_query(1, pts));
+  svc.submit(std::move(lp));
+  svc.submit(disk_query(3, pts));
+
+  // Epoch 1 admits the min-disk queries (ids 1 and 3, arrival order); the
+  // LP query waits despite arriving between them.
+  std::vector<QueryResponse> out;
+  EXPECT_EQ(svc.run_epoch(out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[0].kind, QueryKind::kMinDisk);
+  EXPECT_EQ(out[1].id, 3u);
+  EXPECT_EQ(svc.pending(), 1u);
+
+  EXPECT_EQ(svc.run_epoch(out), 1u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].id, 2u);
+  EXPECT_EQ(out[2].kind, QueryKind::kLp2d);
+  EXPECT_EQ(svc.pending(), 0u);
+  EXPECT_EQ(svc.stats().epochs, 2u);
+}
+
+TEST(Service, MaxBatchBoundsOneEpoch) {
+  ServiceConfig cfg = small_test_config();
+  cfg.max_batch = 2;
+  LptService svc(cfg);
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kHull, 10);
+  for (std::uint64_t id = 0; id < 5; ++id) svc.submit(disk_query(id, pts));
+  std::vector<QueryResponse> out;
+  EXPECT_EQ(svc.run_epoch(out), 2u);
+  EXPECT_EQ(svc.pending(), 3u);
+  EXPECT_EQ(svc.run_epoch(out), 2u);
+  EXPECT_EQ(svc.run_epoch(out), 1u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].id, i);
+}
+
+TEST(Service, UnsupportedKindsAnswerWithoutSolving) {
+  LptService svc(small_test_config());
+  QueryRequest q;
+  q.id = 11;
+  q.kind = QueryKind::kMinBall;
+  svc.submit(std::move(q));
+  QueryRequest h;
+  h.id = 12;
+  h.kind = QueryKind::kHittingSet;
+  svc.submit(std::move(h));
+  const auto served = serve_all(svc);
+  ASSERT_EQ(served.size(), 2u);
+  for (const auto& r : served) {
+    EXPECT_EQ(r.status, QueryStatus::kUnsupported);
+    EXPECT_EQ(r.engine, EngineUsed::kNone);
+  }
+  EXPECT_EQ(svc.stats().unsupported, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity: served == the corresponding engine run.
+// ---------------------------------------------------------------------
+
+TEST(Service, DirectServedDiskIsBitIdenticalToMinDiskSolve) {
+  LptService svc(small_test_config());
+  const problems::MinDisk p;
+  for (const auto dataset :
+       {DiskDataset::kDuoDisk, DiskDataset::kTriangle, DiskDataset::kHull}) {
+    const auto pts = testsupport::golden_disk_points(dataset, 90);
+    svc.submit(disk_query(1 + static_cast<std::uint64_t>(dataset), pts));
+    const auto served = serve_all(svc);
+    ASSERT_EQ(served.size(), 1u);
+    EXPECT_EQ(served[0].engine, EngineUsed::kDirect);
+    EXPECT_EQ(served[0].disk, p.solve(pts));  // bit-identical, not near
+  }
+}
+
+TEST(Service, DistributedServedDiskIsBitIdenticalToEngineRun) {
+  LptService svc(small_test_config());
+  const auto pts =
+      testsupport::golden_disk_points(DiskDataset::kTripleDisk, 400);
+  const auto q = disk_query(21, pts);
+  const auto engine_cfg = svc.engine_config_for(q);
+  svc.submit(QueryRequest(q));
+  const auto served = serve_all(svc);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].engine, EngineUsed::kDistributed);
+
+  const problems::MinDisk p;
+  const auto engine = core::run_low_load(p, std::span<const geom::Vec2>(pts),
+                                         32, engine_cfg);
+  EXPECT_TRUE(engine.stats.reached_optimum);
+  EXPECT_EQ(served[0].disk, engine.solution);
+  EXPECT_EQ(served[0].rounds, engine.stats.rounds_to_first);
+}
+
+TEST(Service, PerQuerySeedsDecorrelateEqualPayloads) {
+  LptService svc(small_test_config());
+  const auto pts = testsupport::golden_disk_points(DiskDataset::kHull, 200);
+  const auto a = svc.engine_config_for(disk_query(1, pts));
+  const auto b = svc.engine_config_for(disk_query(2, pts));
+  EXPECT_NE(a.seed, b.seed);  // same payload, different ids → fresh streams
+}
+
+TEST(Service, ResponsesBitIdenticalForEveryWorkerCount) {
+  const auto small = testsupport::golden_disk_points(DiskDataset::kHull, 80);
+  const auto large =
+      testsupport::golden_disk_points(DiskDataset::kDuoDisk, 260);
+  std::vector<QueryResponse> baseline;
+  for (const std::size_t workers : {1u, 2u, 3u}) {
+    ServiceConfig cfg = small_test_config();
+    cfg.workers = workers;
+    LptService svc(cfg);
+    for (std::uint64_t id = 0; id < 6; ++id) {
+      svc.submit(disk_query(id, id % 3 == 0 ? large : small));
+    }
+    auto served = serve_all(svc);
+    ASSERT_EQ(served.size(), 6u);
+    for (auto& r : served) r.solve_nanos = 0;  // timing is not part of it
+    if (workers == 1) {
+      baseline = std::move(served);
+    } else {
+      EXPECT_EQ(served, baseline) << "workers=" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// 2D LP queries.
+// ---------------------------------------------------------------------
+
+TEST(Service, Lp2dQueriesServeOnBothPaths) {
+  ServiceConfig cfg = small_test_config();
+  LptService svc(cfg);
+  auto rng = testsupport::seeded_rng("service-lp2d");
+  const auto small_inst = workloads::generate_lp_instance(60, rng);
+  const auto large_inst = workloads::generate_lp_instance(300, rng);
+  const geom::Vec2 objective = small_inst.objective;
+  const auto& small = small_inst.constraints;
+  const auto& large = large_inst.constraints;
+
+  QueryRequest qs;
+  qs.id = 1;
+  qs.kind = QueryKind::kLp2d;
+  qs.seed = 3;
+  qs.planes = small;
+  qs.objective = objective;
+  QueryRequest ql = qs;
+  ql.id = 2;
+  ql.planes = large;
+  const auto engine_cfg = svc.engine_config_for(ql);
+  svc.submit(std::move(qs));
+  svc.submit(std::move(ql));
+  const auto served = serve_all(svc);
+  ASSERT_EQ(served.size(), 2u);
+
+  const problems::LinearProgram2D p(objective);
+  EXPECT_EQ(served[0].engine, EngineUsed::kDirect);
+  EXPECT_EQ(served[0].lp, p.solve(std::span<const lp::Halfplane>(small)));
+
+  EXPECT_EQ(served[1].engine, EngineUsed::kDistributed);
+  const auto engine = core::run_low_load(
+      p, std::span<const lp::Halfplane>(large), 32, engine_cfg);
+  EXPECT_TRUE(engine.stats.reached_optimum);
+  EXPECT_EQ(served[1].lp, engine.solution);
+}
+
+// ---------------------------------------------------------------------
+// Slot recycling.
+// ---------------------------------------------------------------------
+
+TEST(Service, RecycledSlotsKeepServingCorrectly) {
+  LptService svc(small_test_config());
+  const problems::MinDisk p;
+  std::vector<QueryResponse> out;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const auto pts = testsupport::make_disk_points(
+        DiskDataset::kTriangle, 50, 100 + static_cast<std::uint64_t>(cycle));
+    auto q = svc.acquire_request();
+    q.id = static_cast<std::uint64_t>(cycle);
+    q.points.assign(pts.begin(), pts.end());
+    svc.submit(std::move(q));
+    EXPECT_EQ(svc.run_epoch(out), 1u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].disk, p.solve(pts)) << "cycle " << cycle;
+    svc.recycle_response(std::move(out[0]));
+    out.clear();
+  }
+  EXPECT_EQ(svc.stats().served, 4u);
+  EXPECT_EQ(svc.stats().arena_resets, 4u);
+}
+
+}  // namespace
+}  // namespace lpt

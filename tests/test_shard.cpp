@@ -116,6 +116,45 @@ TEST(ShardWire, ElementSequenceRoundTripsIncludingEmpty) {
   }
 }
 
+// The sequence guards are sized in encoded *bytes*, not element counts: a
+// count-based check once let 8 Vec2s (132 encoded bytes) pass a 64-byte
+// budget because 8 < 64.  The max_bytes parameter exists so this is
+// testable without a 256 MiB input.
+TEST(ShardWireDeathTest, PutSeqRejectsByteBudgetNotElementCount) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::vector<geom::Vec2> pts(8, geom::Vec2{1.0, 2.0});
+  gossip::Encoder e;
+  EXPECT_DEATH(
+      shard::put_seq(e, std::span<const geom::Vec2>(pts), 64),
+      "frame byte budget");
+}
+
+TEST(ShardWire, PutSeqAcceptsSequencesWithinTheByteBudget) {
+  // 3 Vec2s encode to 4 + 48 = 52 bytes: inside a 64-byte budget even
+  // though the element count alone (3 < 64) says nothing.
+  const std::vector<geom::Vec2> pts(3, geom::Vec2{1.0, 2.0});
+  gossip::Encoder e;
+  shard::put_seq(e, std::span<const geom::Vec2>(pts), 64);
+  EXPECT_EQ(e.size(), 4u + 3u * gossip::kWireBytesVec2);
+  gossip::Decoder d(e.bytes());
+  std::vector<geom::Vec2> out;
+  shard::get_seq(d, out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ShardWireDeathTest, GetSeqRejectsLengthPrefixByElementSize) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Length prefix claims 10 Vec2s but only one element's worth of payload
+  // follows: 10 <= remaining bytes (16) would pass a byte-count check, but
+  // 10 Vec2s need 160 bytes — the guard must divide by the element size.
+  gossip::Encoder e;
+  e.put_u32(10);
+  e.put(geom::Vec2{0.0, 0.0});
+  gossip::Decoder d(e.bytes());
+  std::vector<geom::Vec2> out;
+  EXPECT_DEATH(shard::get_seq(d, out), "sequence too long");
+}
+
 TEST(ShardWire, MinDiskSolutionRoundTripsBitIdentically) {
   MinDisk p;
   const auto pts = testsupport::golden_disk_points(DiskDataset::kHull, 64);

@@ -276,6 +276,56 @@ TEST(Cli, ParsesAllFlagForms) {
   EXPECT_EQ(cli.get_double("missing", 1.5), 1.5);
 }
 
+TEST(Cli, ParsesNegativeAndWhitespaceFreeNumbers) {
+  const char* argv[] = {"prog", "--delta=-12", "--rate=2.5e-3"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("delta", 0), -12);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5e-3);
+}
+
+// Malformed numeric flag values must fail loudly (exit 2 with an error on
+// stderr), not silently truncate: strtoll-with-NULL-endptr once turned
+// --imax=12x into 12 and an entire sweep ran at the wrong size.
+TEST(CliDeathTest, RejectsTrailingGarbageInIntFlag) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--imax=12x"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.get_int("imax", 0), ::testing::ExitedWithCode(2),
+              "--imax expects an integer, got \"12x\"");
+}
+
+TEST(CliDeathTest, RejectsNonNumericIntFlag) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--reps", "abc"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.get_int("reps", 0), ::testing::ExitedWithCode(2),
+              "--reps expects an integer");
+}
+
+TEST(CliDeathTest, RejectsEmptyIntFlagValue) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--n="};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "--n expects an integer");
+}
+
+TEST(CliDeathTest, RejectsOutOfRangeIntFlag) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--n=99999999999999999999999"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.get_int("n", 0), ::testing::ExitedWithCode(2),
+              "--n expects an integer in range");
+}
+
+TEST(CliDeathTest, RejectsTrailingGarbageInDoubleFlag) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"prog", "--rate=1.5oops"};
+  Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)cli.get_double("rate", 0.0), ::testing::ExitedWithCode(2),
+              "--rate expects a number, got \"1.5oops\"");
+}
+
 TEST(Math, Log2Helpers) {
   EXPECT_EQ(floor_log2(1), 0u);
   EXPECT_EQ(floor_log2(2), 1u);

@@ -15,6 +15,14 @@ Checked (see docs/BENCHMARKS.md for the schemas):
     skipped as noise.
   * BENCH_shard_scaling.json — per-(series, shards) ``wall_per_rep`` under
     the same rule (series ``serial`` / ``inproc`` / ``pipe``).
+  * BENCH_service_qps.json — ``steady_qps`` and ``small_direct_speedup``
+    must stay within MAX_RATIO of the committed values; the open-loop
+    delivery fraction (``achieved_qps`` / ``target_qps``, which transfers
+    across differing --qps smoke flags) under the same rule; ``p99_us``
+    must not grow past MAX_RATIO x committed (gated only when the committed
+    p99 is >= 1 ms, the latency analogue of MIN_WALL); and
+    ``steady_state_allocs`` must not exceed the committed count at all —
+    the zero-allocation serve path is an invariant, not a trend.
 
 Absolute wall comparisons assume comparable hardware between the machine
 that produced the committed snapshot and the machine running the gate;
@@ -26,9 +34,12 @@ A benchmark whose committed snapshot is missing (or unparseable) is
 SKIPPED with a warning rather than failing the gate: a PR that introduces
 a new bench would otherwise face a chicken-and-egg failure — the fresh
 artifact exists in the working tree before any snapshot can be committed.
-A missing *fresh* artifact still fails for the required benches (the CI
-smoke steps are expected to have produced them) but only warns for
-optional ones.
+A missing *fresh* artifact fails for the required benches (the CI smoke
+steps are expected to have produced them) but only warns for optional
+ones.  Required-ness wins over the baseline skip: a required bench that
+produced no fresh artifact exits 2 even when the committed snapshot is
+also missing — otherwise a bench that silently stopped running (a renamed
+binary, a dropped CI step) would warn-skip forever instead of failing.
 
 Usage: check_bench_trend.py --baseline <repo root> --fresh <build dir>
 Exit status: 0 ok, 1 regression, 2 missing required inputs.
@@ -134,6 +145,72 @@ def check_shard_scaling(baseline, fresh, max_ratio, failures, checked):
                 )
 
 
+MIN_LATENCY_US = 1e3  # p99 below 1 ms is scheduler noise on shared runners
+
+
+def check_service_qps(baseline, fresh, max_ratio, failures, checked):
+    # Throughput-like scalars: lower fresh value is a regression.
+    for key in ["steady_qps", "small_direct_speedup"]:
+        base_value, fresh_value = baseline.get(key), fresh.get(key)
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        if not isinstance(fresh_value, (int, float)):
+            continue
+        checked.append(f"service_qps {key}")
+        if fresh_value < base_value / max_ratio:
+            failures.append(
+                f"service_qps {key}: {fresh_value:.2f} vs committed "
+                f"{base_value:.2f} (allowed >= {base_value / max_ratio:.2f})"
+            )
+
+    # Open-loop delivery fraction: achieved/target transfers across smoke
+    # runs with different --qps flags, raw achieved_qps does not.
+    def fraction(doc):
+        achieved, target = doc.get("achieved_qps"), doc.get("target_qps")
+        if not isinstance(achieved, (int, float)):
+            return None
+        if not isinstance(target, (int, float)) or target <= 0:
+            return None
+        return achieved / target
+
+    base_frac, fresh_frac = fraction(baseline), fraction(fresh)
+    if base_frac is not None and base_frac > 0 and fresh_frac is not None:
+        checked.append("service_qps open_loop_delivery")
+        if fresh_frac < base_frac / max_ratio:
+            failures.append(
+                f"service_qps open-loop delivery: {fresh_frac:.2f} of target "
+                f"vs committed {base_frac:.2f} "
+                f"(allowed >= {base_frac / max_ratio:.2f})"
+            )
+
+    # Tail latency: higher fresh value is a regression (only gated once the
+    # committed tail is big enough to mean something).
+    base_p99, fresh_p99 = baseline.get("p99_us"), fresh.get("p99_us")
+    if (isinstance(base_p99, (int, float)) and base_p99 >= MIN_LATENCY_US
+            and isinstance(fresh_p99, (int, float))):
+        checked.append("service_qps p99_us")
+        if fresh_p99 > base_p99 * max_ratio:
+            failures.append(
+                f"service_qps p99_us: {fresh_p99:.0f} us vs committed "
+                f"{base_p99:.0f} us (allowed <= {base_p99 * max_ratio:.0f})"
+            )
+
+    # The zero-allocation serve path is an invariant: any count above the
+    # committed snapshot fails outright, no ratio slack.
+    base_allocs, fresh_allocs = (baseline.get("steady_state_allocs"),
+                                 fresh.get("steady_state_allocs"))
+    if isinstance(base_allocs, (int, float)) and isinstance(
+        fresh_allocs, (int, float)
+    ):
+        checked.append("service_qps steady_state_allocs")
+        if fresh_allocs > base_allocs:
+            failures.append(
+                f"service_qps steady_state_allocs: {fresh_allocs:.0f} vs "
+                f"committed {base_allocs:.0f} (the serve path must stay "
+                "allocation-free)"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -153,9 +230,18 @@ def main():
         ("micro_substrates", check_micro, True),
         ("fig3_high_load", check_fig3, True),
         ("shard_scaling", check_shard_scaling, False),
+        ("service_qps", check_service_qps, True),
     ]:
         baseline = load(os.path.join(args.baseline, f"BENCH_{name}.json"))
         fresh = load(os.path.join(args.fresh, f"BENCH_{name}.json"))
+        if fresh is None and required:
+            # Required-ness wins over the baseline skip below: a required
+            # bench that produced no fresh artifact means the CI smoke step
+            # did not run it, and that must fail even when no snapshot is
+            # committed yet.
+            print(f"[bench-trend] fresh BENCH_{name}.json missing in "
+                  f"{args.fresh} — did the bench run?")
+            return 2
         if baseline is None:
             # New-bench chicken-and-egg: a fresh artifact in the working
             # tree with no committed snapshot yet must not fail the gate.
@@ -163,10 +249,6 @@ def main():
                   "skipping (commit a snapshot to enable this gate)")
             continue
         if fresh is None:
-            if required:
-                print(f"[bench-trend] fresh BENCH_{name}.json missing in "
-                      f"{args.fresh} — did the bench run?")
-                return 2
             print(f"[bench-trend] WARNING: fresh BENCH_{name}.json missing "
                   f"in {args.fresh} — skipping optional bench")
             continue
