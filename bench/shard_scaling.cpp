@@ -7,6 +7,7 @@
 //
 // Usage: shard_scaling [--i=10] [--reps=3] [--dataset=duo-disk]
 //                      [--shard-counts=1,2,4] [--transports=inproc,pipe]
+//                      [--kill-shard=1] [--kill-after-frames=2]
 //
 // Writes BENCH_shard_scaling.json: a "serial" series with the baseline
 // point and one series per transport ("inproc" / "pipe") with one row per
@@ -14,6 +15,16 @@
 // runner the interesting number is the *overhead* (speedup < 1: frame
 // encode/decode + transport cost); on multicore the per-shard stage-A
 // compute overlaps.
+//
+// The fault column: unless --kill-shard=-1, the largest sweep point is
+// rerun with a scripted SIGKILL of worker --kill-shard after it has been
+// sent --kill-after-frames task frames (FaultyTransport; a real forked
+// child dies on the pipe transport).  The run recovers via the default
+// respawn policy and is *still* hard-gated bit-identical to the serial
+// baseline; the "fault" series records recovery_wall (wall_per_rep of the
+// faulted run) and recovery_overhead (vs the fault-free run of the same
+// configuration).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,6 +32,7 @@
 #include "bench_json.hpp"
 #include "common.hpp"
 #include "core/low_load.hpp"
+#include "shard/fault.hpp"
 #include "problems/min_disk.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -77,6 +89,12 @@ int main(int argc, char** argv) {
   const auto dataset = bench::dataset_flag(cli);
   const auto shard_counts = parse_counts(cli.get("shard-counts", "1,2,4"));
   const std::string transports_csv = cli.get("transports", "inproc,pipe");
+  const long kill_shard = cli.get_int("kill-shard", 1);  // -1: no fault rows
+  const long kill_after = cli.get_int("kill-after-frames", 1);  // 2nd task
+                                                                // frame: mid-
+                                                                // run for any
+                                                                // >= 2-round
+                                                                // run
 
   bench::banner("Shard scaling: sharded low-load wall time vs shard count",
                 "src/shard runtime; every run hard-gated bit-identical to "
@@ -125,7 +143,10 @@ int main(int argc, char** argv) {
       {"inproc", shard::TransportKind::kInProc},
       {"pipe", shard::TransportKind::kPipe}};
 
-  for (const auto& transport : kTransports) {
+  double faultfree_wall[2] = {0.0, 0.0};  // largest sweep point, per
+                                          // transport (the fault baseline)
+  for (std::size_t t_idx = 0; t_idx < 2; ++t_idx) {
+    const TransportOpt& transport = kTransports[t_idx];
     if (transports_csv.find(transport.name) == std::string::npos) continue;
     for (const std::size_t shards : shard_counts) {
       double secs = 0.0;
@@ -143,6 +164,7 @@ int main(int argc, char** argv) {
       }
       const double per_rep = secs / static_cast<double>(reps);
       const double speedup = per_rep > 0.0 ? serial_per_rep / per_rep : 0.0;
+      if (shards == shard_counts.back()) faultfree_wall[t_idx] = per_rep;
       table.add_row({transport.name, util::fmt(shards),
                      util::fmt(rounds.mean(), 2), util::fmt(per_rep, 4),
                      util::fmt(speedup, 2)});
@@ -153,6 +175,61 @@ int main(int argc, char** argv) {
                     {"mean_rounds", rounds.mean()},
                     {"wall_per_rep", per_rep},
                     {"speedup_vs_serial", speedup}});
+    }
+  }
+
+  // Fault column: rerun the largest sweep point with a scripted worker
+  // kill; recovery must reproduce the serial results bit-for-bit.
+  if (kill_shard >= 0) {
+    const std::size_t shards = shard_counts.back();
+    const std::size_t victim =
+        std::min<std::size_t>(static_cast<std::size_t>(kill_shard),
+                              shards - 1);
+    for (std::size_t t_idx = 0; t_idx < 2; ++t_idx) {
+      const TransportOpt& transport = kTransports[t_idx];
+      if (transports_csv.find(transport.name) == std::string::npos) continue;
+      double secs = 0.0;
+      util::RunningStat rounds;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        core::LowLoadConfig cfg;
+        cfg.seed = 1 + rep * 7919;
+        cfg.shard.shards = shards;
+        cfg.shard.transport = transport.kind;
+        cfg.shard.fault_script = {
+            {victim, shard::FaultOp::kKillWorker,
+             static_cast<std::size_t>(kill_after)}};
+        bench::WallTimer t;
+        const auto res = core::run_low_load(p, instances[rep], n, cfg);
+        secs += t.seconds();
+        // The acceptance gate: a run that lost (and replaced) a worker
+        // mid-round still matches the fault-free serial baseline exactly.
+        check_identical(res, baselines[rep]);
+        rounds.add(static_cast<double>(res.stats.rounds_to_first));
+      }
+      const double recovery_wall = secs / static_cast<double>(reps);
+      const double overhead = faultfree_wall[t_idx] > 0.0
+                                  ? recovery_wall / faultfree_wall[t_idx]
+                                  : 0.0;
+      const std::string label = std::string(transport.name) + "+kill" +
+                                util::fmt(victim) + "@" +
+                                util::fmt(static_cast<std::size_t>(
+                                    kill_after));
+      table.add_row({label, util::fmt(shards), util::fmt(rounds.mean(), 2),
+                     util::fmt(recovery_wall, 4),
+                     util::fmt(recovery_wall > 0.0
+                                   ? serial_per_rep / recovery_wall
+                                   : 0.0,
+                               2)});
+      json.add_row("fault",
+                   {{"i", static_cast<double>(i)},
+                    {"n", static_cast<double>(n)},
+                    {"shards", static_cast<double>(shards)},
+                    {"transport", static_cast<double>(t_idx)},
+                    {"kill_shard", static_cast<double>(victim)},
+                    {"kill_after_frames", static_cast<double>(kill_after)},
+                    {"mean_rounds", rounds.mean()},
+                    {"recovery_wall", recovery_wall},
+                    {"recovery_overhead", overhead}});
     }
   }
 

@@ -38,6 +38,9 @@ enum class QueryKind : std::uint8_t {
 enum class QueryStatus : std::uint8_t {
   kOk = 1,
   kUnsupported = 2,
+  kTransientFailure = 3,  // a distributed solve lost workers beyond its
+                          // recovery budget (shard::ShardError); the
+                          // service keeps serving — resubmit the query
 };
 
 /// Which backend produced the response's solution.
@@ -111,7 +114,7 @@ inline void wire_get(gossip::Decoder& d, QueryResponse& r) {
   LPT_CHECK_MSG(kind >= 1 && kind <= 4, "service wire: unknown query kind");
   r.kind = static_cast<QueryKind>(kind);
   const std::uint8_t status = d.get_u8();
-  LPT_CHECK_MSG(status >= 1 && status <= 2,
+  LPT_CHECK_MSG(status >= 1 && status <= 3,
                 "service wire: unknown query status");
   r.status = static_cast<QueryStatus>(status);
   const std::uint8_t engine = d.get_u8();

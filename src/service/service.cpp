@@ -126,6 +126,9 @@ std::size_t LptService::run_epoch(std::vector<QueryResponse>& out) {
         break;
     }
     if (r.status == QueryStatus::kUnsupported) ++stats_.unsupported;
+    if (r.status == QueryStatus::kTransientFailure) {
+      ++stats_.transient_failures;
+    }
   }
 
   for (QueryRequest& q : batch_) free_pool_.push_back(std::move(q));
@@ -182,10 +185,18 @@ void LptService::serve_min_disk(const QueryRequest& q, QueryResponse& r,
         r.disk);
   } else {
     r.engine = EngineUsed::kDistributed;
-    auto res = core::run_low_load(min_disk_, pts, cfg_.distributed_nodes,
-                                  engine_config_for(q));
-    r.disk = std::move(res.solution);
-    r.rounds = static_cast<std::uint32_t>(res.stats.rounds_to_first);
+    try {
+      auto res = core::run_low_load(min_disk_, pts, cfg_.distributed_nodes,
+                                    engine_config_for(q));
+      r.disk = std::move(res.solution);
+      r.rounds = static_cast<std::uint32_t>(res.stats.rounds_to_first);
+    } catch (const shard::ShardError&) {
+      // Worker deaths beyond the recovery budget kill this solve, not the
+      // server: the query answers kTransientFailure (solution fields stay
+      // at their reset defaults) and the epoch keeps serving.
+      r.engine = EngineUsed::kNone;
+      r.status = QueryStatus::kTransientFailure;
+    }
   }
 }
 
@@ -197,10 +208,15 @@ void LptService::serve_lp2d(const QueryRequest& q, QueryResponse& r) const {
     r.lp = p.solve(planes);
   } else {
     r.engine = EngineUsed::kDistributed;
-    auto res = core::run_low_load(p, planes, cfg_.distributed_nodes,
-                                  engine_config_for(q));
-    r.lp = std::move(res.solution);
-    r.rounds = static_cast<std::uint32_t>(res.stats.rounds_to_first);
+    try {
+      auto res = core::run_low_load(p, planes, cfg_.distributed_nodes,
+                                    engine_config_for(q));
+      r.lp = std::move(res.solution);
+      r.rounds = static_cast<std::uint32_t>(res.stats.rounds_to_first);
+    } catch (const shard::ShardError&) {
+      r.engine = EngineUsed::kNone;
+      r.status = QueryStatus::kTransientFailure;
+    }
   }
 }
 

@@ -73,6 +73,11 @@ struct ServiceStats {
   std::uint64_t direct_solves = 0;
   std::uint64_t distributed_solves = 0;
   std::uint64_t unsupported = 0;
+  std::uint64_t transient_failures = 0;  // distributed solves lost to
+                                         // shard::ShardError (worker deaths
+                                         // beyond the recovery budget); the
+                                         // service answered
+                                         // kTransientFailure and kept going
   std::uint64_t distributed_rounds = 0;  // summed over distributed solves
   std::uint64_t arena_resets = 0;        // SlabPool::reset calls (epochs x
                                          // worker arenas)

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "gossip/metrics.hpp"
 #include "util/assert.hpp"
@@ -69,6 +71,51 @@ class ShardPlan {
 
   std::size_t n_;
   std::size_t shards_;
+};
+
+/// Recovery-time view over a plan: which workers are still serving.  The
+/// *plan* (shard -> node range) never changes — that is what keeps replayed
+/// frames bit-identical — but under the reassign recovery policy the
+/// *assignment* (frame -> serving worker) does: a dead shard's sub-frames
+/// fold into the surviving workers.  Fold targets are chosen round-robin
+/// ascending from the dead shard, so the assignment depends only on the
+/// sequence of deaths, never on timing.  Workers are stateless per frame,
+/// so which worker serves a frame cannot affect its result bytes.
+class ShardAssignment {
+ public:
+  explicit ShardAssignment(std::size_t shards)
+      : live_(shards, 1), live_count_(shards) {}
+
+  bool live(std::size_t worker) const noexcept { return live_[worker] != 0; }
+  std::size_t live_count() const noexcept { return live_count_; }
+
+  void mark_dead(std::size_t worker) noexcept {
+    if (live_[worker]) {
+      live_[worker] = 0;
+      --live_count_;
+    }
+  }
+
+  void mark_live(std::size_t worker) noexcept {  // a respawned replacement
+    if (!live_[worker]) {
+      live_[worker] = 1;
+      ++live_count_;
+    }
+  }
+
+  /// Next live worker strictly after `after`, cyclically.  Precondition:
+  /// live_count() >= 1.
+  std::size_t next_live(std::size_t after) const noexcept {
+    for (std::size_t step = 1; step <= live_.size(); ++step) {
+      const std::size_t c = (after + step) % live_.size();
+      if (live_[c]) return c;
+    }
+    return after;  // unreachable under the precondition
+  }
+
+ private:
+  std::vector<std::uint8_t> live_;
+  std::size_t live_count_;
 };
 
 }  // namespace lpt::shard

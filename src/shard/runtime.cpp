@@ -1,38 +1,125 @@
 // Transport implementations for the shard runtime (see shard/transport.hpp
-// for the design).  Everything transport-specific lives here so the
-// header-only engine glue stays free of OS includes.
+// for the design and shard/fault.hpp for the scripted fault injection).
+// Everything transport-specific lives here so the header-only engine glue
+// stays free of OS includes.
 #include "shard/transport.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 
 #include <dirent.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "shard/fault.hpp"
+#include "shard/runtime.hpp"
 #include "shard/wire.hpp"
 #include "util/assert.hpp"
 
 namespace lpt::shard {
+
+const char* recovery_mode_name(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kRespawn:
+      return "respawn";
+    case RecoveryMode::kReassign:
+      return "reassign";
+    case RecoveryMode::kFailFast:
+      return "fail_fast";
+  }
+  return "unknown";
+}
+
+const char* down_cause_name(DownCause cause) {
+  switch (cause) {
+    case DownCause::kEof:
+      return "eof";
+    case DownCause::kTruncated:
+      return "truncated";
+    case DownCause::kOversized:
+      return "oversized-frame";
+    case DownCause::kEpipe:
+      return "epipe";
+    case DownCause::kTimeout:
+      return "timeout";
+    case DownCause::kCorrupt:
+      return "corrupt-frame";
+    case DownCause::kKilled:
+      return "killed";
+  }
+  return "unknown";
+}
+
+// --- Endpoint: the strict legacy wrapper. ---------------------------------
+
+std::vector<std::uint8_t> Endpoint::recv() {
+  RecvResult r = recv_frame(-1);
+  if (r.ok()) return std::move(r.frame);
+  switch (r.cause) {
+    case DownCause::kEof:
+      // Clean EOF at a frame boundary: the peer is gone.  Returned as an
+      // empty frame; worker_loop treats it as shutdown (a coordinator that
+      // died mid-run must not leave children aborting), while a coordinator
+      // expecting a result trips the result-type check loudly.
+      return {};
+    case DownCause::kOversized:
+      LPT_CHECK_MSG(false,
+                    "shard frame length prefix exceeds kMaxFrameBytes");
+      break;
+    case DownCause::kTruncated:
+      LPT_CHECK_MSG(false, "shard pipe truncated mid-frame");
+      break;
+    default:
+      LPT_CHECK_MSG(false, "shard stream failed");
+      break;
+  }
+  return {};
+}
 
 namespace detail {
 
 void FrameQueue::push(std::vector<std::uint8_t> frame) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // a dead lane swallows frames, like a dead pipe
     frames_.push_back(std::move(frame));
   }
   cv_.notify_one();
 }
 
-std::vector<std::uint8_t> FrameQueue::pop() {
+RecvResult FrameQueue::pop(int timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !frames_.empty(); });
-  std::vector<std::uint8_t> frame = std::move(frames_.front());
+  const auto ready = [this] { return !frames_.empty() || closed_; };
+  if (timeout_ms < 0) {
+    cv_.wait(lock, ready);
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           ready)) {
+    return {RecvResult::Status::kTimeout, DownCause::kTimeout, {}};
+  }
+  if (frames_.empty()) {  // closed and drained: the lane analogue of EOF
+    return {RecvResult::Status::kDown, DownCause::kEof, {}};
+  }
+  RecvResult r;
+  r.frame = std::move(frames_.front());
   frames_.pop_front();
-  return frame;
+  return r;
+}
+
+void FrameQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool FrameQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
 }
 
 namespace {
@@ -45,13 +132,17 @@ class QueueEndpoint final : public Endpoint {
  public:
   QueueEndpoint(FrameQueue& in, FrameQueue& out) : in_(&in), out_(&out) {}
 
-  void send(std::span<const std::uint8_t> payload) override {
+  bool send(std::span<const std::uint8_t> payload) override {
     LPT_CHECK_MSG(payload.size() <= kMaxFrameBytes,
                   "shard frame exceeds kMaxFrameBytes");
+    if (out_->closed()) return false;  // the lane analogue of EPIPE
     out_->push(std::vector<std::uint8_t>(payload.begin(), payload.end()));
+    return true;
   }
 
-  std::vector<std::uint8_t> recv() override { return in_->pop(); }
+  RecvResult recv_frame(int timeout_ms) override {
+    return in_->pop(timeout_ms);
+  }
 
  private:
   FrameQueue* in_;
@@ -82,37 +173,62 @@ void close_inherited_fds(int keep_read, int keep_write) {
   for (const int fd : to_close) ::close(fd);
 }
 
-void write_all(int fd, const void* data, std::size_t len) {
+/// Write exactly len bytes.  Returns false when the peer's read end is
+/// gone (EPIPE, surfaced because SIGPIPE is ignored) — the structured
+/// worker-down path; any other error still aborts loudly.
+bool write_all(int fd, const void* data, std::size_t len) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
     const ssize_t w = ::write(fd, p, len);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE) return false;
       LPT_CHECK_MSG(false, "shard pipe write failed");
     }
     p += w;
     len -= static_cast<std::size_t>(w);
   }
+  return true;
 }
 
-/// Read exactly len bytes.  Returns false on clean EOF at a frame
-/// boundary (offset 0); aborts on EOF mid-frame or on errors.
-bool read_all(int fd, void* data, std::size_t len) {
+enum class ReadStatus { kOk, kCleanEof, kTruncated, kTimeout };
+
+/// Read exactly len bytes, waiting at most `deadline` (steady clock; the
+/// caller computes it once per frame so the prefix and payload reads share
+/// one budget).  kCleanEof only at offset 0 — an EOF after the first byte
+/// means the writer died mid-frame.
+ReadStatus read_all_deadline(
+    int fd, void* data, std::size_t len, bool has_deadline,
+    std::chrono::steady_clock::time_point deadline) {
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;
   while (got < len) {
+    if (has_deadline) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count();
+      if (left <= 0) return ReadStatus::kTimeout;
+      pollfd pfd{fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        LPT_CHECK_MSG(false, "shard pipe poll failed");
+      }
+      if (pr == 0) return ReadStatus::kTimeout;
+    }
     const ssize_t r = ::read(fd, p + got, len - got);
     if (r < 0) {
       if (errno == EINTR) continue;
       LPT_CHECK_MSG(false, "shard pipe read failed");
     }
     if (r == 0) {
-      LPT_CHECK_MSG(got == 0, "shard pipe truncated mid-frame");
-      return false;
+      return got == 0 ? ReadStatus::kCleanEof : ReadStatus::kTruncated;
     }
     got += static_cast<std::size_t>(r);
   }
-  return true;
+  return ReadStatus::kOk;
 }
 
 }  // namespace
@@ -132,28 +248,65 @@ InProcTransport::InProcTransport() = default;
 
 InProcTransport::~InProcTransport() { join(); }
 
+void InProcTransport::start_worker(std::size_t shard) {
+  lanes_[shard] = std::make_unique<Lane>();
+  exits_[shard] = WorkerExit{};
+  threads_[shard] = std::thread(
+      [shard, worker = worker_fn_, lane = lanes_[shard].get()] {
+        worker(shard, lane->worker);
+      });
+}
+
 void InProcTransport::spawn(std::size_t shards, WorkerFn worker) {
   LPT_CHECK_MSG(lanes_.empty(), "Transport::spawn called twice");
-  lanes_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    lanes_.push_back(std::make_unique<Lane>());
-  }
-  threads_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    threads_.emplace_back(
-        [s, worker, lane = lanes_[s].get()] { worker(s, lane->worker); });
-  }
+  worker_fn_ = std::move(worker);
+  lanes_.resize(shards);
+  threads_.resize(shards);
+  exits_.resize(shards);
+  expected_down_.assign(shards, 0);
+  for (std::size_t s = 0; s < shards; ++s) start_worker(s);
 }
 
 Endpoint& InProcTransport::endpoint(std::size_t shard) {
   return lanes_[shard]->coordinator;
 }
 
+void InProcTransport::kill_worker(std::size_t shard) {
+  expected_down_[shard] = 1;
+  if (!threads_[shard].joinable()) return;
+  // Closing both queues is the in-process kill: the worker's next pop or
+  // push observes a dead lane and the loop exits; a mid-compute worker
+  // finishes its frame into the void.  Unlike SIGKILL this lets the thread
+  // run to its next lane touch, but the coordinator-visible outcome is the
+  // same — the stream is down and any in-flight result is lost.
+  lanes_[shard]->to_worker.close();
+  lanes_[shard]->to_coordinator.close();
+  threads_[shard].join();
+  exits_[shard] = WorkerExit{WorkerExit::Kind::kSignaled, SIGKILL};
+}
+
+void InProcTransport::respawn(std::size_t shard) {
+  kill_worker(shard);
+  expected_down_[shard] = 0;
+  start_worker(shard);
+}
+
+WorkerExit InProcTransport::exit_status(std::size_t shard) {
+  return exits_[shard];
+}
+
+void InProcTransport::expect_down(std::size_t shard) {
+  expected_down_[shard] = 1;
+}
+
 void InProcTransport::join() {
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  for (std::size_t s = 0; s < threads_.size(); ++s) {
+    if (!threads_[s].joinable()) continue;
+    threads_[s].join();
+    if (exits_[s].kind == WorkerExit::Kind::kRunning) {
+      exits_[s] = WorkerExit{WorkerExit::Kind::kExited, 0};
+    }
   }
-  threads_.clear();
 }
 
 // --- PipeTransport --------------------------------------------------------
@@ -163,92 +316,276 @@ PipeEndpoint::~PipeEndpoint() {
   if (write_fd_ >= 0) ::close(write_fd_);
 }
 
-void PipeEndpoint::send(std::span<const std::uint8_t> payload) {
+bool PipeEndpoint::send(std::span<const std::uint8_t> payload) {
   LPT_CHECK_MSG(payload.size() <= kMaxFrameBytes,
                 "shard frame exceeds kMaxFrameBytes");
   const auto len = static_cast<std::uint32_t>(payload.size());
-  detail::write_all(write_fd_, &len, sizeof len);
-  detail::write_all(write_fd_, payload.data(), payload.size());
+  if (!detail::write_all(write_fd_, &len, sizeof len)) return false;
+  return detail::write_all(write_fd_, payload.data(), payload.size());
 }
 
-std::vector<std::uint8_t> PipeEndpoint::recv() {
+RecvResult PipeEndpoint::recv_frame(int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(has_deadline ? timeout_ms
+                                                               : 0);
   std::uint32_t len = 0;
-  if (!detail::read_all(read_fd_, &len, sizeof len)) {
-    // Clean EOF at a frame boundary: the peer is gone.  Returned as an
-    // empty frame; worker_loop treats it as shutdown (a coordinator that
-    // died mid-run must not leave children aborting), while a coordinator
-    // expecting a result trips the result-type check loudly.
-    return {};
+  switch (detail::read_all_deadline(read_fd_, &len, sizeof len, has_deadline,
+                                    deadline)) {
+    case detail::ReadStatus::kCleanEof:
+      return {RecvResult::Status::kDown, DownCause::kEof, {}};
+    case detail::ReadStatus::kTruncated:
+      return {RecvResult::Status::kDown, DownCause::kTruncated, {}};
+    case detail::ReadStatus::kTimeout:
+      return {RecvResult::Status::kTimeout, DownCause::kTimeout, {}};
+    case detail::ReadStatus::kOk:
+      break;
   }
-  LPT_CHECK_MSG(len <= kMaxFrameBytes,
-                "shard frame length prefix exceeds kMaxFrameBytes");
-  std::vector<std::uint8_t> payload(len);
+  if (len > kMaxFrameBytes) {
+    // A garbage or truncated stream otherwise turns into an attempted
+    // multi-gigabyte allocation; the stream is unusable from here on.
+    return {RecvResult::Status::kDown, DownCause::kOversized, {}};
+  }
+  RecvResult r;
+  r.frame.resize(len);
   if (len > 0) {
-    LPT_CHECK_MSG(detail::read_all(read_fd_, payload.data(), len),
-                  "shard pipe truncated mid-frame");
+    switch (detail::read_all_deadline(read_fd_, r.frame.data(), len,
+                                      has_deadline, deadline)) {
+      case detail::ReadStatus::kCleanEof:
+      case detail::ReadStatus::kTruncated:
+        return {RecvResult::Status::kDown, DownCause::kTruncated, {}};
+      case detail::ReadStatus::kTimeout:
+        return {RecvResult::Status::kTimeout, DownCause::kTimeout, {}};
+      case detail::ReadStatus::kOk:
+        break;
+    }
   }
-  return payload;
+  return r;
 }
 
 PipeTransport::PipeTransport() = default;
 
 PipeTransport::~PipeTransport() {
-  // Endpoints close first (their destructors run in join's caller chain
-  // anyway): a child blocked in recv() sees EOF and exits if the shutdown
-  // frame never made it.
-  endpoints_.clear();
+  // Endpoints close first: a child blocked in recv() sees EOF and exits if
+  // the shutdown frame never made it.
+  for (WorkerSlot& w : workers_) w.ep.reset();
   join();
 }
 
-void PipeTransport::spawn(std::size_t shards, WorkerFn worker) {
-  LPT_CHECK_MSG(endpoints_.empty(), "Transport::spawn called twice");
-  // A write to a dead worker must surface as EPIPE (and the loud
-  // write_all check), not kill the coordinator with SIGPIPE.
-  ::signal(SIGPIPE, SIG_IGN);
-  for (std::size_t s = 0; s < shards; ++s) {
-    int task_pipe[2];    // coordinator -> worker
-    int result_pipe[2];  // worker -> coordinator
-    LPT_CHECK_MSG(::pipe(task_pipe) == 0 && ::pipe(result_pipe) == 0,
-                  "pipe() failed");
-    const pid_t pid = ::fork();
-    LPT_CHECK_MSG(pid >= 0, "fork() failed");
-    if (pid == 0) {
-      // Worker process: keep only stdio and this worker's own pipe ends —
-      // sibling shards' fds AND any concurrently spawning harness's fds
-      // (bench thread pools fork in parallel) are swept via /proc.
-      detail::close_inherited_fds(task_pipe[0], result_pipe[1]);
-      {
-        PipeEndpoint ep(task_pipe[0], result_pipe[1]);
-        worker(s, ep);
-      }
-      // _exit, not exit: no atexit handlers / stream flushes inherited
-      // from the coordinator may run in the child.
-      ::_exit(0);
+void PipeTransport::start_worker(std::size_t shard) {
+  int task_pipe[2];    // coordinator -> worker
+  int result_pipe[2];  // worker -> coordinator
+  LPT_CHECK_MSG(::pipe(task_pipe) == 0 && ::pipe(result_pipe) == 0,
+                "pipe() failed");
+  const pid_t pid = ::fork();
+  LPT_CHECK_MSG(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    // Worker process: keep only stdio and this worker's own pipe ends —
+    // sibling shards' fds AND any concurrently spawning harness's fds
+    // (bench thread pools fork in parallel) are swept via /proc.
+    detail::close_inherited_fds(task_pipe[0], result_pipe[1]);
+    {
+      PipeEndpoint ep(task_pipe[0], result_pipe[1]);
+      worker_fn_(shard, ep);
     }
-    ::close(task_pipe[0]);
-    ::close(result_pipe[1]);
-    endpoints_.push_back(
-        std::make_unique<PipeEndpoint>(result_pipe[0], task_pipe[1]));
-    children_.push_back(pid);
+    // _exit, not exit: no atexit handlers / stream flushes inherited
+    // from the coordinator may run in the child.
+    ::_exit(0);
   }
+  ::close(task_pipe[0]);
+  ::close(result_pipe[1]);
+  WorkerSlot& w = workers_[shard];
+  w.pid = pid;
+  w.ep = std::make_unique<PipeEndpoint>(result_pipe[0], task_pipe[1]);
+  w.exit = WorkerExit{};
+  w.reaped = false;
+}
+
+void PipeTransport::spawn(std::size_t shards, WorkerFn worker) {
+  LPT_CHECK_MSG(workers_.empty(), "Transport::spawn called twice");
+  worker_fn_ = std::move(worker);
+  // A write to a dead worker must surface as EPIPE (and the structured
+  // worker-down path), not kill the coordinator with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  workers_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) start_worker(s);
 }
 
 Endpoint& PipeTransport::endpoint(std::size_t shard) {
-  return *endpoints_[shard];
+  return *workers_[shard].ep;
+}
+
+void PipeTransport::reap(std::size_t shard, bool block) {
+  WorkerSlot& w = workers_[shard];
+  if (w.reaped) return;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(w.pid, &status, block ? 0 : WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) return;  // still running (WNOHANG)
+  LPT_CHECK_MSG(r == w.pid, "waitpid failed for shard worker");
+  // Record the real cause exactly once, at reap time — a worker that died
+  // mid-run keeps its exit code / signal number observable ever after.
+  if (WIFEXITED(status)) {
+    w.exit = WorkerExit{WorkerExit::Kind::kExited, WEXITSTATUS(status)};
+  } else if (WIFSIGNALED(status)) {
+    w.exit = WorkerExit{WorkerExit::Kind::kSignaled, WTERMSIG(status)};
+  } else {
+    w.exit = WorkerExit{WorkerExit::Kind::kExited, -1};
+  }
+  w.reaped = true;
+}
+
+void PipeTransport::kill_worker(std::size_t shard) {
+  WorkerSlot& w = workers_[shard];
+  w.expected_down = true;
+  if (w.reaped) return;
+  ::kill(w.pid, SIGKILL);  // ESRCH (already gone) is fine: reap below
+  reap(shard, /*block=*/true);
+}
+
+void PipeTransport::respawn(std::size_t shard) {
+  kill_worker(shard);
+  WorkerSlot& w = workers_[shard];
+  w.ep.reset();  // close the dead stream's coordinator fds before reuse
+  w.expected_down = false;
+  start_worker(shard);
+}
+
+WorkerExit PipeTransport::exit_status(std::size_t shard) {
+  reap(shard, /*block=*/false);  // observe a zombie without waiting
+  return workers_[shard].exit;
+}
+
+void PipeTransport::expect_down(std::size_t shard) {
+  workers_[shard].expected_down = true;
 }
 
 void PipeTransport::join() {
-  for (const pid_t pid : children_) {
-    int status = 0;
-    pid_t r;
-    do {
-      r = ::waitpid(pid, &status, 0);
-    } while (r < 0 && errno == EINTR);
-    LPT_CHECK_MSG(r == pid, "waitpid failed for shard worker");
-    LPT_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    WorkerSlot& w = workers_[s];
+    if (w.pid < 0) continue;
+    reap(s, /*block=*/true);
+    const bool clean =
+        w.exit.kind == WorkerExit::Kind::kExited && w.exit.value == 0;
+    LPT_CHECK_MSG(clean || w.expected_down,
                   "shard worker process exited abnormally");
+    w.pid = -1;
   }
-  children_.clear();
+}
+
+// --- FaultyTransport ------------------------------------------------------
+
+/// Counting/injecting view of one inner endpoint (see shard/fault.hpp).
+class FaultyTransport::FaultyEndpoint final : public Endpoint {
+ public:
+  FaultyEndpoint(FaultyTransport* owner, std::size_t shard)
+      : owner_(owner), shard_(shard) {}
+
+  bool send(std::span<const std::uint8_t> payload) override {
+    FaultEvent* ev = owner_->match(shard_, /*send_side=*/true, sends_);
+    ++sends_;
+    const bool ok = owner_->inner_->endpoint(shard_).send(payload);
+    if (ev != nullptr) {
+      // kKillWorker: the task frame is on the wire (or lost to EPIPE);
+      // the real worker dies NOW — whether it already read, served, or
+      // answered that frame is a genuine race the recovery must win in
+      // every interleaving.
+      owner_->inner_->kill_worker(shard_);
+    }
+    return ok;
+  }
+
+  RecvResult recv_frame(int timeout_ms) override {
+    FaultEvent* ev = owner_->match(shard_, /*send_side=*/false, recvs_);
+    ++recvs_;
+    Endpoint& inner = owner_->inner_->endpoint(shard_);
+    if (ev == nullptr) return inner.recv_frame(timeout_ms);
+    switch (ev->op) {
+      case FaultOp::kDropResult: {
+        RecvResult got = inner.recv_frame(timeout_ms);
+        if (!got.ok()) return got;  // the worker died anyway: report that
+        // The frame vanishes; wait (up to one more deadline) for a frame
+        // the lockstep worker will never send — the genuine hung-worker
+        // outcome.  Requires a finite recv deadline, or this would block.
+        return inner.recv_frame(timeout_ms);
+      }
+      case FaultOp::kTruncateResult: {
+        RecvResult got = inner.recv_frame(timeout_ms);
+        owner_->inner_->kill_worker(shard_);
+        if (!got.ok()) return got;
+        return {RecvResult::Status::kDown, DownCause::kTruncated, {}};
+      }
+      case FaultOp::kCorruptResult: {
+        RecvResult got = inner.recv_frame(timeout_ms);
+        if (got.ok() && !got.frame.empty()) got.frame[0] ^= 0x80u;
+        return got;
+      }
+      case FaultOp::kDelayResult: {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ev->delay_ms));
+        return inner.recv_frame(timeout_ms);
+      }
+      case FaultOp::kKillWorker:
+        break;  // send-side op; match() never returns it here
+    }
+    return inner.recv_frame(timeout_ms);
+  }
+
+ private:
+  FaultyTransport* owner_;
+  std::size_t shard_;
+  std::size_t sends_ = 0;  // monotone across respawns: at_frame is a
+  std::size_t recvs_ = 0;  // run-global per-lane position, not per-worker
+};
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 FaultScript script)
+    : inner_(std::move(inner)), script_(std::move(script)) {
+  consumed_.assign(script_.size(), 0);
+}
+
+FaultyTransport::~FaultyTransport() = default;
+
+void FaultyTransport::spawn(std::size_t shards, WorkerFn worker) {
+  inner_->spawn(shards, std::move(worker));
+  endpoints_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    endpoints_[s] = std::make_unique<FaultyEndpoint>(this, s);
+  }
+}
+
+Endpoint& FaultyTransport::endpoint(std::size_t shard) {
+  return *endpoints_[shard];
+}
+
+void FaultyTransport::kill_worker(std::size_t shard) {
+  inner_->kill_worker(shard);
+}
+
+void FaultyTransport::respawn(std::size_t shard) { inner_->respawn(shard); }
+
+WorkerExit FaultyTransport::exit_status(std::size_t shard) {
+  return inner_->exit_status(shard);
+}
+
+void FaultyTransport::expect_down(std::size_t shard) {
+  inner_->expect_down(shard);
+}
+
+void FaultyTransport::join() { inner_->join(); }
+
+FaultEvent* FaultyTransport::match(std::size_t shard, bool send_side,
+                                   std::size_t frame) {
+  for (std::size_t i = 0; i < script_.size(); ++i) {
+    if (consumed_[i]) continue;
+    FaultEvent& ev = script_[i];
+    if (ev.shard != shard || ev.at_frame != frame) continue;
+    if ((ev.op == FaultOp::kKillWorker) != send_side) continue;
+    consumed_[i] = 1;
+    return &ev;
+  }
+  return nullptr;
 }
 
 std::unique_ptr<Transport> make_transport(TransportKind kind) {

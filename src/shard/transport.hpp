@@ -28,8 +28,27 @@
 //     glibc's malloc atfork handlers (works in practice, and each child
 //     touches only its closure state).
 //
-// Both transports present the same blocking Endpoint API, so the engines'
-// coordinator loop is transport-agnostic.
+// ## Failure surface (the fault-tolerance contract)
+//
+// A worker is allowed to die: the paper's protocols are robust to faulty
+// participants, and the shard runtime mirrors that at the process level.
+// Every way a stream can fail is surfaced as *data*, not an abort:
+//
+//   * recv_frame(timeout_ms) returns a RecvResult — a frame, a timeout, or
+//     a structured down-cause (clean EOF, mid-frame truncation, an
+//     oversized length prefix);
+//   * send() returns false when the peer is gone (EPIPE / closed lane)
+//     instead of aborting;
+//   * exit_status() exposes how a worker process actually ended (exit code
+//     or signal number, reaped exactly once — never silently lost);
+//   * kill_worker() / respawn() let the coordinator put down a hung or
+//     corrupt worker and start a replacement running the same WorkerFn.
+//
+// The legacy blocking Endpoint::recv() keeps its loud LPT_CHECK semantics
+// (a caller that asked for no failure handling must not limp on); the
+// recovery-aware ShardHarness uses recv_frame and handles the rest.  The
+// transport records which workers the harness *expects* to be down
+// (expect_down), so teardown still aborts loudly on deaths nobody handled.
 #pragma once
 
 #include <condition_variable>
@@ -46,20 +65,68 @@
 
 namespace lpt::shard {
 
-/// One side of a bidirectional frame stream.  send() frames and writes the
-/// payload; recv() blocks for the next frame and rejects malformed input
-/// (length prefix past kMaxFrameBytes, or a stream truncated mid-frame)
-/// with a loud LPT_CHECK abort — a shard runtime with a corrupt stream must
-/// not keep simulating.
+/// Why a worker (or its frame stream) is considered down.
+enum class DownCause : std::uint8_t {
+  kEof = 0,     // peer closed the stream at a frame boundary
+  kTruncated,   // stream ended mid-frame (partial length prefix or payload)
+  kOversized,   // length prefix past kMaxFrameBytes (corrupt stream)
+  kEpipe,       // write failed: the peer's read end is gone
+  kTimeout,     // no frame within the recv deadline (hung or dead worker)
+  kCorrupt,     // a frame arrived but failed validation (bad message type)
+  kKilled,      // killed on purpose (fault injection / hung-worker cleanup)
+};
+
+const char* down_cause_name(DownCause cause);
+
+/// Outcome of one recv_frame call.
+struct RecvResult {
+  enum class Status : std::uint8_t {
+    kFrame = 0,   // `frame` holds a complete payload
+    kTimeout,     // deadline expired with no frame
+    kDown,        // the stream is dead; `cause` says how
+  };
+  Status status = Status::kFrame;
+  DownCause cause = DownCause::kEof;  // meaningful when status == kDown
+  std::vector<std::uint8_t> frame;    // meaningful when status == kFrame
+
+  bool ok() const noexcept { return status == Status::kFrame; }
+};
+
+/// How a worker ended.  PipeTransport fills this from the waitpid status
+/// (recorded exactly once per child, at the moment it is reaped — a worker
+/// that died mid-run is reported with its real exit code or signal number,
+/// not silently discarded at teardown).  InProcTransport reports joined
+/// threads as kExited/0 and killed workers as kSignaled/SIGKILL, the
+/// in-process analogue.
+struct WorkerExit {
+  enum class Kind : std::uint8_t { kRunning = 0, kExited, kSignaled };
+  Kind kind = Kind::kRunning;
+  int value = 0;  // exit code (kExited) or signal number (kSignaled)
+};
+
+/// One side of a bidirectional frame stream.
+///
+/// send() frames and writes the payload, returning false when the peer is
+/// gone (EPIPE / closed lane) — any other I/O error still aborts loudly.
+/// recv_frame() blocks up to timeout_ms (-1: forever) for the next frame
+/// and reports malformed input (length prefix past kMaxFrameBytes, or a
+/// stream truncated mid-frame) as a structured down-cause.  recv() is the
+/// legacy strict wrapper: it blocks forever, maps clean EOF to an empty
+/// frame, and LPT_CHECK-aborts on malformed input — for callers with no
+/// recovery path, a corrupt stream must not keep simulating.
 class Endpoint {
  public:
   virtual ~Endpoint() = default;
-  virtual void send(std::span<const std::uint8_t> payload) = 0;
-  virtual std::vector<std::uint8_t> recv() = 0;
+  virtual bool send(std::span<const std::uint8_t> payload) = 0;
+  virtual RecvResult recv_frame(int timeout_ms) = 0;
+
+  std::vector<std::uint8_t> recv();
 };
 
 /// A worker body: runs the per-shard serve loop until shutdown.  Invoked
-/// once per shard with that shard's index and endpoint.
+/// once per shard with that shard's index and endpoint (and again for each
+/// respawned replacement worker, which starts from a clean slate — serve
+/// state is rebuilt from the frames themselves).
 using WorkerFn = std::function<void(std::size_t shard, Endpoint& ep)>;
 
 class Transport {
@@ -70,14 +137,39 @@ class Transport {
   Transport& operator=(const Transport&) = delete;
 
   /// Launch `shards` workers, each running `worker(shard, endpoint)`.
-  /// Must be called exactly once, before any endpoint() use.
+  /// Must be called exactly once, before any endpoint() use.  The WorkerFn
+  /// is retained for respawn().
   virtual void spawn(std::size_t shards, WorkerFn worker) = 0;
 
-  /// The coordinator-side endpoint for `shard` (valid after spawn()).
+  /// The coordinator-side endpoint for `shard` (valid after spawn(); a
+  /// respawn() replaces the endpoint behind this accessor, so callers must
+  /// re-fetch rather than cache the reference across failures).
   virtual Endpoint& endpoint(std::size_t shard) = 0;
 
+  /// Force-terminate one worker (SIGKILL for processes, lane close for
+  /// threads) and reap it, recording its exit status.  Idempotent; marks
+  /// the death as expected so join() does not abort over it.
+  virtual void kill_worker(std::size_t shard) = 0;
+
+  /// Replace a dead (or hung — it is killed first) worker with a fresh one
+  /// running the original WorkerFn on a fresh stream.  The replacement
+  /// carries no state: the coordinator re-ships everything it needs.
+  virtual void respawn(std::size_t shard) = 0;
+
+  /// How `shard`'s current worker ended (kRunning while alive).  Reaps a
+  /// zombie child on the spot (WNOHANG) so a worker that died mid-run is
+  /// observable before teardown.
+  virtual WorkerExit exit_status(std::size_t shard) = 0;
+
+  /// Mark a worker's death as handled: join() records its status instead
+  /// of aborting.  Called by the harness whenever it observed (and
+  /// recovered from, or deliberately escalated) a failure.
+  virtual void expect_down(std::size_t shard) = 0;
+
   /// Block until every worker has exited its loop (callers send the
-  /// shutdown frames first).  Idempotent; also invoked by destructors.
+  /// shutdown frames first).  Aborts loudly on an abnormal exit that was
+  /// never expect_down()-ed — an unhandled death must not pass silently.
+  /// Idempotent; also invoked by destructors.
   virtual void join() = 0;
 
  protected:
@@ -88,16 +180,23 @@ class Transport {
 
 namespace detail {
 
-/// Unbounded blocking frame queue (one direction of one worker's stream).
+/// Blocking frame queue (one direction of one worker's stream).  close()
+/// wakes all waiters: a pop on a closed, drained queue reports the lane
+/// down instead of blocking forever — the in-process analogue of EOF.
 class FrameQueue {
  public:
-  void push(std::vector<std::uint8_t> frame);
-  std::vector<std::uint8_t> pop();  // blocks until a frame arrives
+  void push(std::vector<std::uint8_t> frame);  // dropped when closed
+  /// Blocks up to timeout_ms (-1: forever).  kDown{kEof} once closed and
+  /// drained; kTimeout when the deadline expires first.
+  RecvResult pop(int timeout_ms);
+  void close();
+  bool closed() const;
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::vector<std::uint8_t>> frames_;
+  bool closed_ = false;
 };
 
 }  // namespace detail
@@ -109,12 +208,21 @@ class InProcTransport final : public Transport {
 
   void spawn(std::size_t shards, WorkerFn worker) override;
   Endpoint& endpoint(std::size_t shard) override;
+  void kill_worker(std::size_t shard) override;
+  void respawn(std::size_t shard) override;
+  WorkerExit exit_status(std::size_t shard) override;
+  void expect_down(std::size_t shard) override;
   void join() override;
 
  private:
   struct Lane;  // the queue pair + both endpoints for one shard
+  void start_worker(std::size_t shard);
+
+  WorkerFn worker_fn_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::thread> threads_;
+  std::vector<WorkerExit> exits_;
+  std::vector<std::uint8_t> expected_down_;
 };
 
 // --- Process transport (fork + pipes). -----------------------------------
@@ -127,8 +235,8 @@ class PipeEndpoint final : public Endpoint {
       : read_fd_(read_fd), write_fd_(write_fd) {}
   ~PipeEndpoint() override;
 
-  void send(std::span<const std::uint8_t> payload) override;
-  std::vector<std::uint8_t> recv() override;
+  bool send(std::span<const std::uint8_t> payload) override;
+  RecvResult recv_frame(int timeout_ms) override;
 
  private:
   int read_fd_;
@@ -142,11 +250,29 @@ class PipeTransport final : public Transport {
 
   void spawn(std::size_t shards, WorkerFn worker) override;
   Endpoint& endpoint(std::size_t shard) override;
+  void kill_worker(std::size_t shard) override;
+  void respawn(std::size_t shard) override;
+  WorkerExit exit_status(std::size_t shard) override;
+  void expect_down(std::size_t shard) override;
   void join() override;
 
  private:
-  std::vector<std::unique_ptr<PipeEndpoint>> endpoints_;  // coordinator side
-  std::vector<pid_t> children_;
+  /// One worker process: its pid, coordinator-side endpoint, and the exit
+  /// status recorded when it was reaped (the waitpid result is captured
+  /// exactly once and kept — never lost to a later teardown check).
+  struct WorkerSlot {
+    pid_t pid = -1;
+    std::unique_ptr<PipeEndpoint> ep;
+    WorkerExit exit;
+    bool reaped = false;
+    bool expected_down = false;
+  };
+
+  void start_worker(std::size_t shard);
+  void reap(std::size_t shard, bool block);
+
+  WorkerFn worker_fn_;
+  std::vector<WorkerSlot> workers_;
 };
 
 /// Which transport a ShardConfig asks for.

@@ -144,6 +144,41 @@ def check_shard_scaling(baseline, fresh, max_ratio, failures, checked):
                     f"(allowed <= {base_wall * max_ratio * 1e3:.1f})"
                 )
 
+    # The kill-recovery fault column (PR 7): ``recovery_wall`` is the
+    # wall_per_rep of a run that loses (and replaces) a worker mid-round.
+    # Snapshots committed before the fault column simply have no "fault"
+    # series — warn-skip so old baselines keep passing.
+    if fresh.get("fault") and not baseline.get("fault"):
+        print("[bench-trend] WARNING: committed BENCH_shard_scaling.json has "
+              "no 'fault' series (pre-recovery snapshot) — skipping the "
+              "kill-recovery comparison")
+    base_rows = {
+        (row.get("i"), row.get("shards", 0), row.get("transport", 0)): row
+        for row in baseline.get("fault", [])
+    }
+    for row in fresh.get("fault", []):
+        base_row = base_rows.get(
+            (row.get("i"), row.get("shards", 0), row.get("transport", 0)))
+        if base_row is None:
+            continue
+        base_wall = base_row.get("recovery_wall")
+        fresh_wall = row.get("recovery_wall")
+        if not isinstance(base_wall, (int, float)) or not isinstance(
+            fresh_wall, (int, float)
+        ):
+            continue
+        if base_wall < MIN_WALL:
+            continue
+        point = (f"shard_scaling fault shards={row.get('shards', 0)} "
+                 f"transport={row.get('transport', 0)}")
+        checked.append(point)
+        if fresh_wall > base_wall * max_ratio:
+            failures.append(
+                f"{point}: recovery {fresh_wall * 1e3:.1f} ms/rep vs "
+                f"committed {base_wall * 1e3:.1f} ms/rep "
+                f"(allowed <= {base_wall * max_ratio * 1e3:.1f})"
+            )
+
 
 MIN_LATENCY_US = 1e3  # p99 below 1 ms is scheduler noise on shared runners
 
