@@ -64,7 +64,7 @@ inline std::size_t threads_flag(const util::Cli& cli) {
 /// The shared --shards / --shard-transport flags: benches opt sweeps into
 /// the shard runtime with --shards=N (0 = disabled, the default; results
 /// are bit-identical either way) and pick the worker transport with
-/// --shard-transport=inproc|pipe (default inproc).
+/// --shard-transport=inproc|pipe|socket (default inproc).
 inline shard::ShardConfig shard_flags(const util::Cli& cli) {
   shard::ShardConfig cfg;
   const std::int64_t shards = cli.get_int("shards", 0);
@@ -77,6 +77,8 @@ inline shard::ShardConfig shard_flags(const util::Cli& cli) {
   const std::string transport = cli.get("shard-transport", "inproc");
   if (transport == "pipe") {
     cfg.transport = shard::TransportKind::kPipe;
+  } else if (transport == "socket") {
+    cfg.transport = shard::TransportKind::kSocket;
   } else if (transport != "inproc") {
     std::fprintf(stderr, "unknown --shard-transport=%s, using inproc\n",
                  transport.c_str());

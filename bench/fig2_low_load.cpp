@@ -11,7 +11,7 @@
 //
 // Usage: fig2_low_load [--imin=1] [--imax=13] [--reps=10] [--csv]
 //                      [--threads=1] [--parallel-nodes=1] [--dataset=name]
-//                      [--shards=0] [--shard-transport=inproc|pipe]
+//                      [--shards=0] [--shard-transport=inproc|pipe|socket]
 //        (paper: i up to 14, 16 for duo-disk; 10 runs per point)
 //
 // --threads runs the repetitions of each point concurrently (bit-identical

@@ -12,7 +12,7 @@
 //
 // Usage: large_n [--i=20] [--ihigh=16] [--reps=1] [--dataset=duo-disk]
 //                [--engine=both|low|high] [--parallel-nodes=1]
-//                [--shards=0] [--shard-transport=inproc|pipe]
+//                [--shards=0] [--shard-transport=inproc|pipe|socket]
 //
 // --i sizes the low-load point (n = 2^i nodes on n points; memory stays
 // O(n) thanks to filtering).  --ihigh sizes the high-load point separately:

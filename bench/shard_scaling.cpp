@@ -1,29 +1,32 @@
 // SHARD-SCALING — wall time of the sharded low-load engine versus shard
-// count, over both transports, with every sharded run hard-gated
+// count, over all three transports, with every sharded run hard-gated
 // bit-identical to the serial baseline (solution, rounds, and all
 // DistributedRunStats counters — the shard runtime's deterministic-merge
 // contract, enforced here with LPT_CHECK so a divergence fails the bench,
 // not just a test).
 //
 // Usage: shard_scaling [--i=10] [--reps=3] [--dataset=duo-disk]
-//                      [--shard-counts=1,2,4] [--transports=inproc,pipe]
+//                      [--shard-counts=1,2,4]
+//                      [--transports=inproc,pipe,socket]
 //                      [--kill-shard=1] [--kill-after-frames=2]
 //
 // Writes BENCH_shard_scaling.json: a "serial" series with the baseline
-// point and one series per transport ("inproc" / "pipe") with one row per
-// shard count carrying wall_per_rep and speedup_vs_serial.  On a 1-core
-// runner the interesting number is the *overhead* (speedup < 1: frame
-// encode/decode + transport cost); on multicore the per-shard stage-A
-// compute overlaps.
+// point and one series per transport ("inproc" / "pipe" / "socket") with
+// one row per shard count carrying wall_per_rep and speedup_vs_serial.  On
+// a 1-core runner the interesting number is the *overhead* (speedup < 1:
+// frame encode/decode + transport cost); on multicore the per-shard
+// stage-A compute overlaps.  The socket rows run the full multi-machine
+// topology (loopback TCP, workers bootstrapped over the wire) on one box.
 //
 // The fault column: unless --kill-shard=-1, the largest sweep point is
 // rerun with a scripted SIGKILL of worker --kill-shard after it has been
 // sent --kill-after-frames task frames (FaultyTransport; a real forked
-// child dies on the pipe transport).  The run recovers via the default
-// respawn policy and is *still* hard-gated bit-identical to the serial
-// baseline; the "fault" series records recovery_wall (wall_per_rep of the
-// faulted run) and recovery_overhead (vs the fault-free run of the same
-// configuration).
+// child dies on the pipe and socket transports — the socket recovery is a
+// genuine respawn-over-reconnect: a new worker dials in and is
+// re-bootstrapped).  The run recovers via the default respawn policy and
+// is *still* hard-gated bit-identical to the serial baseline; the "fault"
+// series records recovery_wall (wall_per_rep of the faulted run) and
+// recovery_overhead (vs the fault-free run of the same configuration).
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -88,13 +91,34 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::size_t>(cli.get_int("reps", 3));
   const auto dataset = bench::dataset_flag(cli);
   const auto shard_counts = parse_counts(cli.get("shard-counts", "1,2,4"));
-  const std::string transports_csv = cli.get("transports", "inproc,pipe");
+  const std::string transports_csv =
+      cli.get("transports", "inproc,pipe,socket");
   const long kill_shard = cli.get_int("kill-shard", 1);  // -1: no fault rows
   const long kill_after = cli.get_int("kill-after-frames", 1);  // 2nd task
                                                                 // frame: mid-
                                                                 // run for any
                                                                 // >= 2-round
                                                                 // run
+  // The fault column reruns the LARGEST sweep point, so the victim index
+  // must be a valid shard there.  Out of range was previously clamped to
+  // the last shard — silently killing a different worker than asked for;
+  // reject it loudly instead (the PR-6 CLI validation contract: garbage
+  // flags exit 2, they do not limp on).
+  if (kill_shard >= 0 &&
+      static_cast<std::size_t>(kill_shard) >= shard_counts.back()) {
+    std::fprintf(stderr,
+                 "error: --kill-shard expects a shard index below the "
+                 "largest --shard-counts entry (%zu), got \"%ld\"\n",
+                 shard_counts.back(), kill_shard);
+    return 2;
+  }
+  if (kill_after < 0) {
+    std::fprintf(stderr,
+                 "error: --kill-after-frames expects a non-negative frame "
+                 "index, got \"%ld\"\n",
+                 kill_after);
+    return 2;
+  }
 
   bench::banner("Shard scaling: sharded low-load wall time vs shard count",
                 "src/shard runtime; every run hard-gated bit-identical to "
@@ -141,11 +165,13 @@ int main(int argc, char** argv) {
   };
   const TransportOpt kTransports[] = {
       {"inproc", shard::TransportKind::kInProc},
-      {"pipe", shard::TransportKind::kPipe}};
+      {"pipe", shard::TransportKind::kPipe},
+      {"socket", shard::TransportKind::kSocket}};
+  constexpr std::size_t kNumTransports = std::size(kTransports);
 
-  double faultfree_wall[2] = {0.0, 0.0};  // largest sweep point, per
-                                          // transport (the fault baseline)
-  for (std::size_t t_idx = 0; t_idx < 2; ++t_idx) {
+  double faultfree_wall[kNumTransports] = {};  // largest sweep point, per
+                                               // transport (fault baseline)
+  for (std::size_t t_idx = 0; t_idx < kNumTransports; ++t_idx) {
     const TransportOpt& transport = kTransports[t_idx];
     if (transports_csv.find(transport.name) == std::string::npos) continue;
     for (const std::size_t shards : shard_counts) {
@@ -182,10 +208,9 @@ int main(int argc, char** argv) {
   // kill; recovery must reproduce the serial results bit-for-bit.
   if (kill_shard >= 0) {
     const std::size_t shards = shard_counts.back();
-    const std::size_t victim =
-        std::min<std::size_t>(static_cast<std::size_t>(kill_shard),
-                              shards - 1);
-    for (std::size_t t_idx = 0; t_idx < 2; ++t_idx) {
+    const auto victim = static_cast<std::size_t>(kill_shard);  // validated
+                                                               // above
+    for (std::size_t t_idx = 0; t_idx < kNumTransports; ++t_idx) {
       const TransportOpt& transport = kTransports[t_idx];
       if (transports_csv.find(transport.name) == std::string::npos) continue;
       double secs = 0.0;

@@ -268,6 +268,11 @@ inline HittingSetRunResult run_hitting_set(
   const bool sharded = cfg.shard.enabled();
   std::optional<shard::ShardHarness> harness;
   if (sharded) {
+    // All transports (socket included) use the fork-inheriting closure
+    // path here: a HittingSetProblem owns the whole SetSystem, so a
+    // bootstrap-over-wire worker would need a set-system codec — a
+    // documented limitation until one exists (socket workers are still
+    // fork()ed locally, so inheritance holds on one box).
     harness.emplace(
         n, cfg.shard,
         detail::make_hitting_set_serve(problem, cfg.strict_sampling));

@@ -244,6 +244,50 @@ auto make_low_load_serve(P p, typename P::Solution oracle,
     e.put_u32(first_opt);
   };
 }
+
+/// Bootstrap payload for workers that inherit nothing via fork (the socket
+/// transport; ShardHarness frames these bytes as MsgType::kBootstrap): the
+/// run-static instance state make_low_load_serve would otherwise capture at
+/// fork time — the termination flag, the sampler constants, the oracle
+/// solution.  The problem *type* is compile time (a remote worker binary
+/// instantiates the same template); problems whose instances carry no
+/// state (MinDisk) are therefore fully described by this payload.
+///
+/// Schema: u8 run_termination · u8 strict · u32 target · u32 log_n ·
+/// f64 c · oracle solution (wire_put).
+template <LpTypeProblem P>
+std::vector<std::uint8_t> low_load_bootstrap_payload(
+    const typename P::Solution& oracle, const SamplerConfig& sampler,
+    bool run_termination) {
+  gossip::Encoder e;
+  e.put_u8(run_termination ? 1 : 0);
+  e.put_u8(sampler.strict ? 1 : 0);
+  e.put_u32(static_cast<std::uint32_t>(sampler.target));
+  e.put_u32(static_cast<std::uint32_t>(sampler.log_n));
+  e.put_f64(sampler.c);
+  wire_put(e, oracle);
+  return e.bytes();
+}
+
+/// The matching serve factory: decodes one low_load_bootstrap_payload and
+/// builds the same handler make_low_load_serve would have built — run from
+/// bootstrap_worker_loop inside every socket worker (and every respawned
+/// replacement, which gets the bootstrap re-sent).
+template <LpTypeProblem P>
+auto make_low_load_bootstrap_factory(P p) {
+  return [p = std::move(p)](gossip::Decoder& d) {
+    const bool run_termination = d.get_u8() != 0;
+    SamplerConfig sampler;
+    sampler.strict = d.get_u8() != 0;
+    sampler.target = d.get_u32();
+    sampler.log_n = d.get_u32();
+    sampler.c = d.get_f64();
+    typename P::Solution oracle;
+    wire_get(d, oracle);
+    return make_low_load_serve<P>(p, std::move(oracle), sampler,
+                                  run_termination);
+  };
+}
 }  // namespace detail
 
 /// Run the Low-Load Clarkson Algorithm on (p, h_set) over `n_nodes` gossip
@@ -310,9 +354,21 @@ DistributedLpResult<P> run_low_load(const P& p,
   std::optional<shard::ShardHarness> harness;
   if constexpr (kShardable) {
     if (sharded) {
-      harness.emplace(n, cfg.shard,
-                      detail::make_low_load_serve<P>(p, oracle, sampler,
-                                                     cfg.run_termination));
+      if (cfg.shard.transport == shard::TransportKind::kSocket) {
+        // Socket workers inherit nothing: the run-static state travels in
+        // a bootstrap frame and the serve handler is rebuilt from it
+        // inside the worker (and inside every respawned replacement).
+        // The fork-inheriting transports keep the closure path — their
+        // existing fault-script frame positions must not shift.
+        harness.emplace(n, cfg.shard,
+                        detail::low_load_bootstrap_payload<P>(
+                            oracle, sampler, cfg.run_termination),
+                        detail::make_low_load_bootstrap_factory<P>(p));
+      } else {
+        harness.emplace(n, cfg.shard,
+                        detail::make_low_load_serve<P>(p, oracle, sampler,
+                                                       cfg.run_termination));
+      }
     }
   }
 

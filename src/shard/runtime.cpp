@@ -11,7 +11,10 @@
 #include <cstring>
 
 #include <dirent.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -71,7 +74,7 @@ std::vector<std::uint8_t> Endpoint::recv() {
                     "shard frame length prefix exceeds kMaxFrameBytes");
       break;
     case DownCause::kTruncated:
-      LPT_CHECK_MSG(false, "shard pipe truncated mid-frame");
+      LPT_CHECK_MSG(false, "shard stream truncated mid-frame");
       break;
     default:
       LPT_CHECK_MSG(false, "shard stream failed");
@@ -173,17 +176,22 @@ void close_inherited_fds(int keep_read, int keep_write) {
   for (const int fd : to_close) ::close(fd);
 }
 
-/// Write exactly len bytes.  Returns false when the peer's read end is
-/// gone (EPIPE, surfaced because SIGPIPE is ignored) — the structured
-/// worker-down path; any other error still aborts loudly.
+}  // namespace
+
+// Declared in transport.hpp (namespace-scope, not anonymous: the fd-backed
+// endpoints share them and tests exercise them directly).
+
 bool write_all(int fd, const void* data, std::size_t len) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
     const ssize_t w = ::write(fd, p, len);
     if (w < 0) {
       if (errno == EINTR) continue;
-      if (errno == EPIPE) return false;
-      LPT_CHECK_MSG(false, "shard pipe write failed");
+      // EPIPE: the peer's read end is gone.  ECONNRESET: the peer's socket
+      // died with data still in flight.  Both mean "worker down", which is
+      // the structured recovery path, not an abort.
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      LPT_CHECK_MSG(false, "shard stream write failed");
     }
     p += w;
     len -= static_cast<std::size_t>(w);
@@ -191,12 +199,6 @@ bool write_all(int fd, const void* data, std::size_t len) {
   return true;
 }
 
-enum class ReadStatus { kOk, kCleanEof, kTruncated, kTimeout };
-
-/// Read exactly len bytes, waiting at most `deadline` (steady clock; the
-/// caller computes it once per frame so the prefix and payload reads share
-/// one budget).  kCleanEof only at offset 0 — an EOF after the first byte
-/// means the writer died mid-frame.
 ReadStatus read_all_deadline(
     int fd, void* data, std::size_t len, bool has_deadline,
     std::chrono::steady_clock::time_point deadline) {
@@ -205,23 +207,31 @@ ReadStatus read_all_deadline(
   while (got < len) {
     if (has_deadline) {
       const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return ReadStatus::kTimeout;
+      // Round the remaining budget UP to whole milliseconds: truncating
+      // toward zero made a budget in (0, 1 ms) report kTimeout with real
+      // time still left — a frame already sitting in the buffer was never
+      // even polled for.  ceil keeps `left >= 1` whenever now < deadline.
       const auto left =
-          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
-                                                                now)
+          std::chrono::ceil<std::chrono::milliseconds>(deadline - now)
               .count();
-      if (left <= 0) return ReadStatus::kTimeout;
       pollfd pfd{fd, POLLIN, 0};
       const int pr = ::poll(&pfd, 1, static_cast<int>(left));
       if (pr < 0) {
         if (errno == EINTR) continue;
-        LPT_CHECK_MSG(false, "shard pipe poll failed");
+        LPT_CHECK_MSG(false, "shard stream poll failed");
       }
       if (pr == 0) return ReadStatus::kTimeout;
     }
     const ssize_t r = ::read(fd, p + got, len - got);
     if (r < 0) {
       if (errno == EINTR) continue;
-      LPT_CHECK_MSG(false, "shard pipe read failed");
+      // A reset stream is the socket's way of dying: at a frame boundary
+      // it reads as the peer being cleanly gone, mid-frame as truncation.
+      if (errno == ECONNRESET) {
+        return got == 0 ? ReadStatus::kCleanEof : ReadStatus::kTruncated;
+      }
+      LPT_CHECK_MSG(false, "shard stream read failed");
     }
     if (r == 0) {
       return got == 0 ? ReadStatus::kCleanEof : ReadStatus::kTruncated;
@@ -231,7 +241,52 @@ ReadStatus read_all_deadline(
   return ReadStatus::kOk;
 }
 
-}  // namespace
+bool send_frame_fd(int fd, std::span<const std::uint8_t> payload) {
+  LPT_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                "shard frame exceeds kMaxFrameBytes");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  if (!write_all(fd, &len, sizeof len)) return false;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+RecvResult recv_frame_fd(int fd, int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(has_deadline ? timeout_ms
+                                                               : 0);
+  std::uint32_t len = 0;
+  switch (read_all_deadline(fd, &len, sizeof len, has_deadline, deadline)) {
+    case ReadStatus::kCleanEof:
+      return {RecvResult::Status::kDown, DownCause::kEof, {}};
+    case ReadStatus::kTruncated:
+      return {RecvResult::Status::kDown, DownCause::kTruncated, {}};
+    case ReadStatus::kTimeout:
+      return {RecvResult::Status::kTimeout, DownCause::kTimeout, {}};
+    case ReadStatus::kOk:
+      break;
+  }
+  if (len > kMaxFrameBytes) {
+    // A garbage or truncated stream otherwise turns into an attempted
+    // multi-gigabyte allocation; the stream is unusable from here on.
+    return {RecvResult::Status::kDown, DownCause::kOversized, {}};
+  }
+  RecvResult r;
+  r.frame.resize(len);
+  if (len > 0) {
+    switch (read_all_deadline(fd, r.frame.data(), len, has_deadline,
+                              deadline)) {
+      case ReadStatus::kCleanEof:
+      case ReadStatus::kTruncated:
+        return {RecvResult::Status::kDown, DownCause::kTruncated, {}};
+      case ReadStatus::kTimeout:
+        return {RecvResult::Status::kTimeout, DownCause::kTimeout, {}};
+      case ReadStatus::kOk:
+        break;
+    }
+  }
+  return r;
+}
+
 }  // namespace detail
 
 // --- InProcTransport ------------------------------------------------------
@@ -309,7 +364,7 @@ void InProcTransport::join() {
   }
 }
 
-// --- PipeTransport --------------------------------------------------------
+// --- Fd-backed endpoints --------------------------------------------------
 
 PipeEndpoint::~PipeEndpoint() {
   if (read_fd_ >= 0) ::close(read_fd_);
@@ -317,60 +372,115 @@ PipeEndpoint::~PipeEndpoint() {
 }
 
 bool PipeEndpoint::send(std::span<const std::uint8_t> payload) {
-  LPT_CHECK_MSG(payload.size() <= kMaxFrameBytes,
-                "shard frame exceeds kMaxFrameBytes");
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  if (!detail::write_all(write_fd_, &len, sizeof len)) return false;
-  return detail::write_all(write_fd_, payload.data(), payload.size());
+  return detail::send_frame_fd(write_fd_, payload);
 }
 
 RecvResult PipeEndpoint::recv_frame(int timeout_ms) {
-  const bool has_deadline = timeout_ms >= 0;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(has_deadline ? timeout_ms
-                                                               : 0);
-  std::uint32_t len = 0;
-  switch (detail::read_all_deadline(read_fd_, &len, sizeof len, has_deadline,
-                                    deadline)) {
-    case detail::ReadStatus::kCleanEof:
-      return {RecvResult::Status::kDown, DownCause::kEof, {}};
-    case detail::ReadStatus::kTruncated:
-      return {RecvResult::Status::kDown, DownCause::kTruncated, {}};
-    case detail::ReadStatus::kTimeout:
-      return {RecvResult::Status::kTimeout, DownCause::kTimeout, {}};
-    case detail::ReadStatus::kOk:
-      break;
-  }
-  if (len > kMaxFrameBytes) {
-    // A garbage or truncated stream otherwise turns into an attempted
-    // multi-gigabyte allocation; the stream is unusable from here on.
-    return {RecvResult::Status::kDown, DownCause::kOversized, {}};
-  }
-  RecvResult r;
-  r.frame.resize(len);
-  if (len > 0) {
-    switch (detail::read_all_deadline(read_fd_, r.frame.data(), len,
-                                      has_deadline, deadline)) {
-      case detail::ReadStatus::kCleanEof:
-      case detail::ReadStatus::kTruncated:
-        return {RecvResult::Status::kDown, DownCause::kTruncated, {}};
-      case detail::ReadStatus::kTimeout:
-        return {RecvResult::Status::kTimeout, DownCause::kTimeout, {}};
-      case detail::ReadStatus::kOk:
-        break;
-    }
-  }
-  return r;
+  return detail::recv_frame_fd(read_fd_, timeout_ms);
 }
 
-PipeTransport::PipeTransport() = default;
+SocketEndpoint::~SocketEndpoint() {
+  if (fd_ >= 0) ::close(fd_);
+}
 
-PipeTransport::~PipeTransport() {
+bool SocketEndpoint::send(std::span<const std::uint8_t> payload) {
+  return detail::send_frame_fd(fd_, payload);
+}
+
+RecvResult SocketEndpoint::recv_frame(int timeout_ms) {
+  return detail::recv_frame_fd(fd_, timeout_ms);
+}
+
+// --- ProcessTransport (shared fork/reap machinery) ------------------------
+
+ProcessTransport::~ProcessTransport() { teardown(); }
+
+void ProcessTransport::teardown() {
   // Endpoints close first: a child blocked in recv() sees EOF and exits if
   // the shutdown frame never made it.
   for (WorkerSlot& w : workers_) w.ep.reset();
   join();
 }
+
+void ProcessTransport::spawn(std::size_t shards, WorkerFn worker) {
+  LPT_CHECK_MSG(workers_.empty(), "Transport::spawn called twice");
+  worker_fn_ = std::move(worker);
+  // A write to a dead worker must surface as EPIPE/ECONNRESET (and the
+  // structured worker-down path), not kill the coordinator with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  workers_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) start_worker(s);
+}
+
+Endpoint& ProcessTransport::endpoint(std::size_t shard) {
+  return *workers_[shard].ep;
+}
+
+void ProcessTransport::reap(std::size_t shard, bool block) {
+  WorkerSlot& w = workers_[shard];
+  if (w.reaped) return;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(w.pid, &status, block ? 0 : WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) return;  // still running (WNOHANG)
+  LPT_CHECK_MSG(r == w.pid, "waitpid failed for shard worker");
+  // Record the real cause exactly once, at reap time — a worker that died
+  // mid-run keeps its exit code / signal number observable ever after.
+  if (WIFEXITED(status)) {
+    w.exit = WorkerExit{WorkerExit::Kind::kExited, WEXITSTATUS(status)};
+  } else if (WIFSIGNALED(status)) {
+    w.exit = WorkerExit{WorkerExit::Kind::kSignaled, WTERMSIG(status)};
+  } else {
+    w.exit = WorkerExit{WorkerExit::Kind::kExited, -1};
+  }
+  w.reaped = true;
+}
+
+void ProcessTransport::kill_worker(std::size_t shard) {
+  WorkerSlot& w = workers_[shard];
+  w.expected_down = true;
+  if (w.reaped) return;
+  ::kill(w.pid, SIGKILL);  // ESRCH (already gone) is fine: reap below
+  reap(shard, /*block=*/true);
+}
+
+void ProcessTransport::respawn(std::size_t shard) {
+  kill_worker(shard);
+  WorkerSlot& w = workers_[shard];
+  w.ep.reset();  // close the dead stream's coordinator fds before reuse
+  w.expected_down = false;
+  start_worker(shard);
+}
+
+WorkerExit ProcessTransport::exit_status(std::size_t shard) {
+  reap(shard, /*block=*/false);  // observe a zombie without waiting
+  return workers_[shard].exit;
+}
+
+void ProcessTransport::expect_down(std::size_t shard) {
+  workers_[shard].expected_down = true;
+}
+
+void ProcessTransport::join() {
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    WorkerSlot& w = workers_[s];
+    if (w.pid < 0) continue;
+    reap(s, /*block=*/true);
+    const bool clean =
+        w.exit.kind == WorkerExit::Kind::kExited && w.exit.value == 0;
+    LPT_CHECK_MSG(clean || w.expected_down,
+                  "shard worker process exited abnormally");
+    w.pid = -1;
+  }
+}
+
+// --- PipeTransport --------------------------------------------------------
+
+PipeTransport::PipeTransport() = default;
+
+PipeTransport::~PipeTransport() { teardown(); }
 
 void PipeTransport::start_worker(std::size_t shard) {
   int task_pipe[2];    // coordinator -> worker
@@ -401,78 +511,110 @@ void PipeTransport::start_worker(std::size_t shard) {
   w.reaped = false;
 }
 
-void PipeTransport::spawn(std::size_t shards, WorkerFn worker) {
-  LPT_CHECK_MSG(workers_.empty(), "Transport::spawn called twice");
-  worker_fn_ = std::move(worker);
-  // A write to a dead worker must surface as EPIPE (and the structured
-  // worker-down path), not kill the coordinator with SIGPIPE.
-  ::signal(SIGPIPE, SIG_IGN);
-  workers_.resize(shards);
-  for (std::size_t s = 0; s < shards; ++s) start_worker(s);
+// --- SocketTransport ------------------------------------------------------
+
+namespace {
+
+/// How long the coordinator waits for a freshly forked worker to connect
+/// back and identify itself.  Generous: a loaded 1-core box interleaves the
+/// child's exec-free startup with everything else, but a worker that has
+/// not connected within this window is genuinely lost.
+constexpr int kAcceptTimeoutMs = 30'000;
+
+void set_nodelay(int fd) {
+  // Lockstep request/response with small frames is the pathological case
+  // for Nagle's algorithm: a delayed last segment stalls the whole round.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
-Endpoint& PipeTransport::endpoint(std::size_t shard) {
-  return *workers_[shard].ep;
+}  // namespace
+
+SocketTransport::SocketTransport() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  LPT_CHECK_MSG(listen_fd_ >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: the OS picks a free port
+  LPT_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "bind() on loopback failed");
+  socklen_t len = sizeof addr;
+  LPT_CHECK_MSG(::getsockname(listen_fd_,
+                              reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+                "getsockname() failed");
+  port_ = ntohs(addr.sin_port);
+  LPT_CHECK_MSG(::listen(listen_fd_, SOMAXCONN) == 0, "listen() failed");
 }
 
-void PipeTransport::reap(std::size_t shard, bool block) {
-  WorkerSlot& w = workers_[shard];
-  if (w.reaped) return;
-  int status = 0;
-  pid_t r;
+SocketTransport::~SocketTransport() {
+  teardown();  // children must be gone before the listen socket dies
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void SocketTransport::start_worker(std::size_t shard) {
+  const std::uint16_t port = port_;
+  const pid_t pid = ::fork();
+  LPT_CHECK_MSG(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    // Worker process.  Unlike the pipe worker it inherits NO stream: the
+    // sweep closes everything (including the listen socket and sibling
+    // connections), then the worker dials the coordinator — exactly what a
+    // remotely launched worker would do with a host:port argument.
+    detail::close_inherited_fds(-1, -1);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) ::_exit(1);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int cr;
+    do {
+      cr = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+    } while (cr < 0 && errno == EINTR);
+    if (cr < 0) ::_exit(1);
+    set_nodelay(fd);
+    // Hello preamble (raw, below the frame protocol): the worker announces
+    // which shard it serves, so a crossed or stray connection is caught
+    // before any frames flow.
+    const auto id = static_cast<std::uint32_t>(shard);
+    if (!detail::write_all(fd, &id, sizeof id)) ::_exit(1);
+    {
+      SocketEndpoint ep(fd);
+      worker_fn_(shard, ep);
+    }
+    ::_exit(0);
+  }
+  // Coordinator side: spawns are serialized (fork one worker, accept its
+  // connection, then the next), so accept() pairs deterministically; the
+  // hello check below makes any mismatch loud rather than silent.
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  int pr;
   do {
-    r = ::waitpid(w.pid, &status, block ? 0 : WNOHANG);
-  } while (r < 0 && errno == EINTR);
-  if (r == 0) return;  // still running (WNOHANG)
-  LPT_CHECK_MSG(r == w.pid, "waitpid failed for shard worker");
-  // Record the real cause exactly once, at reap time — a worker that died
-  // mid-run keeps its exit code / signal number observable ever after.
-  if (WIFEXITED(status)) {
-    w.exit = WorkerExit{WorkerExit::Kind::kExited, WEXITSTATUS(status)};
-  } else if (WIFSIGNALED(status)) {
-    w.exit = WorkerExit{WorkerExit::Kind::kSignaled, WTERMSIG(status)};
-  } else {
-    w.exit = WorkerExit{WorkerExit::Kind::kExited, -1};
-  }
-  w.reaped = true;
-}
-
-void PipeTransport::kill_worker(std::size_t shard) {
+    pr = ::poll(&pfd, 1, kAcceptTimeoutMs);
+  } while (pr < 0 && errno == EINTR);
+  LPT_CHECK_MSG(pr > 0, "shard worker never connected back");
+  const int conn = ::accept(listen_fd_, nullptr, nullptr);
+  LPT_CHECK_MSG(conn >= 0, "accept() failed");
+  set_nodelay(conn);
+  std::uint32_t hello = 0;
+  const auto hello_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(kAcceptTimeoutMs);
+  LPT_CHECK_MSG(detail::read_all_deadline(conn, &hello, sizeof hello,
+                                          /*has_deadline=*/true,
+                                          hello_deadline) ==
+                    detail::ReadStatus::kOk,
+                "shard worker hello never arrived");
+  LPT_CHECK_MSG(hello == static_cast<std::uint32_t>(shard),
+                "shard worker hello announced the wrong shard");
   WorkerSlot& w = workers_[shard];
-  w.expected_down = true;
-  if (w.reaped) return;
-  ::kill(w.pid, SIGKILL);  // ESRCH (already gone) is fine: reap below
-  reap(shard, /*block=*/true);
-}
-
-void PipeTransport::respawn(std::size_t shard) {
-  kill_worker(shard);
-  WorkerSlot& w = workers_[shard];
-  w.ep.reset();  // close the dead stream's coordinator fds before reuse
-  w.expected_down = false;
-  start_worker(shard);
-}
-
-WorkerExit PipeTransport::exit_status(std::size_t shard) {
-  reap(shard, /*block=*/false);  // observe a zombie without waiting
-  return workers_[shard].exit;
-}
-
-void PipeTransport::expect_down(std::size_t shard) {
-  workers_[shard].expected_down = true;
-}
-
-void PipeTransport::join() {
-  for (std::size_t s = 0; s < workers_.size(); ++s) {
-    WorkerSlot& w = workers_[s];
-    if (w.pid < 0) continue;
-    reap(s, /*block=*/true);
-    const bool clean =
-        w.exit.kind == WorkerExit::Kind::kExited && w.exit.value == 0;
-    LPT_CHECK_MSG(clean || w.expected_down,
-                  "shard worker process exited abnormally");
-    w.pid = -1;
-  }
+  w.pid = pid;
+  w.ep = std::make_unique<SocketEndpoint>(conn);
+  w.exit = WorkerExit{};
+  w.reaped = false;
 }
 
 // --- FaultyTransport ------------------------------------------------------
@@ -594,6 +736,8 @@ std::unique_ptr<Transport> make_transport(TransportKind kind) {
       return std::make_unique<InProcTransport>();
     case TransportKind::kPipe:
       return std::make_unique<PipeTransport>();
+    case TransportKind::kSocket:
+      return std::make_unique<SocketTransport>();
   }
   LPT_CHECK_MSG(false, "unknown TransportKind");
   return nullptr;

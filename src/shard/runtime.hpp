@@ -97,10 +97,28 @@ struct RecoveryPolicy {
                               // (EPIPE/EOF — actual deaths — are still
                               // detected; only hung-but-alive workers need
                               // a finite deadline)
-  std::uint32_t backoff_base_ms = 0;  // respawn backoff: base << attempt
-                                      // (0: retry immediately — the right
+  std::uint32_t backoff_base_ms = 0;  // respawn backoff: base << attempt,
+                                      // saturated at max_backoff_ms (0:
+                                      // retry immediately — the right
                                       // default for local forks)
+  std::uint32_t max_backoff_ms = 10'000;  // cap on one backoff sleep; also
+                                          // the saturation value once the
+                                          // doubling would overflow
 };
+
+/// Backoff before the (attempt+1)-th respawn of one shard: base << attempt,
+/// saturated.  A plain shift is UB once attempt reaches the bit width — a
+/// caller raising max_respawns_per_shard past 31 with a nonzero base would
+/// hit it — so both the exponent and the resulting delay are capped.
+inline std::uint32_t respawn_backoff_ms(const RecoveryPolicy& p,
+                                        std::size_t attempt) {
+  if (p.backoff_base_ms == 0) return 0;
+  if (attempt >= 32) return p.max_backoff_ms;  // shift would be UB: saturate
+  const std::uint64_t raw = static_cast<std::uint64_t>(p.backoff_base_ms)
+                            << attempt;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(raw, p.max_backoff_ms));
+}
 
 /// A worker failure the policy could not (or was told not to) absorb.
 /// Thrown by ShardHarness::round; engine runs propagate it to the caller,
@@ -180,6 +198,25 @@ void worker_loop(Endpoint& ep, Serve&& serve) {
   }
 }
 
+/// Worker loop for workers that inherit nothing via fork (the socket
+/// transport's; any remotely launched worker).  The first frame must be a
+/// kBootstrap carrying the run-static problem description;
+/// `make_serve(decoder)` decodes it and builds the stage-A serve handler,
+/// then the normal worker_loop runs.  A respawned replacement runs this
+/// loop again from the top — the coordinator re-sends the bootstrap to
+/// every fresh worker, so serve state is rebuilt entirely from the wire.
+template <typename MakeServe>
+void bootstrap_worker_loop(Endpoint& ep, MakeServe&& make_serve) {
+  const std::vector<std::uint8_t> frame = ep.recv();
+  if (frame.empty()) return;  // coordinator gone before the bootstrap
+  gossip::Decoder d(frame);
+  LPT_CHECK_MSG(get_msg_type(d) == MsgType::kBootstrap,
+                "shard worker: expected a bootstrap frame first");
+  auto serve = make_serve(d);
+  LPT_CHECK_MSG(d.exhausted(), "shard worker: trailing bytes in bootstrap");
+  worker_loop(ep, std::move(serve));
+}
+
 /// Coordinator-side harness: plan + transport + worker lifecycle +
 /// failure recovery.  One harness serves one engine run; the destructor
 /// shuts the workers down.
@@ -204,34 +241,44 @@ class ShardHarness {
       : plan_(n, std::min(cfg.shards, n)),
         assignment_(plan_.shard_count()),
         recovery_(cfg.recovery) {
-    const std::size_t limit =
-        cfg.max_frame_nodes ? cfg.max_frame_nodes : n;
-    for (std::size_t s = 0; s < plan_.shard_count(); ++s) {
-      const ShardRange r = plan_.range(s);
-      frame_offset_.push_back(frames_.size());
-      for (gossip::NodeId b = r.begin; b < r.end;
-           b = static_cast<gossip::NodeId>(
-               std::min<std::size_t>(b + limit, r.end))) {
-        frames_.push_back(
-            {b, static_cast<gossip::NodeId>(
-                    std::min<std::size_t>(b + limit, r.end))});
-      }
+    init(cfg, n,
+         // mutable: serve handlers own per-worker scratch (each spawned
+         // worker gets its own copy of this closure, so no sharing).
+         [serve = std::move(serve)](std::size_t, Endpoint& ep) mutable {
+           worker_loop(ep, serve);
+         });
+  }
+
+  /// Bootstrap-over-wire variant (socket transport; any worker that cannot
+  /// inherit the problem via fork): `bootstrap_payload` is the engine's
+  /// run-static problem description (schema opaque to the runtime) and
+  /// `make_serve(decoder)` rebuilds the stage-A serve handler from it
+  /// inside the worker.  The harness frames the payload as kBootstrap and
+  /// ships it to every freshly spawned — and every respawned — worker
+  /// before its first task, so worker state is built entirely from the
+  /// wire.  Works on any transport; the fork-inheriting constructor above
+  /// stays the default where fork inheritance is available.
+  template <typename MakeServe>
+  ShardHarness(std::size_t n, const ShardConfig& cfg,
+               std::vector<std::uint8_t> bootstrap_payload,
+               MakeServe make_serve)
+      : plan_(n, std::min(cfg.shards, n)),
+        assignment_(plan_.shard_count()),
+        recovery_(cfg.recovery) {
+    // Byte loop, not a range insert: GCC 12's -Wstringop-overread false-
+    // fires on inserting a possibly-empty vector range after push_back.
+    bootstrap_frame_.reserve(1 + bootstrap_payload.size());
+    bootstrap_frame_.push_back(
+        static_cast<std::uint8_t>(MsgType::kBootstrap));
+    for (const std::uint8_t b : bootstrap_payload) {
+      bootstrap_frame_.push_back(b);
     }
-    task_bytes_.resize(frames_.size());
-    lanes_.resize(plan_.shard_count());
-    respawns_.assign(plan_.shard_count(), 0);
-    transport_ = make_transport(cfg.transport);
-    if (!cfg.fault_script.empty()) {
-      transport_ = std::make_unique<FaultyTransport>(std::move(transport_),
-                                                     cfg.fault_script);
-    }
-    transport_->spawn(
-        plan_.shard_count(),
-        // mutable: serve handlers own per-worker scratch (each spawned
-        // worker gets its own copy of this closure, so no sharing).
-        [serve = std::move(serve)](std::size_t, Endpoint& ep) mutable {
-          worker_loop(ep, serve);
-        });
+    init(cfg, n,
+         [make_serve = std::move(make_serve)](std::size_t,
+                                              Endpoint& ep) mutable {
+           bootstrap_worker_loop(ep, make_serve);
+         });
+    for (std::size_t s = 0; s < plan_.shard_count(); ++s) send_bootstrap(s);
   }
 
   ~ShardHarness() {
@@ -379,6 +426,43 @@ class ShardHarness {
  private:
   static constexpr std::size_t kNoFrame = static_cast<std::size_t>(-1);
 
+  /// Shared constructor body: sub-frame layout, lane state, transport
+  /// creation (with the fault-script wrap), worker spawn.
+  void init(const ShardConfig& cfg, std::size_t n, WorkerFn fn) {
+    const std::size_t limit =
+        cfg.max_frame_nodes ? cfg.max_frame_nodes : n;
+    for (std::size_t s = 0; s < plan_.shard_count(); ++s) {
+      const ShardRange r = plan_.range(s);
+      frame_offset_.push_back(frames_.size());
+      for (gossip::NodeId b = r.begin; b < r.end;
+           b = static_cast<gossip::NodeId>(
+               std::min<std::size_t>(b + limit, r.end))) {
+        frames_.push_back(
+            {b, static_cast<gossip::NodeId>(
+                    std::min<std::size_t>(b + limit, r.end))});
+      }
+    }
+    task_bytes_.resize(frames_.size());
+    lanes_.resize(plan_.shard_count());
+    respawns_.assign(plan_.shard_count(), 0);
+    transport_ = make_transport(cfg.transport);
+    if (!cfg.fault_script.empty()) {
+      transport_ = std::make_unique<FaultyTransport>(std::move(transport_),
+                                                     cfg.fault_script);
+    }
+    transport_->spawn(plan_.shard_count(), std::move(fn));
+  }
+
+  /// Ship the bootstrap frame (if this harness has one) to shard s's fresh
+  /// worker.  A failed send means the worker is already gone; that is
+  /// deliberately ignored — the next task send discovers the death through
+  /// the normal recovery path (reporting it from here would recurse into
+  /// on_worker_down mid-recovery).
+  void send_bootstrap(std::size_t s) {
+    if (bootstrap_frame_.empty()) return;
+    (void)transport_->endpoint(s).send(bootstrap_frame_);
+  }
+
   /// Coordinator-side schedule state for one worker: the FIFO of frame
   /// indices it still owes this round, and its single in-flight frame.
   struct Lane {
@@ -443,14 +527,15 @@ class ShardHarness {
                   std::to_string(recovery_.max_respawns_per_shard) +
                   ") exhausted");
         }
-        const std::uint32_t backoff = recovery_.backoff_base_ms
-                                      << respawns_[s];
+        const std::uint32_t backoff =
+            respawn_backoff_ms(recovery_, respawns_[s]);
         if (backoff > 0) {
           std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
         }
         transport_->respawn(s);
         ++respawns_[s];
         ++rstats_.respawns;
+        send_bootstrap(s);  // a replacement worker starts from the wire
         break;
       }
       case RecoveryMode::kReassign: {
@@ -492,6 +577,10 @@ class ShardHarness {
   // never mutates coordinator state, so these bytes — which embed the
   // per-node RNG snapshots — replay bit-identically on any worker.
   std::vector<std::vector<std::uint8_t>> task_bytes_;
+  // Framed kBootstrap message (type byte + engine payload); empty for
+  // fork-inheriting harnesses.  Run-static, so one buffer serves every
+  // spawn and respawn of every shard.
+  std::vector<std::uint8_t> bootstrap_frame_;
   std::unique_ptr<Transport> transport_;
 };
 

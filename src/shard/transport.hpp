@@ -7,7 +7,7 @@
 // in Endpoint so both transports and both directions share one
 // implementation.
 //
-// Two implementations:
+// Three implementations:
 //
 //   * InProcTransport — workers are std::threads inside the coordinator
 //     process; frames travel through mutex+condvar byte queues.  The worker
@@ -27,6 +27,18 @@
 //     own pool live; forking from a bench-level repetition pool relies on
 //     glibc's malloc atfork handlers (works in practice, and each child
 //     touches only its closure state).
+//
+//   * SocketTransport — the coordinator listens on an ephemeral loopback
+//     TCP port and every worker *connects* to it: the exact topology of a
+//     multi-machine run, rehearsed on one box.  Workers are still fork()ed
+//     locally (the container's stand-in for "launch a process on another
+//     machine"), but they inherit NOTHING the protocol needs: after the fd
+//     sweep a socket worker owns only its connected stream, and the
+//     problem description reaches it through the kBootstrap wire message
+//     (shard/wire.hpp) — so the same worker body could be exec'd or
+//     launched remotely.  A respawn accepts a brand-new connection
+//     (respawn-over-reconnect): the coordinator never tries to resurrect a
+//     broken stream.
 //
 // ## Failure surface (the fault-tolerance contract)
 //
@@ -51,6 +63,7 @@
 // (expect_down), so teardown still aborts loudly on deaths nobody handled.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -180,6 +193,32 @@ class Transport {
 
 namespace detail {
 
+/// Write exactly len bytes to fd.  Returns false when the peer is gone
+/// (EPIPE on a pipe, EPIPE/ECONNRESET on a socket — surfaced because
+/// SIGPIPE is ignored) — the structured worker-down path; any other error
+/// still aborts loudly.  Exposed for the fd-backed endpoints and for tests.
+bool write_all(int fd, const void* data, std::size_t len);
+
+enum class ReadStatus { kOk, kCleanEof, kTruncated, kTimeout };
+
+/// Read exactly len bytes from fd, waiting at most until `deadline`
+/// (steady clock; the caller computes it once per frame so the length
+/// prefix and payload reads share one budget).  kCleanEof only at offset 0
+/// — an EOF (or a connection reset) after the first byte means the writer
+/// died mid-frame.  The remaining budget is rounded UP to whole
+/// milliseconds for poll(2): truncating toward zero would report kTimeout
+/// with real time still left on the clock (a sub-millisecond budget must
+/// still poll once).
+ReadStatus read_all_deadline(int fd, void* data, std::size_t len,
+                             bool has_deadline,
+                             std::chrono::steady_clock::time_point deadline);
+
+/// Frame a payload onto fd / read one frame off fd with the shared framing
+/// (u32 LE length prefix + payload, kMaxFrameBytes guard).  The pipe and
+/// socket endpoints are both thin wrappers over these.
+bool send_frame_fd(int fd, std::span<const std::uint8_t> payload);
+RecvResult recv_frame_fd(int fd, int timeout_ms);
+
 /// Blocking frame queue (one direction of one worker's stream).  close()
 /// wakes all waiters: a pop on a closed, drained queue reports the lane
 /// down instead of blocking forever — the in-process analogue of EOF.
@@ -225,7 +264,7 @@ class InProcTransport final : public Transport {
   std::vector<std::uint8_t> expected_down_;
 };
 
-// --- Process transport (fork + pipes). -----------------------------------
+// --- Process transports (fork + pipes, fork + TCP sockets). ---------------
 
 /// Frame stream over a (read fd, write fd) pair.  Public so tests can frame
 /// arbitrary fds (e.g. to inject malformed length prefixes).
@@ -243,10 +282,30 @@ class PipeEndpoint final : public Endpoint {
   int write_fd_;
 };
 
-class PipeTransport final : public Transport {
+/// Frame stream over one connected stream socket (both directions share the
+/// fd).  Public so tests can frame arbitrary socket fds (socketpair(2),
+/// half-open TCP streams).  Owns — and closes — the fd.
+class SocketEndpoint final : public Endpoint {
  public:
-  PipeTransport();
-  ~PipeTransport() override;
+  explicit SocketEndpoint(int fd) : fd_(fd) {}
+  ~SocketEndpoint() override;
+
+  bool send(std::span<const std::uint8_t> payload) override;
+  RecvResult recv_frame(int timeout_ms) override;
+
+ private:
+  int fd_;
+};
+
+/// Shared lifecycle machinery for transports whose workers are fork()ed
+/// child processes: slot bookkeeping, SIGPIPE suppression, waitpid reaping
+/// (each child's real exit code / signal captured exactly once),
+/// kill/respawn, and the join-time abnormal-exit check.  Derived transports
+/// provide only start_worker — how one child is launched and what stream
+/// connects it.
+class ProcessTransport : public Transport {
+ public:
+  ~ProcessTransport() override;
 
   void spawn(std::size_t shards, WorkerFn worker) override;
   Endpoint& endpoint(std::size_t shard) override;
@@ -256,29 +315,69 @@ class PipeTransport final : public Transport {
   void expect_down(std::size_t shard) override;
   void join() override;
 
- private:
+ protected:
+  ProcessTransport() = default;
+
   /// One worker process: its pid, coordinator-side endpoint, and the exit
   /// status recorded when it was reaped (the waitpid result is captured
   /// exactly once and kept — never lost to a later teardown check).
   struct WorkerSlot {
     pid_t pid = -1;
-    std::unique_ptr<PipeEndpoint> ep;
+    std::unique_ptr<Endpoint> ep;
     WorkerExit exit;
     bool reaped = false;
     bool expected_down = false;
   };
 
-  void start_worker(std::size_t shard);
+  /// Launch (or relaunch) shard's worker process and fill its slot.
+  virtual void start_worker(std::size_t shard) = 0;
+
+  /// Close the coordinator-side streams, then join.  Closing first means a
+  /// child blocked in recv() sees EOF and exits even if the shutdown frame
+  /// never made it.  Idempotent — derived destructors call it so children
+  /// are gone before derived members (e.g. a listening socket) die.
+  void teardown();
+
   void reap(std::size_t shard, bool block);
 
   WorkerFn worker_fn_;
   std::vector<WorkerSlot> workers_;
 };
 
+class PipeTransport final : public ProcessTransport {
+ public:
+  PipeTransport();
+  ~PipeTransport() override;
+
+ private:
+  void start_worker(std::size_t shard) override;
+};
+
+/// TCP loopback transport: see the header comment.  The listening socket
+/// lives for the transport's lifetime; every spawn/respawn forks a child
+/// that connects back to port() and identifies itself with a 4-byte shard
+/// id hello (raw, below the frame protocol) before any frames flow.
+class SocketTransport final : public ProcessTransport {
+ public:
+  SocketTransport();
+  ~SocketTransport() override;
+
+  /// The coordinator's loopback listen port (ephemeral, OS-assigned).
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void start_worker(std::size_t shard) override;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
 /// Which transport a ShardConfig asks for.
 enum class TransportKind : std::uint8_t {
   kInProc = 0,  // worker threads, serialized frames through memory queues
   kPipe = 1,    // fork()ed worker processes, frames through pipes
+  kSocket = 2,  // fork()ed worker processes connecting back over loopback
+                // TCP — the multi-machine topology, rehearsed on one box
 };
 
 /// Factory for the configured kind.

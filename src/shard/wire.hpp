@@ -9,7 +9,11 @@
 // per-node violator/push payloads, solutions where stage B will need them,
 // and the advanced per-node RNG states (the coordinator's filter pass and
 // the next round's stage A continue those streams, so they must round-trip
-// exactly).  A shutdown frame ends the worker loop.
+// exactly).  A shutdown frame ends the worker loop.  Workers that inherit
+// nothing via fork (the socket transport's, or any remotely launched
+// worker) are sent a *bootstrap* frame before their first task: the
+// run-static problem description (problem elements, oracle solution,
+// sampler constants), re-sent to every respawned replacement.
 //
 // Framing: every frame is a u32 little-endian payload length followed by
 // the payload; the payload's first byte is the MsgType.  Length prefixes
@@ -43,6 +47,13 @@ enum class MsgType : std::uint8_t {
   kStageATask = 1,
   kStageAResult = 2,
   kShutdown = 3,
+  kBootstrap = 4,  // the run-static problem description, shipped to a
+                   // worker before its first task so a worker need not
+                   // inherit anything via fork (socket workers; any
+                   // remotely launched worker).  Sent once after spawn and
+                   // again after every respawn; the payload schema is the
+                   // engine's (see e.g. core/low_load.hpp bootstrap codec),
+                   // opaque to the runtime.
 };
 
 /// Upper bound on a frame payload; recv rejects longer length prefixes.
@@ -54,7 +65,7 @@ inline void put_msg_type(gossip::Encoder& e, MsgType t) {
 
 inline MsgType get_msg_type(gossip::Decoder& d) {
   const std::uint8_t t = d.get_u8();
-  LPT_CHECK_MSG(t >= 1 && t <= 3, "shard wire: unknown message type");
+  LPT_CHECK_MSG(t >= 1 && t <= 4, "shard wire: unknown message type");
   return static_cast<MsgType>(t);
 }
 

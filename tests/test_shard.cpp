@@ -2,8 +2,10 @@
 // (including empty candidate lists and max-size frames), malformed-frame
 // rejection, transport framing, and the headline guarantee — sharded
 // low-load / hitting-set runs are bit-identical to the serial and
-// parallel_nodes paths for shards in {1, 2, 4}, over both transports,
-// with and without loss/sleep faults.
+// parallel_nodes paths for shards in {1, 2, 4}, over all three transports
+// (in-process queues, pipes, loopback TCP sockets — the socket runs
+// bootstrap their workers over the wire), with and without loss/sleep
+// faults.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -251,6 +253,24 @@ TEST(ShardTransport, PipeCarriesMultiMegabyteFrames) {
   EXPECT_EQ(round_trip_payload(t, 1, body), body);
 }
 
+TEST(ShardTransport, SocketEchoesFrames) {
+  std::vector<std::uint8_t> body(1 << 10);
+  util::Rng rng(8);
+  for (auto& b : body) b = static_cast<std::uint8_t>(rng.below(256));
+  shard::SocketTransport t;
+  EXPECT_EQ(round_trip_payload(t, 3, body), body);
+}
+
+// Multi-megabyte frames over loopback TCP: far beyond the socket buffers,
+// so both directions must loop over short reads/writes exactly like pipes.
+TEST(ShardTransport, SocketCarriesMultiMegabyteFrames) {
+  std::vector<std::uint8_t> body(8u << 20);
+  util::Rng rng(9);
+  for (auto& b : body) b = static_cast<std::uint8_t>(rng.below(256));
+  shard::SocketTransport t;
+  EXPECT_EQ(round_trip_payload(t, 1, body), body);
+}
+
 TEST(ShardTransportDeathTest, RejectsOversizedLengthPrefix) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   int fds[2];
@@ -320,11 +340,14 @@ void expect_stats_equal(const core::DistributedRunStats& a,
 
 const std::size_t kShardCounts[] = {1, 2, 4};
 const shard::TransportKind kTransports[] = {shard::TransportKind::kInProc,
-                                            shard::TransportKind::kPipe};
+                                            shard::TransportKind::kPipe,
+                                            shard::TransportKind::kSocket};
 
 std::string config_name(std::size_t shards, shard::TransportKind t) {
-  return std::to_string(shards) + " shard(s) over " +
-         (t == shard::TransportKind::kInProc ? "inproc" : "pipe");
+  const char* name = t == shard::TransportKind::kInProc ? "inproc"
+                     : t == shard::TransportKind::kPipe ? "pipe"
+                                                        : "socket";
+  return std::to_string(shards) + " shard(s) over " + name;
 }
 
 void check_low_load_bit_identity(core::LowLoadConfig base_cfg,

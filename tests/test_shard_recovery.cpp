@@ -108,6 +108,42 @@ TEST(ShardRecvFrame, PipeSendReturnsFalseOnEpipe) {
   EXPECT_FALSE(ep.send(payload));
 }
 
+TEST(ShardRecvFrame, SubMillisecondDeadlineStillDeliversArrivedFrame) {
+  // A frame already sitting in the pipe must be delivered even when the
+  // remaining budget is under one millisecond: the deadline arithmetic
+  // rounds the poll budget UP, so a sub-ms remainder polls once (and the
+  // data is ready, so that poll returns immediately) instead of being
+  // truncated to 0 ms and misreported as a timeout.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::uint8_t payload[4] = {9, 8, 7, 6};
+  ASSERT_EQ(::write(fds[1], payload, sizeof payload),
+            static_cast<ssize_t>(sizeof payload));
+  std::uint8_t got[4] = {};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(400);
+  const auto st = shard::detail::read_all_deadline(
+      fds[0], got, sizeof got, /*has_deadline=*/true, deadline);
+  EXPECT_EQ(st, shard::detail::ReadStatus::kOk);
+  EXPECT_EQ(got[0], 9);
+  EXPECT_EQ(got[3], 6);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ShardRecvFrame, ExpiredDeadlineWithNoDataTimesOut) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::uint8_t got[4] = {};
+  const auto deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(1);
+  const auto st = shard::detail::read_all_deadline(
+      fds[0], got, sizeof got, /*has_deadline=*/true, deadline);
+  EXPECT_EQ(st, shard::detail::ReadStatus::kTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST(ShardRecvFrame, FrameQueueTimesOutThenReportsEofWhenClosed) {
   shard::detail::FrameQueue q;
   EXPECT_EQ(q.pop(50).status, RecvResult::Status::kTimeout);
@@ -118,6 +154,44 @@ TEST(ShardRecvFrame, FrameQueueTimesOutThenReportsEofWhenClosed) {
   q.close();
   EXPECT_EQ(q.pop(-1).status, RecvResult::Status::kDown);
   EXPECT_EQ(q.pop(-1).cause, DownCause::kEof);
+}
+
+// ---------------------------------------------------------------------
+// Respawn backoff arithmetic: the delay doubles per attempt but must
+// saturate instead of shifting into undefined behaviour at attempt >= 32.
+// ---------------------------------------------------------------------
+
+TEST(ShardRecoveryPolicy, RespawnBackoffDoublesThenSaturates) {
+  RecoveryPolicy p;
+  p.backoff_base_ms = 3;
+  p.max_backoff_ms = 10'000;
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 0), 3u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 1), 6u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 10), 3072u);
+  // 3 << 12 = 12288 crosses the cap mid-range.
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 12), 10'000u);
+  // Attempt >= 32 would be UB as a u32 shift: saturates at the cap.
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 32), 10'000u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 40), 10'000u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 1000), 10'000u);
+}
+
+TEST(ShardRecoveryPolicy, RespawnBackoffZeroBaseMeansNoDelayEver) {
+  RecoveryPolicy p;
+  p.backoff_base_ms = 0;
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 0), 0u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 31), 0u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 64), 0u);
+}
+
+TEST(ShardRecoveryPolicy, RespawnBackoffRespectsCustomCap) {
+  RecoveryPolicy p;
+  p.backoff_base_ms = 1;
+  p.max_backoff_ms = 7;
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 0), 1u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 2), 4u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 3), 7u);
+  EXPECT_EQ(shard::respawn_backoff_ms(p, 50), 7u);
 }
 
 // ---------------------------------------------------------------------
@@ -229,7 +303,8 @@ void run_harness_rounds_with_kill(TransportKind kind) {
   EXPECT_GE(h.recovery_stats().workers_lost, 1u);
   EXPECT_GE(h.recovery_stats().respawns, 1u);
   EXPECT_EQ(h.recovery_stats().last_down_shard, 2u);
-  if (kind == TransportKind::kPipe) {
+  if (kind != TransportKind::kInProc) {
+    // Both process transports reap the real SIGKILLed child.
     EXPECT_EQ(h.recovery_stats().last_down_exit.kind,
               WorkerExit::Kind::kSignaled);
     EXPECT_EQ(h.recovery_stats().last_down_exit.value, SIGKILL);
@@ -242,6 +317,13 @@ TEST(ShardHarnessRecovery, KillHookRecoversOverPipe) {
 
 TEST(ShardHarnessRecovery, KillHookRecoversInProc) {
   run_harness_rounds_with_kill(TransportKind::kInProc);
+}
+
+TEST(ShardHarnessRecovery, KillHookRecoversOverSocket) {
+  // Respawn-over-reconnect: the replacement worker dials a brand-new
+  // loopback connection and is re-sent nothing here (closure ctor), yet
+  // the rounds after the kill still produce identical output.
+  run_harness_rounds_with_kill(TransportKind::kSocket);
 }
 
 // ---------------------------------------------------------------------
@@ -273,11 +355,24 @@ void expect_stats_equal(const core::DistributedRunStats& a,
 }
 
 std::string transport_name(TransportKind t) {
-  return t == TransportKind::kInProc ? "inproc" : "pipe";
+  switch (t) {
+    case TransportKind::kInProc: return "inproc";
+    case TransportKind::kPipe: return "pipe";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "?";
 }
 
+// Every fault script below runs over all three transports.  Over kSocket
+// the low-load engine bootstraps its workers over the wire, so the
+// FaultyTransport *send* counter on each lane is shifted by one per
+// (re)spawn relative to inproc/pipe (the bootstrap frame is send #0); the
+// kill schedules here stay valid because each scripted death is still
+// detected structurally before the next one fires — only the wall-clock
+// position of the kill inside round 1 moves, never the recovery outcome.
 const TransportKind kTransports[] = {TransportKind::kInProc,
-                                     TransportKind::kPipe};
+                                     TransportKind::kPipe,
+                                     TransportKind::kSocket};
 
 /// Run low-load with the given faults and compare bit-for-bit against the
 /// fault-free serial run (same seed, same dataset).

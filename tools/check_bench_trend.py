@@ -14,7 +14,7 @@ Checked (see docs/BENCHMARKS.md for the schemas):
     committed value.  Points faster than MIN_WALL seconds per rep are
     skipped as noise.
   * BENCH_shard_scaling.json — per-(series, shards) ``wall_per_rep`` under
-    the same rule (series ``serial`` / ``inproc`` / ``pipe``).
+    the same rule (series ``serial`` / ``inproc`` / ``pipe`` / ``socket``).
   * BENCH_service_qps.json — ``steady_qps`` and ``small_direct_speedup``
     must stay within MAX_RATIO of the committed values; the open-loop
     delivery fraction (``achieved_qps`` / ``target_qps``, which transfers
@@ -120,7 +120,15 @@ def check_fig3(baseline, fresh, max_ratio, failures, checked):
 
 
 def check_shard_scaling(baseline, fresh, max_ratio, failures, checked):
-    for series in ["serial", "inproc", "pipe"]:
+    # Snapshots committed before the socket transport (PR 8) have no
+    # "socket" series — warn-skip so old baselines keep passing (the same
+    # chicken-and-egg rule as a brand-new bench: the comparison starts
+    # once a snapshot with the series is committed).
+    if fresh.get("socket") and not baseline.get("socket"):
+        print("[bench-trend] WARNING: committed BENCH_shard_scaling.json "
+              "has no 'socket' series (pre-socket snapshot) — skipping "
+              "the socket-transport comparison")
+    for series in ["serial", "inproc", "pipe", "socket"]:
         base_rows = {(row.get("i"), row.get("shards", 0)): row
                      for row in baseline.get(series, [])}
         for row in fresh.get(series, []):
