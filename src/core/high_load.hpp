@@ -47,6 +47,7 @@
 #include <span>
 #include <vector>
 
+#include "core/churn.hpp"
 #include "core/lp_type.hpp"
 #include "core/result.hpp"
 #include "core/termination.hpp"
@@ -68,6 +69,9 @@ struct HighLoadConfig {
   std::size_t termination_maturity = 0;  // 0: 2*ceil(log2 n) + 4
   std::size_t max_rounds = 0;            // 0: auto safety cap
   gossip::FaultModel faults;             // message loss / sleeping nodes
+  const ChurnSchedule* churn = nullptr;  // nodes leaving/joining mid-run with
+                                         // store handoff (core/churn.hpp);
+                                         // incompatible with run_termination
   std::size_t parallel_nodes = 0;  // >1: local basis solves and violator
                                    // scans run on this many threads; shared
                                    // RNG traffic is replayed serially in
@@ -134,14 +138,32 @@ HighLoadResult<P> run_high_load(const P& p,
     store.add_copy(static_cast<gossip::NodeId>(dist_rng.below(n)), h);
   }
 
-  // The sorted ids of nodes holding at least one element.  Elements are
-  // never destroyed, so occupancy is monotone: newly occupied nodes are
-  // collected from each delivery's receiver list and merged in.
+  // The sorted ids of nodes that have *ever* held an element.  Occupancy is
+  // monotone even under churn (a leaver stays listed with an empty store and
+  // is skipped by the per-round stages): newly occupied nodes are collected
+  // from each delivery's receiver list — deduplicated via occ_flag — and
+  // merged in.
   std::vector<gossip::NodeId> occupied;
+  std::vector<std::uint8_t> occ_flag(n, 0);
   for (gossip::NodeId v = 0; v < n; ++v) {
-    if (store.size(v) != 0) occupied.push_back(v);
+    if (store.size(v) != 0) {
+      occupied.push_back(v);
+      occ_flag[v] = 1;
+    }
   }
   std::vector<gossip::NodeId> newly_occupied;
+
+  // Churn (core/churn.hpp): membership bookkeeping plus a schedule cursor.
+  const bool churn_on = cfg.churn != nullptr && !cfg.churn->empty();
+  LPT_CHECK_MSG(!(churn_on && cfg.run_termination),
+                "run_high_load: churn is incompatible with run_termination");
+  std::optional<ChurnState> members;
+  if (churn_on) members.emplace(n);
+  detail::ChurnCursor churn_cursor(churn_on ? cfg.churn : nullptr);
+  std::vector<Element> handoff_scratch;
+  auto absent = [&](gossip::NodeId v) {
+    return churn_on && !members->present(v);
+  };
 
   const std::size_t maturity = cfg.termination_maturity
                                    ? cfg.termination_maturity
@@ -184,6 +206,44 @@ HighLoadResult<P> run_high_load(const P& p,
     net.begin_round();
     std::size_t bookkeeping = 0;
 
+    // --- Churn events due this round.  A leaver hands its whole store off
+    // to uniformly random present nodes (all high-load elements are copies)
+    // and then sits empty; a joiner simply becomes present again and
+    // refills through normal deliveries.  The leaver's elements are staged
+    // through scratch first: add_copy on a target can grow the slab arena
+    // the leaver's view points into.
+    for (const ChurnEvent& ev : churn_cursor.events_due(t)) {
+      const gossip::NodeId v = ev.node;
+      if (ev.join) {
+        members->join(v);
+        continue;
+      }
+      members->leave(v);  // before handoff: targets exclude the leaver
+      const std::span<const Element> view = store.view(v);
+      if (view.empty()) continue;
+      handoff_scratch.assign(view.begin(), view.end());
+      store.clear_node(v);
+      newly_occupied.clear();
+      for (const Element& h : handoff_scratch) {
+        const gossip::NodeId target = members->draw_present(net.rng());
+        if (!occ_flag[target]) {
+          occ_flag[target] = 1;
+          newly_occupied.push_back(target);
+        }
+        store.add_copy(target, h);
+      }
+      if (!newly_occupied.empty()) {
+        std::sort(newly_occupied.begin(), newly_occupied.end());
+        const std::size_t mid = occupied.size();
+        occupied.insert(occupied.end(), newly_occupied.begin(),
+                        newly_occupied.end());
+        std::inplace_merge(
+            occupied.begin(),
+            occupied.begin() + static_cast<std::ptrdiff_t>(mid),
+            occupied.end());
+      }
+    }
+
     // Lines 3-4: local basis computation and C pushes.  Nodes holding no
     // element yet have nothing to propose (f(∅) would mark *everything* a
     // violator); they only participate as receivers this round.  The
@@ -193,7 +253,8 @@ HighLoadResult<P> run_high_load(const P& p,
     for_each_occupied([&](gossip::NodeId v) {
       NodeRound& sc = scratch[v];
       sc.has_sol = 0;
-      if (net.asleep(v)) return;
+      // A departed node's store is empty (cleared on leave): no proposal.
+      if (net.asleep(v) || store.size(v) == 0) return;
       sc.has_sol = 1;
       sc.sol = p.solve(store.view(v));
     });
@@ -227,7 +288,7 @@ HighLoadResult<P> run_high_load(const P& p,
       NodeRound& sc = scratch[v];
       sc.violators.clear();
       sc.max_single_w = 0;
-      if (net.asleep(v)) return;
+      if (net.asleep(v) || store.size(v) == 0) return;
       for (const auto& msg : basis_mail.inbox(v)) {
         const auto sol_j = p.from_basis(msg.basis);
         std::size_t w = 0;
@@ -255,7 +316,11 @@ HighLoadResult<P> run_high_load(const P& p,
     newly_occupied.clear();
     for (const gossip::NodeId v : elem_mail.receivers()) {
       ++bookkeeping;
-      if (store.size(v) == 0) newly_occupied.push_back(v);
+      if (absent(v)) continue;  // departed: drop (pushers retain copies)
+      if (!occ_flag[v]) {
+        occ_flag[v] = 1;
+        newly_occupied.push_back(v);
+      }
       for (const auto& h : elem_mail.inbox(v)) store.add_copy(v, h);
     }
     if (!newly_occupied.empty()) {

@@ -460,6 +460,9 @@ inline HittingSetRunResult run_hitting_set(
 
   res.valid = !res.hitting_set.empty() &&
               problem.is_hitting_set(res.hitting_set);
+  if (sharded && cfg.shard.recovery_out != nullptr) {
+    *cfg.shard.recovery_out = harness->recovery_stats();
+  }
   net.meter().finish();
   res.stats.max_work_per_round = net.meter().max_work_per_round();
   res.stats.total_push_ops = net.meter().total_push_ops();

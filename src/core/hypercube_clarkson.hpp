@@ -134,9 +134,15 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
   }
 
   // Geometric-gap loss sampling over the routed sample stream (one draw
-  // per lost element, same scheme as the gossip substrate).
-  const double loss_p = cfg.faults.push_loss;
+  // per lost element, same scheme as the gossip substrate).  Under burst
+  // faults the effective rate switches per iteration; the armed gap is
+  // invalid across a rate change (a gap drawn at a tiny calm rate is
+  // astronomically long), so the stream re-arms on every epoch transition.
+  double loss_p = cfg.faults.push_loss;
   gossip::LossStream loss;
+  gossip::BurstChain burst;
+  bool in_burst = false;
+  gossip::StragglerSet stragglers;
 
   std::vector<std::uint8_t> asleep(n_nodes, 0);
   std::vector<gossip::NodeId> sleeping;
@@ -160,10 +166,29 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
     ++res.iterations;
 
     // Serial fault stage: which nodes sleep through this iteration's
-    // sample resolution (geometric gaps: O(sleepers) draws).
-    if (cfg.faults.sleep_probability > 0.0) {
+    // sample resolution (geometric gaps: O(sleepers) draws), straggler
+    // retire/start draws, and the burst chain's per-iteration step — all
+    // gated on their knobs, so fault-free (and i.i.d.-only) configs keep
+    // byte-identical RNG streams.
+    const bool iid_sleep = cfg.faults.sleep_probability > 0.0;
+    const bool straggle = cfg.faults.straggler.enabled();
+    if (straggle && !iid_sleep) {
+      for (const gossip::NodeId v : sleeping) asleep[v] = 0;
+      sleeping.clear();
+    }
+    if (iid_sleep) {
       gossip::draw_sleep_set(fault_rng, cfg.faults.sleep_probability, n_nodes,
                              asleep, sleeping);
+    }
+    if (straggle) {
+      stragglers.step(fault_rng, cfg.faults.straggler, n_nodes, asleep,
+                      sleeping);
+    }
+    if (cfg.faults.burst.enabled()) {
+      const bool was_burst = in_burst;
+      in_burst = burst.step(fault_rng, cfg.faults.burst);
+      loss_p = in_burst ? cfg.faults.burst.push_loss : cfg.faults.push_loss;
+      if (in_burst != was_burst) loss = gossip::LossStream{};
     }
 
     // (1) Per-node weight totals (stage A, occupied nodes only), then

@@ -56,6 +56,7 @@
 #include <span>
 #include <vector>
 
+#include "core/churn.hpp"
 #include "core/lp_type.hpp"
 #include "core/result.hpp"
 #include "core/sampling.hpp"
@@ -91,6 +92,10 @@ struct LowLoadConfig {
                                // long-horizon load measurements / ablations)
   gossip::FaultModel faults;   // message loss / sleeping nodes (Section 1.2's
                                // robustness claim; see gossip::FaultModel)
+  const ChurnSchedule* churn = nullptr;  // nodes leaving/joining mid-run with
+                                         // store handoff (core/churn.hpp);
+                                         // incompatible with run_termination
+                                         // (departed nodes cannot output)
   std::size_t dimension_override = 0;  // run as if dim(H, f) were this value
                                        // (the Section 1.4 doubling search on
                                        // an unknown d; 0 = use p.dimension())
@@ -391,6 +396,19 @@ DistributedLpResult<P> run_low_load(const P& p,
     }
   }
 
+  // Churn (core/churn.hpp): membership bookkeeping plus a cursor over the
+  // schedule.  Events apply at the top of their round, before any traffic.
+  const bool churn_on = cfg.churn != nullptr && !cfg.churn->empty();
+  LPT_CHECK_MSG(!(churn_on && cfg.run_termination),
+                "run_low_load: churn is incompatible with run_termination");
+  std::optional<ChurnState> members;
+  if (churn_on) members.emplace(n);
+  detail::ChurnCursor churn_cursor(churn_on ? cfg.churn : nullptr);
+  std::vector<Element> handoff_scratch;
+  auto absent = [&](gossip::NodeId v) {
+    return churn_on && !members->present(v);
+  };
+
   res.stats.initial_total_elements = store.total_elements();
   res.stats.max_total_elements = res.stats.initial_total_elements;
 
@@ -432,6 +450,30 @@ DistributedLpResult<P> run_low_load(const P& p,
     net.begin_round();
     std::size_t bookkeeping = 0;
 
+    // --- Churn events due this round: a leaver hands its store off to
+    // uniformly random present nodes (originals stay originals) and drops
+    // out of the pull phase; a joiner enters the Section 2.3 pull phase.
+    for (const ChurnEvent& ev : churn_cursor.events_due(t)) {
+      const gossip::NodeId v = ev.node;
+      if (ev.join) {
+        members->join(v);
+        if (!in_pull_phase[v]) {
+          in_pull_phase[v] = 1;
+          pull_nodes.insert(
+              std::lower_bound(pull_nodes.begin(), pull_nodes.end(), v), v);
+        }
+      } else {
+        members->leave(v);  // before hand_off: targets exclude the leaver
+        detail::hand_off_store(store, v, *members, net.rng(),
+                               handoff_scratch);
+        if (in_pull_phase[v]) {
+          in_pull_phase[v] = 0;
+          pull_nodes.erase(
+              std::lower_bound(pull_nodes.begin(), pull_nodes.end(), v));
+        }
+      }
+    }
+
     // --- Pull phase requests (Algorithm 4, lines 2-6): O(phase members).
     for (const gossip::NodeId v : pull_nodes) {
       if (!net.asleep(v)) seed_chan.request(v);
@@ -453,7 +495,7 @@ DistributedLpResult<P> run_low_load(const P& p,
         }
       };
       for (gossip::NodeId v = 0; v < n; ++v) {
-        if (in_pull_phase[v] || net.asleep(v)) continue;
+        if (in_pull_phase[v] || net.asleep(v) || absent(v)) continue;
         sample_chan.pull_uniform_direct(v, pulls, answer);
       }
     }
@@ -481,7 +523,7 @@ DistributedLpResult<P> run_low_load(const P& p,
       ch.first_opt = detail::kNoNodeId;
       for (std::size_t vi = begin; vi < end; ++vi) {
         const auto v = static_cast<gossip::NodeId>(vi);
-        if (net.asleep(v) || in_pull_phase[v]) continue;
+        if (net.asleep(v) || in_pull_phase[v] || absent(v)) continue;
         ++ch.attempts;
         NodeRound& sc = scratch[v];
         bool ok;
@@ -536,7 +578,8 @@ DistributedLpResult<P> run_low_load(const P& p,
               e.put_u32(r.begin);
               e.put_u32(r.end);
               for (gossip::NodeId v = r.begin; v < r.end; ++v) {
-                const bool active = !net.asleep(v) && !in_pull_phase[v];
+                const bool active =
+                    !net.asleep(v) && !in_pull_phase[v] && !absent(v);
                 e.put_u8(active ? shard::nodeflag::kActive : std::uint8_t{0});
                 if (!active) continue;
                 shard::put_rng(e, node_rng[v]);
@@ -624,10 +667,14 @@ DistributedLpResult<P> run_low_load(const P& p,
     copies_mail.deliver();
     for (const gossip::NodeId v : seeds_mail.receivers()) {
       ++bookkeeping;
+      // A departed receiver drops the delivery: the seed is a duplicate of
+      // an original the answerer still holds, so nothing is destroyed.
+      if (absent(v)) continue;
       for (const auto& h : seeds_mail.inbox(v)) store.add_original(v, h);
     }
     for (const gossip::NodeId v : copies_mail.receivers()) {
       ++bookkeeping;
+      if (absent(v)) continue;  // pushers retain their own copies
       for (const auto& h : copies_mail.inbox(v)) store.add_copy(v, h);
     }
 
@@ -668,6 +715,12 @@ DistributedLpResult<P> run_low_load(const P& p,
       // oracle check never fired (possible only in degenerate instances).
       res.solution = *term.output(0);
       res.stats.reached_optimum = true;
+    }
+  }
+
+  if constexpr (kShardable) {
+    if (sharded && cfg.shard.recovery_out != nullptr) {
+      *cfg.shard.recovery_out = harness->recovery_stats();
     }
   }
 

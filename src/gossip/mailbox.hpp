@@ -304,7 +304,7 @@ class PullChannel {
   void pull_uniform_direct(NodeId from, std::size_t count, F&& answerer) {
     net_->meter().add_pulls(from, count);
     const auto& f = net_->faults();
-    if (f.response_loss > 0.0 || f.sleep_probability > 0.0) {
+    if (f.response_loss > 0.0 || net_->asleep_count() > 0) {
       pull_uniform_impl<true>(from, count, answerer);
     } else {
       pull_uniform_impl<false>(from, count, answerer);
@@ -322,7 +322,7 @@ class PullChannel {
   template <typename F>
   void resolve(F&& responder) {
     const auto& f = net_->faults();
-    if (f.response_loss > 0.0 || f.sleep_probability > 0.0) {
+    if (f.response_loss > 0.0 || net_->asleep_count() > 0) {
       resolve_impl<true>(responder);
     } else {
       resolve_impl<false>(responder);

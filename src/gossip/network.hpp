@@ -28,20 +28,61 @@
 
 namespace lpt::gossip {
 
+/// Markov-modulated ("bursty") loss: a two-state calm/burst chain advanced
+/// once per round.  During calm epochs the base FaultModel loss rates
+/// apply; during burst epochs they are *replaced* by the rates below.
+/// Epoch durations are geometric — `enter` is the per-round calm -> burst
+/// transition probability, `exit` the burst -> calm one — sampled as
+/// batched geometric gaps (one draw per epoch, not per round).  The
+/// stationary burst fraction is enter / (enter + exit), so the marginal
+/// loss rate is (1 - pi) * base + pi * burst with pi that fraction.
+struct BurstFaults {
+  double push_loss = 0.0;      // loss rates while the chain is in burst
+  double response_loss = 0.0;
+  double enter = 0.0;          // P(calm -> burst) per round
+  double exit = 0.0;           // P(burst -> calm) per round
+
+  bool enabled() const noexcept {
+    return enter > 0.0 && (push_loss > 0.0 || response_loss > 0.0);
+  }
+};
+
+/// Heavy-tailed stragglers: an awake node starts a "straggle" with
+/// probability `rate` per round and then sleeps for a Pareto-distributed
+/// number of consecutive rounds — duration = min(cap_rounds,
+/// ceil(scale * u^(-1/alpha))) — instead of the i.i.d. one-round sleeps of
+/// FaultModel::sleep_probability.  Start draws are batched geometric gaps
+/// over the node ids (O(starters) draws per round, not O(n)).
+struct StragglerFaults {
+  double rate = 0.0;        // per-node per-round straggle-start probability
+  double alpha = 1.5;       // Pareto tail index (smaller = heavier tail)
+  double scale = 1.0;       // Pareto scale x_m (minimum sleep, in rounds)
+  std::uint32_t cap_rounds = 64;  // hard cap on one straggle's length
+
+  bool enabled() const noexcept { return rate > 0.0 && cap_rounds > 0; }
+};
+
 /// Fault-injection knobs for the "stability under stress and disruptions"
 /// claim of Section 1.2.  All faults preserve the algorithms' correctness
 /// invariants (no element is ever destroyed at its home node):
 ///   * push_loss: each pushed message is independently lost in transit,
 ///   * response_loss: each pull response is independently lost,
 ///   * sleep_probability: each node independently skips a whole round
-///     (neither initiates operations nor answers pulls).
+///     (neither initiates operations nor answers pulls),
+///   * burst: Markov-modulated loss epochs replacing the i.i.d. loss rates
+///     during burst rounds (Network::faults() reports the effective rates),
+///   * straggler: Pareto-length multi-round sleeps layered onto the
+///     i.i.d. sleep set.
 struct FaultModel {
   double push_loss = 0.0;
   double response_loss = 0.0;
   double sleep_probability = 0.0;
+  BurstFaults burst;
+  StragglerFaults straggler;
 
   bool any() const noexcept {
-    return push_loss > 0.0 || response_loss > 0.0 || sleep_probability > 0.0;
+    return push_loss > 0.0 || response_loss > 0.0 ||
+           sleep_probability > 0.0 || burst.enabled() || straggler.enabled();
   }
 };
 
@@ -99,10 +140,85 @@ inline void draw_sleep_set(util::Rng& rng, double p, std::size_t n,
   }
 }
 
+/// One Pareto-distributed straggle length in rounds:
+/// min(cap_rounds, ceil(scale * u^(-1/alpha))) with u uniform in (0, 1].
+/// P(len >= t) = min(1, (scale / (t-1))^alpha) for integer t >= 2.
+inline std::uint32_t pareto_sleep_rounds(util::Rng& rng,
+                                         const StragglerFaults& spec) {
+  const double u = 1.0 - rng.uniform();  // in (0, 1]
+  const double x = spec.scale * std::pow(u, -1.0 / spec.alpha);
+  const double cap = static_cast<double>(spec.cap_rounds);
+  if (!(x < cap)) return spec.cap_rounds;  // also catches inf/NaN
+  const double c = std::ceil(x);
+  return c < 1.0 ? 1u : static_cast<std::uint32_t>(c);
+}
+
+/// The two-state calm/burst Markov chain behind BurstFaults, advanced once
+/// per round via step().  Epoch lengths are sampled as one geometric draw
+/// per epoch (duration = 1 + geometric_gap(rng, leave_p)), so a k-round
+/// epoch costs one RNG draw, not k.
+struct BurstChain {
+  // Starts "in burst" with zero rounds left so the first step() flips to
+  // calm and draws a full calm epoch — runs open calm, not mid-burst.
+  bool in_burst = true;
+  std::uint64_t rounds_left = 0;  // rounds remaining in the current epoch
+
+  /// Advance one round; returns whether the *new* round is a burst round.
+  bool step(util::Rng& rng, const BurstFaults& spec) {
+    if (rounds_left == 0) {
+      in_burst = !in_burst;
+      const double leave_p = in_burst ? spec.exit : spec.enter;
+      rounds_left = 1 + geometric_gap(rng, leave_p);
+    }
+    --rounds_left;
+    return in_burst;
+  }
+};
+
+/// Per-node straggle bookkeeping for StragglerFaults.  step() first retires
+/// finished straggles, then draws this round's starters with geometric gaps
+/// over the node ids — a draw that lands on an already-sleeping node is
+/// ignored (no duration draw), so only awake nodes start straggles and the
+/// steady-state sleeping fraction is rate*E[D] / (1 + rate*E[D]).
+struct StragglerSet {
+  std::vector<std::uint32_t> left;  // rounds left per straggling node
+  std::vector<NodeId> nodes;       // straggling nodes (compact)
+
+  void step(util::Rng& rng, const StragglerFaults& spec, std::size_t n,
+            std::vector<std::uint8_t>& asleep,
+            std::vector<NodeId>& sleeping) {
+    if (left.empty()) left.assign(n, 0);
+    // Retire straggles that have run their course.
+    std::size_t w = 0;
+    for (const NodeId v : nodes) {
+      if (--left[v] == 0) continue;
+      nodes[w++] = v;
+    }
+    nodes.resize(w);
+    // New starters this round (only awake nodes may start).
+    for (std::uint64_t v = geometric_gap(rng, spec.rate); v < n;
+         v += 1 + geometric_gap(rng, spec.rate)) {
+      const NodeId id = static_cast<NodeId>(v);
+      if (left[id] > 0) continue;
+      left[id] = pareto_sleep_rounds(rng, spec);
+      nodes.push_back(id);
+    }
+    // Publish into the round's sleep set (the i.i.d. draw, if any, ran
+    // first and already cleared the previous round's flags).
+    for (const NodeId v : nodes) {
+      if (!asleep[v]) {
+        asleep[v] = 1;
+        sleeping.push_back(v);
+      }
+    }
+  }
+};
+
 class Network {
  public:
   Network(std::size_t n, util::Rng rng, FaultModel faults = {})
-      : n_(n), rng_(rng), meter_(n), faults_(faults), asleep_(n, 0) {
+      : n_(n), rng_(rng), meter_(n), faults_(faults), effective_(faults),
+        asleep_(n, 0) {
     LPT_CHECK_MSG(n >= 1, "Network needs at least one node");
   }
 
@@ -117,16 +233,44 @@ class Network {
   util::Rng& rng() noexcept { return rng_; }
   WorkMeter& meter() noexcept { return meter_; }
   const WorkMeter& meter() const noexcept { return meter_; }
-  const FaultModel& faults() const noexcept { return faults_; }
+
+  /// The *effective* fault model for the current round: identical to the
+  /// configured model except that during burst epochs the loss rates are
+  /// replaced by the burst rates.  Channels re-query this per round /
+  /// per deliver, so Markov-modulated loss needs no channel changes.
+  const FaultModel& faults() const noexcept { return effective_; }
+
+  /// True while the burst chain is in a burst epoch (diagnostics).
+  bool burst_active() const noexcept { return in_burst_; }
 
   /// Advance the synchronous round counter (and the work meter with it);
-  /// re-draws which nodes sleep through the new round.  Sleepers are drawn
-  /// with geometric gaps, so the cost is O(sleepers), not O(n).
+  /// re-draws which nodes sleep through the new round and advances the
+  /// burst chain.  Sleepers are drawn with geometric gaps, so the cost is
+  /// O(sleepers), not O(n).  Every new draw below is gated on its fault
+  /// knob being enabled, so configurations without burst/straggler faults
+  /// consume byte-identical RNG streams to the pre-scenario simulator.
   void begin_round() {
     meter_.begin_round();
     ++round_;
-    if (faults_.sleep_probability > 0.0) {
+    const bool iid_sleep = faults_.sleep_probability > 0.0;
+    const bool straggle = faults_.straggler.enabled();
+    if (straggle && !iid_sleep) {
+      // draw_sleep_set won't run to clear last round's flags; do it here.
+      for (const NodeId v : sleeping_) asleep_[v] = 0;
+      sleeping_.clear();
+    }
+    if (iid_sleep) {
       draw_sleep_set(rng_, faults_.sleep_probability, n_, asleep_, sleeping_);
+    }
+    if (straggle) {
+      stragglers_.step(rng_, faults_.straggler, n_, asleep_, sleeping_);
+    }
+    if (faults_.burst.enabled()) {
+      in_burst_ = burst_.step(rng_, faults_.burst);
+      effective_.push_loss =
+          in_burst_ ? faults_.burst.push_loss : faults_.push_loss;
+      effective_.response_loss =
+          in_burst_ ? faults_.burst.response_loss : faults_.response_loss;
     }
   }
 
@@ -144,13 +288,13 @@ class Network {
   /// Fault draw: should this pushed message be dropped in transit?
   /// (Single-event form; the channels use loss_gap() batching instead.)
   bool drop_push() noexcept {
-    return faults_.push_loss > 0.0 && rng_.bernoulli(faults_.push_loss);
+    return effective_.push_loss > 0.0 && rng_.bernoulli(effective_.push_loss);
   }
 
   /// Fault draw: should this pull response be dropped?
   bool drop_response() noexcept {
-    return faults_.response_loss > 0.0 &&
-           rng_.bernoulli(faults_.response_loss);
+    return effective_.response_loss > 0.0 &&
+           rng_.bernoulli(effective_.response_loss);
   }
 
   /// Rounds started so far.
@@ -160,7 +304,11 @@ class Network {
   std::size_t n_;
   util::Rng rng_;
   WorkMeter meter_;
-  FaultModel faults_;
+  FaultModel faults_;     // as configured
+  FaultModel effective_;  // per-round view (loss rates swap during bursts)
+  BurstChain burst_;
+  StragglerSet stragglers_;
+  bool in_burst_ = false;
   std::vector<std::uint8_t> asleep_;
   std::vector<NodeId> sleeping_;  // nodes asleep this round (sparse reset)
   std::size_t round_ = 0;
@@ -285,6 +433,22 @@ class NodeStore {
     }
     holders_.resize(w);
     return visited;
+  }
+
+  /// Drop node v's entire store (originals *and* copies) — the churn
+  /// "leave" path, called after the elements have been handed off.  The
+  /// holder entry is erased eagerly (not lazily as in filter_copies) so a
+  /// later rejoin that re-receives copies registers exactly one entry.
+  void clear_node(NodeId v) {
+    if (ref_[v] == kNullRef) return;
+    if (size_[v] > h0_[v]) {
+      holders_.erase(std::find(holders_.begin(), holders_.end(), v));
+    }
+    total_ -= size_[v];
+    pool_.release(ref_[v]);
+    ref_[v] = kNullRef;
+    size_[v] = 0;
+    h0_[v] = 0;
   }
 
   /// Recycle every node's storage while keeping the slab arenas (O(n)

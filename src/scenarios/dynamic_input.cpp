@@ -1,0 +1,73 @@
+#include "scenarios/dynamic_input.hpp"
+
+#include "geometry/circle.hpp"
+#include "util/assert.hpp"
+
+namespace lpt::scenarios {
+
+namespace {
+
+bool near(const geom::Vec2& a, const geom::Vec2& b) noexcept {
+  return geom::dist2(a, b) <= geom::Circle::kEps * geom::Circle::kEps;
+}
+
+}  // namespace
+
+DynamicMinDisk::DynamicMinDisk(std::span<const geom::Vec2> points)
+    : pts_(points.begin(), points.end()) {
+  cur_ = geom::min_disk(pts_);
+  ++stats_.full_solves;
+}
+
+void DynamicMinDisk::warm_resolve(const geom::Vec2* extra,
+                                  const geom::Vec2* removed) {
+  // Support-first ordering: Welzl discovers the new basis within the first
+  // |support| + 1 points, then the remaining points are mere containment
+  // checks.  Duplicates (support points also appear in pts_) are harmless
+  // for minimum enclosing disk — but a just-removed support point must not
+  // be resurrected through the carried-over prefix.
+  scratch_.clear();
+  scratch_.reserve(cur_.support.size() + 1 + pts_.size());
+  if (extra != nullptr) scratch_.push_back(*extra);
+  for (const geom::Vec2& s : cur_.support) {
+    if (removed != nullptr && near(s, *removed)) continue;
+    scratch_.push_back(s);
+  }
+  scratch_.insert(scratch_.end(), pts_.begin(), pts_.end());
+  cur_ = geom::min_disk_preshuffled(scratch_);
+  ++stats_.warm_solves;
+}
+
+void DynamicMinDisk::insert(const geom::Vec2& p) {
+  if (!cur_.disk.empty() && cur_.disk.contains(p)) {
+    pts_.push_back(p);
+    ++stats_.cheap_inserts;
+    return;
+  }
+  pts_.push_back(p);
+  warm_resolve(&pts_.back(), nullptr);
+}
+
+void DynamicMinDisk::erase(std::size_t index) {
+  LPT_CHECK_MSG(index < pts_.size(), "DynamicMinDisk::erase out of range");
+  const geom::Vec2 q = pts_[index];
+  pts_[index] = pts_.back();
+  pts_.pop_back();
+  bool touches_support = false;
+  for (const geom::Vec2& s : cur_.support) {
+    if (near(q, s)) {
+      touches_support = true;
+      break;
+    }
+  }
+  if (!touches_support) {
+    // All support points survive, so the old disk still encloses the
+    // remainder and no smaller disk can (it would beat the support's own
+    // minimum disk) — the optimum is unchanged.
+    ++stats_.cheap_erases;
+    return;
+  }
+  warm_resolve(nullptr, &q);
+}
+
+}  // namespace lpt::scenarios

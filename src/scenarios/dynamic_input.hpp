@@ -1,0 +1,60 @@
+// Dynamic inputs: points inserted/deleted between solves with the Welzl
+// support set carried over (ROADMAP "dynamic inputs").
+//
+// The incremental structure exploits two LP-type facts:
+//   * insert: a point inside the current disk cannot change the optimum —
+//     O(1).  A violating point triggers a *warm* re-solve that feeds the
+//     old support plus the new point first, so Welzl's move-to-front
+//     recursion terminates after verifying the (usually tiny) new basis
+//     against the remaining points — one pass, no shuffle.
+//   * erase: removing a non-support point leaves the disk optimal (the
+//     minimum disk of the remainder is sandwiched between the support's
+//     disk and the old disk) — O(support) to test.  Removing a support
+//     point triggers a warm re-solve seeded with the surviving support.
+//
+// Duplicated points are harmless for minimum enclosing disk, so the warm
+// re-solve simply prepends the carried-over support to the full point list
+// instead of deduplicating.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "geometry/welzl.hpp"
+
+namespace lpt::scenarios {
+
+class DynamicMinDisk {
+ public:
+  /// Counters proving the incremental path is actually taken: the stress
+  /// matrix asserts cheap ops dominate and full solves stay at one.
+  struct Stats {
+    std::size_t full_solves = 0;    // from-scratch solves (construction)
+    std::size_t warm_solves = 0;    // support-seeded re-solves
+    std::size_t cheap_inserts = 0;  // inside-disk inserts, O(1)
+    std::size_t cheap_erases = 0;   // non-support erases, O(support)
+  };
+
+  explicit DynamicMinDisk(std::span<const geom::Vec2> points);
+
+  void insert(const geom::Vec2& p);
+
+  /// Remove the point at `index` in points() (swap-with-last order).
+  void erase(std::size_t index);
+
+  const geom::MinDiskResult& result() const noexcept { return cur_; }
+  std::span<const geom::Vec2> points() const noexcept { return pts_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void warm_resolve(const geom::Vec2* extra, const geom::Vec2* removed);
+
+  std::vector<geom::Vec2> pts_;
+  std::vector<geom::Vec2> scratch_;
+  geom::MinDiskResult cur_;
+  Stats stats_;
+};
+
+}  // namespace lpt::scenarios

@@ -1,0 +1,118 @@
+#include "scenarios/scenario.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lpt::scenarios {
+
+const char* scenario_name(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::kBaseline:
+      return "baseline";
+    case ScenarioKind::kIidFaults:
+      return "iid-faults";
+    case ScenarioKind::kBurstLoss:
+      return "burst-loss";
+    case ScenarioKind::kStragglers:
+      return "stragglers";
+    case ScenarioKind::kChurn:
+      return "churn";
+    case ScenarioKind::kChurnBurst:
+      return "churn-burst";
+    case ScenarioKind::kDynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+namespace {
+
+gossip::BurstFaults burst_spec() {
+  gossip::BurstFaults b;
+  b.push_loss = 0.6;
+  b.response_loss = 0.6;
+  b.enter = 0.06;  // stationary burst fraction 0.06/(0.06+0.14) = 0.3
+  b.exit = 0.14;
+  return b;
+}
+
+gossip::StragglerFaults straggler_spec() {
+  gossip::StragglerFaults s;
+  s.rate = 0.02;
+  s.alpha = 1.5;
+  s.scale = 2.0;
+  s.cap_rounds = 48;
+  return s;
+}
+
+/// ~n/8 distinct nodes leave early and rejoin a few rounds later.  Node 0
+/// never churns (the smallest instances keep an anchor present), and the
+/// schedule never removes more than n/4 nodes at once by construction.
+core::ChurnSchedule make_churn(std::size_t n, util::Rng& rng) {
+  core::ChurnSchedule sched;
+  const std::size_t movers = std::max<std::size_t>(1, n / 8);
+  LPT_CHECK_MSG(n >= 4, "churn scenario needs at least 4 nodes");
+  // Distinct movers via a partial Fisher-Yates over the ids 1..n-1.
+  std::vector<gossip::NodeId> ids(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ids[i] = static_cast<gossip::NodeId>(i + 1);
+  }
+  for (std::size_t i = 0; i < movers; ++i) {
+    const std::size_t j = i + rng.below(ids.size() - i);
+    std::swap(ids[i], ids[j]);
+  }
+  for (std::size_t i = 0; i < movers; ++i) {
+    const gossip::NodeId v = ids[i];
+    const std::size_t leave = 2 + rng.below(6);    // rounds 2..7
+    const std::size_t back = leave + 3 + rng.below(5);
+    sched.events.push_back({leave, v, false});
+    sched.events.push_back({back, v, true});
+  }
+  sched.sort();
+  return sched;
+}
+
+}  // namespace
+
+ScenarioScript compile_scenario(ScenarioKind kind, std::size_t n,
+                                std::uint64_t seed) {
+  ScenarioScript s;
+  s.kind = kind;
+  util::Rng rng(seed ^ 0x5ce7a110u);
+  switch (kind) {
+    case ScenarioKind::kBaseline:
+      break;
+    case ScenarioKind::kIidFaults:
+      s.faults.push_loss = 0.2;
+      s.faults.response_loss = 0.2;
+      s.faults.sleep_probability = 0.1;
+      break;
+    case ScenarioKind::kBurstLoss:
+      s.faults.push_loss = 0.05;
+      s.faults.response_loss = 0.05;
+      s.faults.burst = burst_spec();
+      break;
+    case ScenarioKind::kStragglers:
+      s.faults.straggler = straggler_spec();
+      break;
+    case ScenarioKind::kChurn:
+      s.churn = make_churn(n, rng);
+      break;
+    case ScenarioKind::kChurnBurst:
+      s.faults.push_loss = 0.05;
+      s.faults.response_loss = 0.05;
+      s.faults.burst = burst_spec();
+      s.churn = make_churn(n, rng);
+      break;
+    case ScenarioKind::kDynamic:
+      s.dynamic_updates = 24;
+      s.dynamic_epochs = 3;
+      break;
+  }
+  return s;
+}
+
+}  // namespace lpt::scenarios

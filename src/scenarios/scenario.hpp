@@ -1,0 +1,56 @@
+// Scenario scripts: deterministic, seed-driven adversarial schedules for
+// the stress matrix (ROADMAP "scenario diversity").  A ScenarioScript
+// bundles everything a run needs beyond the dataset — the fault model
+// (i.i.d., Markov-burst, heavy-tailed stragglers), a churn schedule, and
+// the dynamic-input update count — compiled from (kind, n, seed) by
+// compile_scenario(), so a failing tuple reproduces from its seed alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/churn.hpp"
+#include "gossip/network.hpp"
+
+namespace lpt::scenarios {
+
+enum class ScenarioKind : std::uint8_t {
+  kBaseline,    // fault-free
+  kIidFaults,   // the pre-scenario model: i.i.d. loss + i.i.d. sleep
+  kBurstLoss,   // Markov-modulated loss epochs (calm 5% / burst 60%)
+  kStragglers,  // Pareto-length multi-round sleeps
+  kChurn,       // ~n/8 nodes leave mid-run with store handoff, then rejoin
+  kChurnBurst,  // churn layered on burst loss
+  kDynamic,     // points inserted/deleted between solve epochs
+};
+
+inline constexpr ScenarioKind kAllScenarioKinds[] = {
+    ScenarioKind::kBaseline,   ScenarioKind::kIidFaults,
+    ScenarioKind::kBurstLoss,  ScenarioKind::kStragglers,
+    ScenarioKind::kChurn,      ScenarioKind::kChurnBurst,
+    ScenarioKind::kDynamic,
+};
+
+const char* scenario_name(ScenarioKind k);
+
+/// Everything a stress run needs beyond the dataset.  The churn schedule
+/// must outlive the engine run (the engine configs hold a pointer to it).
+struct ScenarioScript {
+  ScenarioKind kind = ScenarioKind::kBaseline;
+  gossip::FaultModel faults;
+  core::ChurnSchedule churn;
+  std::size_t dynamic_updates = 0;  // kDynamic: updates between solve epochs
+  std::size_t dynamic_epochs = 0;   // kDynamic: solve epochs
+
+  bool has_churn() const noexcept { return !churn.empty(); }
+};
+
+/// Compile (kind, n, seed) into a concrete script.  Pure function of its
+/// arguments: the churn schedule's nodes and rounds come from a private
+/// RNG stream derived from `seed`, so the same tuple always yields the
+/// same schedule.
+ScenarioScript compile_scenario(ScenarioKind kind, std::size_t n,
+                                std::uint64_t seed);
+
+}  // namespace lpt::scenarios

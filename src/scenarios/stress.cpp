@@ -1,0 +1,391 @@
+#include "scenarios/stress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/high_load.hpp"
+#include "core/hitting_set.hpp"
+#include "core/hypercube_clarkson.hpp"
+#include "core/low_load.hpp"
+#include "problems/hitting_set_problem.hpp"
+#include "problems/min_disk.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "workloads/hs_data.hpp"
+
+namespace lpt::scenarios {
+
+const char* engine_name(EngineKind e) {
+  switch (e) {
+    case EngineKind::kLowLoad:
+      return "low-load";
+    case EngineKind::kHighLoad:
+      return "high-load";
+    case EngineKind::kHypercube:
+      return "hypercube";
+    case EngineKind::kHittingSet:
+      return "hitting-set";
+  }
+  return "?";
+}
+
+const char* transport_name(StressTransport t) {
+  switch (t) {
+    case StressTransport::kSerial:
+      return "serial";
+    case StressTransport::kInProc:
+      return "inproc";
+    case StressTransport::kPipe:
+      return "pipe";
+    case StressTransport::kSocket:
+      return "socket";
+    case StressTransport::kPipeKill:
+      return "pipe-kill";
+    case StressTransport::kSocketKill:
+      return "socket-kill";
+  }
+  return "?";
+}
+
+std::uint64_t tuple_seed(std::uint64_t base, const StressTuple& t) {
+  // FNV-1a over the tuple fields, seeded by the base: distinct tuples get
+  // decorrelated streams, and the same (base, tuple) always reproduces.
+  std::uint64_t h = 0xcbf29ce484222325ull ^ base;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(t.scenario) + 1);
+  mix(static_cast<std::uint64_t>(t.engine) + 11);
+  mix(static_cast<std::uint64_t>(t.dataset) + 101);
+  mix(static_cast<std::uint64_t>(t.transport) + 1009);
+  mix(static_cast<std::uint64_t>(t.n));
+  return h;
+}
+
+namespace {
+
+constexpr std::uint64_t kDefaultStressSeed = 0x5eedc0deull;
+
+std::uint64_t& seed_slot() {
+  static std::uint64_t seed = [] {
+    if (const char* env = std::getenv("LPT_STRESS_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 0);
+      if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+    }
+    return kDefaultStressSeed;
+  }();
+  return seed;
+}
+
+/// Round-envelope constant per (scenario, engine): the asserted bound is
+/// C * (ceil_log2(n) + 2).  Values are generous multiples of observed
+/// behavior but meaningfully below the engines' own safety caps, so a
+/// Θ(log n) regression (or an adversarial schedule defeating the
+/// guarantee) trips the assert rather than timing out.
+std::size_t envelope_c(ScenarioKind s, EngineKind e) {
+  const bool faulty = s != ScenarioKind::kBaseline &&
+                      s != ScenarioKind::kDynamic;
+  switch (e) {
+    case EngineKind::kLowLoad:
+      if (!faulty) return 10;
+      return s == ScenarioKind::kChurnBurst ? 40 : 30;
+    case EngineKind::kHighLoad:
+      if (!faulty) return 10;
+      return s == ScenarioKind::kChurnBurst ? 50 : 40;
+    case EngineKind::kHypercube:
+      return faulty ? 80 : 40;  // bound on Clarkson iterations
+    case EngineKind::kHittingSet:
+      return faulty ? 60 : 30;  // scaled by d_used at the call site
+  }
+  return 40;
+}
+
+shard::ShardConfig make_shard_config(StressTransport t,
+                                     shard::ShardRecoveryStats* out) {
+  shard::ShardConfig sc;
+  if (t == StressTransport::kSerial) return sc;
+  sc.shards = 2;
+  sc.recovery_out = out;
+  switch (t) {
+    case StressTransport::kInProc:
+      sc.transport = shard::TransportKind::kInProc;
+      break;
+    case StressTransport::kPipe:
+    case StressTransport::kPipeKill:
+      sc.transport = shard::TransportKind::kPipe;
+      break;
+    case StressTransport::kSocket:
+    case StressTransport::kSocketKill:
+      sc.transport = shard::TransportKind::kSocket;
+      break;
+    default:
+      break;
+  }
+  if (t == StressTransport::kPipeKill || t == StressTransport::kSocketKill) {
+    shard::FaultEvent kill;
+    kill.shard = 1;
+    kill.op = shard::FaultOp::kKillWorker;
+    kill.at_frame = 1;
+    sc.fault_script.push_back(kill);
+  }
+  return sc;
+}
+
+void fill_min_disk_outcome(StressOutcome& out, const problems::MinDisk& p,
+                           std::span<const geom::Vec2> points,
+                           const problems::MinDiskSolution& sol) {
+  out.ref_disk = p.solve(points).disk;
+  out.disk = sol.disk;
+  out.basis = sol.basis;
+  out.points.assign(points.begin(), points.end());
+}
+
+StressOutcome run_dynamic_tuple(const StressTuple& t, std::uint64_t ts,
+                                const ScenarioScript& script) {
+  StressOutcome out;
+  problems::MinDisk p;
+  util::Rng data_rng(ts ^ 0xda7ada7aull);
+  std::vector<geom::Vec2> points =
+      workloads::generate_disk_dataset(t.dataset, t.n, data_rng);
+
+  DynamicMinDisk dyn(points);
+  util::Rng upd_rng(ts ^ 0x0bda7e5ull);
+  out.round_cap = envelope_c(ScenarioKind::kDynamic, t.engine) *
+                  (util::ceil_log2(t.n) + 2);
+  out.reached = true;
+  for (std::size_t epoch = 0; epoch < script.dynamic_epochs; ++epoch) {
+    for (std::size_t u = 0; u < script.dynamic_updates; ++u) {
+      const geom::Circle disk = dyn.result().disk;
+      const std::uint64_t kind = upd_rng.below(5);
+      if (kind < 2 && dyn.points().size() > 8) {
+        dyn.erase(upd_rng.below(dyn.points().size()));
+        continue;
+      }
+      const double ang = upd_rng.uniform() * 6.283185307179586;
+      const geom::Vec2 dir{std::cos(ang), std::sin(ang)};
+      // Mostly inside-disk inserts (the O(1) path), occasionally a
+      // violating point so the warm re-solve path is exercised too.
+      const double radial = kind == 4
+                                ? disk.radius * (1.05 + 0.5 * upd_rng.uniform())
+                                : disk.radius * 0.9 * upd_rng.uniform();
+      dyn.insert(disk.center + dir * radial);
+    }
+    // Solve the updated instance with the distributed engine and check it
+    // agrees with the incremental structure (the caller asserts radii).
+    core::LowLoadConfig cfg;
+    cfg.seed = ts + 1000003 * (epoch + 1);
+    const auto res = core::run_low_load(
+        p, std::span<const geom::Vec2>(dyn.points()), t.n, cfg);
+    out.reached = out.reached && res.stats.reached_optimum;
+    out.rounds = std::max(out.rounds, res.stats.rounds_to_first);
+    if (epoch + 1 == script.dynamic_epochs) {
+      fill_min_disk_outcome(out, p, dyn.points(), res.solution);
+    }
+  }
+  out.dyn = dyn.stats();
+  return out;
+}
+
+}  // namespace
+
+StressOutcome run_stress_tuple(const StressTuple& t,
+                               std::uint64_t base_seed) {
+  const std::uint64_t ts = tuple_seed(base_seed, t);
+  ScenarioScript script = compile_scenario(t.scenario, t.n, ts);
+  StressOutcome out;
+  out.expect_kill = t.transport == StressTransport::kPipeKill ||
+                    t.transport == StressTransport::kSocketKill;
+  const std::size_t log_term = util::ceil_log2(t.n) + 2;
+
+  if (t.scenario == ScenarioKind::kDynamic) {
+    LPT_CHECK_MSG(t.engine == EngineKind::kLowLoad &&
+                      t.transport == StressTransport::kSerial,
+                  "dynamic tuples run the serial low-load engine");
+    return run_dynamic_tuple(t, ts, script);
+  }
+
+  switch (t.engine) {
+    case EngineKind::kLowLoad: {
+      problems::MinDisk p;
+      util::Rng data_rng(ts ^ 0xda7ada7aull);
+      const std::vector<geom::Vec2> points =
+          workloads::generate_disk_dataset(t.dataset, t.n, data_rng);
+      core::LowLoadConfig cfg;
+      cfg.seed = ts;
+      cfg.faults = script.faults;
+      if (script.has_churn()) cfg.churn = &script.churn;
+      cfg.shard = make_shard_config(t.transport, &out.recovery);
+      // Kill tuples also run the termination protocol: its confirmation
+      // rounds keep stage-A frames flowing after the scripted SIGKILL, so
+      // the death is always *detected* — a kill that races its result into
+      // the stream is only noticed on the next send, and a fast-converging
+      // run might otherwise never send one.
+      if (out.expect_kill) cfg.run_termination = true;
+      const auto res = core::run_low_load(
+          p, std::span<const geom::Vec2>(points), t.n, cfg);
+      out.reached = res.stats.reached_optimum;
+      out.rounds = res.stats.rounds_to_first;
+      out.round_cap = envelope_c(t.scenario, t.engine) * log_term;
+      fill_min_disk_outcome(out, p, points, res.solution);
+      break;
+    }
+    case EngineKind::kHighLoad: {
+      LPT_CHECK_MSG(t.transport == StressTransport::kSerial,
+                    "high-load stress tuples run serial");
+      problems::MinDisk p;
+      util::Rng data_rng(ts ^ 0xda7ada7aull);
+      const std::vector<geom::Vec2> points =
+          workloads::generate_disk_dataset(t.dataset, t.n, data_rng);
+      core::HighLoadConfig cfg;
+      cfg.seed = ts;
+      cfg.faults = script.faults;
+      if (script.has_churn()) cfg.churn = &script.churn;
+      const auto res = core::run_high_load(
+          p, std::span<const geom::Vec2>(points), t.n, cfg);
+      out.reached = res.stats.reached_optimum;
+      out.rounds = res.stats.rounds_to_first;
+      out.round_cap = envelope_c(t.scenario, t.engine) * log_term;
+      fill_min_disk_outcome(out, p, points, res.solution);
+      break;
+    }
+    case EngineKind::kHypercube: {
+      LPT_CHECK_MSG(t.transport == StressTransport::kSerial,
+                    "hypercube stress tuples run serial");
+      LPT_CHECK_MSG(!script.has_churn(),
+                    "hypercube membership is structurally fixed");
+      problems::MinDisk p;
+      util::Rng data_rng(ts ^ 0xda7ada7aull);
+      const std::vector<geom::Vec2> points =
+          workloads::generate_disk_dataset(t.dataset, t.n, data_rng);
+      core::HypercubeClarksonConfig cfg;
+      cfg.seed = ts;
+      cfg.faults = script.faults;
+      const auto res = core::run_hypercube_clarkson(
+          p, std::span<const geom::Vec2>(points), t.n, cfg);
+      out.reached = res.converged;
+      out.rounds = res.iterations;  // the envelope binds iterations
+      out.round_cap = envelope_c(t.scenario, t.engine) * log_term;
+      fill_min_disk_outcome(out, p, points, res.solution);
+      break;
+    }
+    case EngineKind::kHittingSet: {
+      out.is_hitting_set = true;
+      util::Rng data_rng(ts ^ 0xda7ada7aull);
+      const workloads::PlantedHs planted =
+          workloads::generate_planted_hitting_set(192, 96, 4, 6, data_rng);
+      problems::HittingSetProblem problem(planted.system);
+      core::HittingSetConfig cfg;
+      cfg.seed = ts;
+      cfg.faults = script.faults;
+      cfg.shard = make_shard_config(t.transport, &out.recovery);
+      const auto res = core::run_hitting_set(problem, t.n, cfg);
+      out.reached = res.valid;
+      out.rounds = res.stats.rounds_to_first;
+      out.round_cap = envelope_c(t.scenario, t.engine) *
+                      std::max<std::size_t>(1, res.d_used) * log_term;
+      out.hs_size = res.hitting_set.size();
+      out.hs_planted = planted.planted.size();
+      out.hs_size_bound = core::hitting_set_sample_size(res.d_used, 96);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<StressTuple> default_stress_matrix() {
+  using D = workloads::DiskDataset;
+  using S = ScenarioKind;
+  using T = StressTransport;
+  std::vector<StressTuple> m;
+  constexpr S kGossipScenarios[] = {S::kBaseline,   S::kIidFaults,
+                                    S::kBurstLoss,  S::kStragglers,
+                                    S::kChurn,      S::kChurnBurst};
+
+  // Low load: the full scenario set across all four datasets, serial.
+  for (const S s : kGossipScenarios) {
+    for (const D d : workloads::kAllDiskDatasets) {
+      m.push_back({s, EngineKind::kLowLoad, d, T::kSerial, 256});
+    }
+  }
+  // Low load over the shard transports: the adversarial schedules must
+  // survive the wire (burst changes per-round loss; churn changes the
+  // active-node encode mask).
+  for (const T tr : {T::kInProc, T::kPipe, T::kSocket}) {
+    for (const S s : {S::kBurstLoss, S::kChurn}) {
+      m.push_back({s, EngineKind::kLowLoad, D::kTripleDisk, tr, 256});
+    }
+  }
+  // Worker-kill recovery under a scenario run.
+  m.push_back({S::kBaseline, EngineKind::kLowLoad, D::kTripleDisk,
+               T::kPipeKill, 256});
+  m.push_back({S::kBaseline, EngineKind::kLowLoad, D::kTripleDisk,
+               T::kSocketKill, 256});
+  // Dynamic inputs: incremental re-solve vs the engine, every dataset.
+  for (const D d : workloads::kAllDiskDatasets) {
+    m.push_back({S::kDynamic, EngineKind::kLowLoad, d, T::kSerial, 256});
+  }
+  // High load: full scenario set on the two extreme-basis datasets.
+  for (const S s : kGossipScenarios) {
+    for (const D d : {D::kTripleDisk, D::kHull}) {
+      m.push_back({s, EngineKind::kHighLoad, d, T::kSerial, 256});
+    }
+  }
+  // Hypercube: no churn (fixed membership), both fault families.
+  for (const S s : {S::kBaseline, S::kIidFaults, S::kBurstLoss,
+                    S::kStragglers}) {
+    for (const D d : {D::kTripleDisk, D::kTriangle}) {
+      m.push_back({s, EngineKind::kHypercube, d, T::kSerial, 256});
+    }
+  }
+  // Hitting set: fault families serial, plus burst over the shard runtime.
+  for (const S s : {S::kBaseline, S::kIidFaults, S::kBurstLoss,
+                    S::kStragglers}) {
+    m.push_back({s, EngineKind::kHittingSet, D::kTripleDisk, T::kSerial,
+                 256});
+  }
+  m.push_back({S::kBurstLoss, EngineKind::kHittingSet, D::kTripleDisk,
+               T::kInProc, 256});
+  m.push_back({S::kBurstLoss, EngineKind::kHittingSet, D::kTripleDisk,
+               T::kPipe, 256});
+  return m;
+}
+
+std::uint64_t stress_seed() { return seed_slot(); }
+
+void set_stress_seed(std::uint64_t seed) { seed_slot() = seed; }
+
+std::string tuple_label(const StressTuple& t) {
+  std::ostringstream os;
+  os << scenario_name(t.scenario) << '/' << engine_name(t.engine) << '/'
+     << workloads::dataset_name(t.dataset) << '/'
+     << transport_name(t.transport) << "/n" << t.n;
+  return os.str();
+}
+
+std::string tuple_test_name(const StressTuple& t) {
+  std::string name = tuple_label(t);
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
+std::string stress_repro(const StressTuple& t, std::uint64_t base_seed) {
+  std::ostringstream os;
+  os << "stress tuple (seed=" << base_seed << ", scenario="
+     << scenario_name(t.scenario) << ", engine=" << engine_name(t.engine)
+     << ", dataset=" << workloads::dataset_name(t.dataset)
+     << ", transport=" << transport_name(t.transport) << ", n=" << t.n
+     << ")\n  repro: ./tests/test_scenarios --seed=" << base_seed
+     << " --gtest_filter='*" << tuple_test_name(t) << "*'";
+  return os.str();
+}
+
+}  // namespace lpt::scenarios

@@ -1,0 +1,107 @@
+// The randomized scenario-matrix stress harness: scenario × engine ×
+// dataset × transport tuples, each run from a per-tuple seed mixed into the
+// matrix base seed.  run_stress_tuple() executes one tuple and returns the
+// raw material for the invariant checks (reference solve, basis, rounds,
+// envelope, recovery counters); the assertions themselves live in
+// tests/test_scenarios.cpp via the tests/support matchers.
+//
+// Reproducibility contract: a tuple's run is a pure function of
+// (base seed, tuple).  stress_repro() prints the one-line command that
+// re-runs exactly one failing tuple; the base seed comes from --seed, the
+// LPT_STRESS_SEED environment variable, or the built-in default, in that
+// order of precedence (see set_stress_seed / stress_seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/circle.hpp"
+#include "geometry/vec2.hpp"
+#include "scenarios/dynamic_input.hpp"
+#include "scenarios/scenario.hpp"
+#include "shard/runtime.hpp"
+#include "workloads/disk_data.hpp"
+
+namespace lpt::scenarios {
+
+enum class EngineKind : std::uint8_t {
+  kLowLoad,     // Section 2 (Algorithms 2 and 4)
+  kHighLoad,    // Section 3 (Algorithm 5)
+  kHypercube,   // hypercube Clarkson baseline (Section 4 comparison)
+  kHittingSet,  // Section 1.4 / Algorithm 6 (planted set system)
+};
+
+enum class StressTransport : std::uint8_t {
+  kSerial,      // in-process, no shard runtime
+  kInProc,      // 2 shard workers, in-process threads
+  kPipe,        // 2 shard workers, fork()ed over pipes
+  kSocket,      // 2 shard workers, loopback TCP
+  kPipeKill,    // kPipe + a scripted SIGKILL mid-run (recovery must absorb)
+  kSocketKill,  // kSocket + a scripted SIGKILL (respawn-over-reconnect)
+};
+
+const char* engine_name(EngineKind e);
+const char* transport_name(StressTransport t);
+
+struct StressTuple {
+  ScenarioKind scenario = ScenarioKind::kBaseline;
+  EngineKind engine = EngineKind::kLowLoad;
+  workloads::DiskDataset dataset = workloads::DiskDataset::kTripleDisk;
+  StressTransport transport = StressTransport::kSerial;
+  std::size_t n = 256;  // nodes; also the instance size
+};
+
+/// One tuple's raw outcome.  The invariant checks (reference radius,
+/// boundary basis, containment, envelope, recovery sanity) are asserted by
+/// the caller so failures carry gtest context.
+struct StressOutcome {
+  bool reached = false;       // engine-reported success (optimum / valid)
+  std::size_t rounds = 0;     // rounds (hypercube: Clarkson iterations)
+  std::size_t round_cap = 0;  // scenario/engine-scaled c*(ceil_log2(n)+2)
+  // Minimum-enclosing-disk engines (empty for hitting-set):
+  geom::Circle disk;
+  std::vector<geom::Vec2> basis;
+  geom::Circle ref_disk;            // direct reference solve
+  std::vector<geom::Vec2> points;   // the dataset the run solved
+  // Hitting-set:
+  bool is_hitting_set = false;
+  std::size_t hs_size = 0;        // winning hitting-set size
+  std::size_t hs_planted = 0;     // planted optimum size
+  std::size_t hs_size_bound = 0;  // Theorem 5 bound at the engine's d_used
+  // Sharded transports:
+  shard::ShardRecoveryStats recovery;
+  bool expect_kill = false;      // tuple scripted a worker SIGKILL
+  // kDynamic only:
+  DynamicMinDisk::Stats dyn;
+};
+
+/// Mix one tuple into the base seed (deterministic, tuple-unique).
+std::uint64_t tuple_seed(std::uint64_t base, const StressTuple& t);
+
+/// Execute one tuple from the given base seed.
+StressOutcome run_stress_tuple(const StressTuple& t, std::uint64_t base_seed);
+
+/// The default matrix: >= 48 tuples across all four engines (see
+/// tests/test_scenarios.cpp for the per-block composition).
+std::vector<StressTuple> default_stress_matrix();
+
+/// Base-seed plumbing: default constant, overridable by the
+/// LPT_STRESS_SEED environment variable (read at first use, not at static
+/// init) and by set_stress_seed() (the harness's --seed flag, highest
+/// precedence).
+std::uint64_t stress_seed();
+void set_stress_seed(std::uint64_t seed);
+
+/// Human-readable tuple label: "scenario/engine/dataset/transport/n".
+std::string tuple_label(const StressTuple& t);
+
+/// The label reduced to a valid gtest parameter name (alphanumerics and
+/// underscores only) — also what stress_repro()'s --gtest_filter matches.
+std::string tuple_test_name(const StressTuple& t);
+
+/// One-line repro command for a failing tuple.
+std::string stress_repro(const StressTuple& t, std::uint64_t base_seed);
+
+}  // namespace lpt::scenarios

@@ -171,6 +171,11 @@ struct ShardConfig {
   RecoveryPolicy recovery;
   FaultScript fault_script;  // non-empty: wrap the transport in a
                              // FaultyTransport running this schedule
+  ShardRecoveryStats* recovery_out = nullptr;  // non-null: the engine copies
+                                               // the harness's recovery
+                                               // counters here before it
+                                               // returns (observability only;
+                                               // never part of determinism)
 
   bool enabled() const noexcept { return shards >= 1; }
 };

@@ -76,4 +76,37 @@ testing::AssertionResult AssertAllInsideDisk(
   return testing::AssertionSuccess();
 }
 
+testing::AssertionResult AssertBasisOnBoundary(
+    const char* basis_expr, const char* c_expr, const char* r_expr,
+    const char* tol_expr, const std::vector<geom::Vec2>& basis, geom::Vec2 c,
+    double r, double tol) {
+  if (basis.empty() || basis.size() > 3) {
+    return testing::AssertionFailure()
+           << basis_expr << " has " << basis.size()
+           << " points; a min-disk support set has 1 to 3";
+  }
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    const double d = geom::dist(c, basis[i]);
+    if (std::abs(d - r) > tol) {
+      return testing::AssertionFailure()
+             << basis_expr << "[" << i << "] = (" << basis[i].x << ", "
+             << basis[i].y << ") lies at distance " << d << " from " << c_expr
+             << ", off the boundary of radius " << r_expr << " = " << r
+             << " by more than " << tol_expr << " = " << tol;
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+testing::AssertionResult AssertRoundEnvelope(const char* rounds_expr,
+                                             const char* cap_expr,
+                                             std::size_t rounds,
+                                             std::size_t cap) {
+  if (rounds >= 1 && rounds <= cap) return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << rounds_expr << " = " << rounds << " is outside the round-count "
+         << "envelope [1, " << cap_expr << " = " << cap
+         << "] — the Theta(log n) guarantee did not hold";
+}
+
 }  // namespace lpt::testsupport

@@ -69,11 +69,33 @@ testing::AssertionResult AssertAllInsideDisk(
     const char* tol_expr, const std::vector<geom::Vec2>& pts, geom::Vec2 c,
     double r, double tol);
 
+/// Every basis point lies *on* the disk boundary (|dist(c, b) - r| <= tol)
+/// and the basis is non-empty with at most 3 points — the minimum
+/// enclosing disk's support-set invariant.  The distributed engines must
+/// return bases with this property no matter the schedule.
+testing::AssertionResult AssertBasisOnBoundary(
+    const char* basis_expr, const char* c_expr, const char* r_expr,
+    const char* tol_expr, const std::vector<geom::Vec2>& basis, geom::Vec2 c,
+    double r, double tol);
+
+/// Round-count envelope: 1 <= rounds <= cap, where the caller computes
+/// cap = c * (ceil_log2(n) + 2) — the Θ(log n) guarantee the stress
+/// matrix pins instead of golden round counts.
+testing::AssertionResult AssertRoundEnvelope(const char* rounds_expr,
+                                             const char* cap_expr,
+                                             std::size_t rounds,
+                                             std::size_t cap);
+
 #define EXPECT_VEC2_NEAR(a, b, tol) \
   EXPECT_PRED_FORMAT3(::lpt::testsupport::AssertVec2Near, a, b, tol)
 #define EXPECT_REL_NEAR(a, b, tol) \
   EXPECT_PRED_FORMAT3(::lpt::testsupport::AssertRelNear, a, b, tol)
 #define EXPECT_ALL_INSIDE_DISK(pts, c, r, tol) \
   EXPECT_PRED_FORMAT4(::lpt::testsupport::AssertAllInsideDisk, pts, c, r, tol)
+#define EXPECT_BASIS_ON_BOUNDARY(basis, c, r, tol)                          \
+  EXPECT_PRED_FORMAT4(::lpt::testsupport::AssertBasisOnBoundary, basis, c, \
+                      r, tol)
+#define EXPECT_ROUND_ENVELOPE(rounds, cap) \
+  EXPECT_PRED_FORMAT2(::lpt::testsupport::AssertRoundEnvelope, rounds, cap)
 
 }  // namespace lpt::testsupport

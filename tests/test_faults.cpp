@@ -9,6 +9,7 @@
 #include "core/low_load.hpp"
 #include "problems/min_disk.hpp"
 #include "support/test_support.hpp"
+#include "util/math.hpp"
 #include "util/rng.hpp"
 #include "workloads/disk_data.hpp"
 #include "workloads/hs_data.hpp"
@@ -18,6 +19,21 @@ namespace {
 
 using problems::MinDisk;
 using workloads::DiskDataset;
+
+// The optimality invariants every faulted min-disk run must uphold,
+// expressed through the tests/support matchers (shared with the scenario
+// stress matrix): optimal radius per the direct reference solve, all
+// points contained, and a basis on the disk boundary.
+void expect_min_disk_invariants(const MinDisk& p,
+                                const std::vector<geom::Vec2>& pts,
+                                const problems::MinDiskSolution& sol) {
+  const auto ref = p.solve(pts);
+  const double tol = 1e-9 * (ref.disk.radius + 1.0);
+  EXPECT_NEAR(sol.disk.radius, ref.disk.radius, tol);
+  EXPECT_ALL_INSIDE_DISK(pts, sol.disk.center, sol.disk.radius, tol);
+  EXPECT_BASIS_ON_BOUNDARY(sol.basis, sol.disk.center, sol.disk.radius,
+                           1e-7 * (ref.disk.radius + 1.0));
+}
 
 class FaultMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {
  protected:
@@ -56,7 +72,7 @@ TEST_P(FaultMatrix, LowLoadStillFindsOptimum) {
   cfg.faults = scenario();
   const auto res = core::run_low_load(p, pts, n, cfg);
   ASSERT_TRUE(res.stats.reached_optimum);
-  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+  expect_min_disk_invariants(p, pts, res.solution);
 }
 
 TEST_P(FaultMatrix, HighLoadStillFindsOptimum) {
@@ -70,7 +86,7 @@ TEST_P(FaultMatrix, HighLoadStillFindsOptimum) {
   cfg.faults = scenario();
   const auto res = core::run_high_load(p, pts, n, cfg);
   ASSERT_TRUE(res.stats.reached_optimum);
-  EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+  expect_min_disk_invariants(p, pts, res.solution);
 }
 
 TEST_P(FaultMatrix, HittingSetStillFindsValidAnswer) {
@@ -139,6 +155,9 @@ TEST(Faults, ModerateLossCostsRoundsNotCorrectness) {
   ASSERT_TRUE(r0.stats.reached_optimum);
   ASSERT_TRUE(r1.stats.reached_optimum);
   EXPECT_GE(r1.stats.rounds_to_first, r0.stats.rounds_to_first);
+  // The cost stays within the Theta(log n) envelope even at 40% loss.
+  EXPECT_ROUND_ENVELOPE(r1.stats.rounds_to_first,
+                        40 * (util::ceil_log2(n) + 2));
 }
 
 }  // namespace

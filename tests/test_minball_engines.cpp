@@ -7,6 +7,8 @@
 #include "core/low_load.hpp"
 #include "core/set_cover_engine.hpp"
 #include "problems/min_ball.hpp"
+#include "support/test_support.hpp"
+#include "util/math.hpp"
 #include "util/rng.hpp"
 #include "workloads/hs_data.hpp"
 
@@ -34,6 +36,8 @@ TEST_P(MinBallEngines, LowLoadSolves3D) {
   const auto res = core::run_low_load(p, pts, n, cfg);
   ASSERT_TRUE(res.stats.reached_optimum);
   EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+  EXPECT_ROUND_ENVELOPE(res.stats.rounds_to_first,
+                        10 * (util::ceil_log2(n) + 2));
 }
 
 TEST_P(MinBallEngines, HighLoadSolves3D) {
@@ -46,6 +50,8 @@ TEST_P(MinBallEngines, HighLoadSolves3D) {
   const auto res = core::run_high_load(p, pts, n, cfg);
   ASSERT_TRUE(res.stats.reached_optimum);
   EXPECT_TRUE(p.same_value(res.solution, p.solve(pts)));
+  EXPECT_ROUND_ENVELOPE(res.stats.rounds_to_first,
+                        10 * (util::ceil_log2(n) + 2));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MinBallEngines, ::testing::Range(1, 6));

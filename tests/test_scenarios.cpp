@@ -1,0 +1,378 @@
+// The randomized scenario-matrix stress harness (ROADMAP "scenario
+// diversity"): every tuple of scenario x engine x dataset x transport from
+// scenarios::default_stress_matrix() runs under its per-tuple seed and must
+// uphold the paper's invariants — a basis the direct reference solver
+// confirms optimal, containment within the predicate tolerance, and a round
+// count inside the Theta(log n) envelope.  Invariants, not golden streams:
+// adversarial schedules legitimately perturb RNG consumption, so the
+// assertions pin what the algorithms *guarantee*, not what they happened to
+// draw.
+//
+// Reproducing a failure: every assertion carries the failing tuple via
+// SCOPED_TRACE, including a one-line repro of the form
+//   ./tests/test_scenarios --seed=<base> --gtest_filter='*<tuple>*'
+// The base seed defaults to a built-in constant and can be rotated with the
+// LPT_STRESS_SEED environment variable or the --seed flag (highest
+// precedence; parsed by this file's main() before InitGoogleTest).
+//
+// The suite also pins the fault generators' *statistics*: the Markov burst
+// chain's stationary fraction and epoch lengths, the Pareto straggle
+// length's truncated mean, and the network-level straggler occupancy, each
+// against its analytic value.  Those guard the batched geometric-gap
+// sampling — an off-by-one in an epoch draw shifts a marginal rate far
+// outside these tolerances.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/welzl.hpp"
+#include "gossip/network.hpp"
+#include "scenarios/dynamic_input.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/stress.hpp"
+#include "support/test_support.hpp"
+#include "util/rng.hpp"
+
+namespace lpt {
+namespace {
+
+using testsupport::seeded_rng;
+
+// ---------------------------------------------------------------------------
+// The stress matrix.
+// ---------------------------------------------------------------------------
+
+class StressMatrix : public testing::TestWithParam<scenarios::StressTuple> {};
+
+TEST_P(StressMatrix, UpholdsInvariants) {
+  const scenarios::StressTuple t = GetParam();
+  const std::uint64_t base = scenarios::stress_seed();
+  SCOPED_TRACE(scenarios::stress_repro(t, base));
+
+  const scenarios::StressOutcome out = scenarios::run_stress_tuple(t, base);
+
+  EXPECT_TRUE(out.reached)
+      << "engine did not reach a verified optimum under this schedule";
+  EXPECT_ROUND_ENVELOPE(out.rounds, out.round_cap);
+
+  if (out.is_hitting_set) {
+    EXPECT_GE(out.hs_planted, 1u);
+    EXPECT_GE(out.hs_size, 1u);
+    // Theorem 5: the returned set has at most r = O(d log(ds)) elements.
+    EXPECT_LE(out.hs_size, out.hs_size_bound);
+  } else {
+    // The distributed basis must be optimal per the direct reference
+    // solve, contain every input point, and sit on the disk boundary —
+    // all within the min-disk predicate tolerance.
+    const double tol = 1e-9 * (out.ref_disk.radius + 1.0);
+    EXPECT_NEAR(out.disk.radius, out.ref_disk.radius, tol);
+    const double geo_tol = 1e-7 * (out.ref_disk.radius + 1.0);
+    EXPECT_VEC2_NEAR(out.disk.center, out.ref_disk.center, geo_tol);
+    EXPECT_ALL_INSIDE_DISK(out.points, out.disk.center, out.disk.radius, tol);
+    EXPECT_BASIS_ON_BOUNDARY(out.basis, out.disk.center, out.disk.radius,
+                             geo_tol);
+  }
+
+  if (out.expect_kill) {
+    // The tuple scripted a worker SIGKILL: recovery must have observed the
+    // death and respawned (the run reaching the optimum proves resend).
+    EXPECT_GE(out.recovery.workers_lost, 1u);
+    EXPECT_GE(out.recovery.respawns, 1u);
+  }
+
+  if (t.scenario == scenarios::ScenarioKind::kDynamic) {
+    // The incremental structure must actually take the incremental paths:
+    // exactly the constructor's full solve, and cheap O(1)/O(support)
+    // updates outnumbering warm re-solves.
+    EXPECT_EQ(out.dyn.full_solves, 1u);
+    EXPECT_GT(out.dyn.cheap_inserts + out.dyn.cheap_erases,
+              out.dyn.warm_solves);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StressMatrix,
+    testing::ValuesIn(scenarios::default_stress_matrix()),
+    [](const testing::TestParamInfo<scenarios::StressTuple>& info) {
+      return scenarios::tuple_test_name(info.param);
+    });
+
+// ---------------------------------------------------------------------------
+// Harness plumbing: the reproducibility contract.
+// ---------------------------------------------------------------------------
+
+TEST(StressHarness, MatrixMeetsAcceptanceFloor) {
+  const auto m = scenarios::default_stress_matrix();
+  EXPECT_GE(m.size(), 48u);
+  std::set<scenarios::EngineKind> engines;
+  std::set<scenarios::ScenarioKind> kinds;
+  for (const auto& t : m) {
+    engines.insert(t.engine);
+    kinds.insert(t.scenario);
+  }
+  EXPECT_EQ(engines.size(), 4u) << "matrix must cover all four engines";
+  EXPECT_EQ(kinds.size(), 7u) << "matrix must cover every scenario kind";
+}
+
+TEST(StressHarness, TupleSeedsAreDeterministicAndDistinct) {
+  const auto m = scenarios::default_stress_matrix();
+  std::set<std::uint64_t> seeds;
+  for (const auto& t : m) {
+    const std::uint64_t s = scenarios::tuple_seed(1234, t);
+    EXPECT_EQ(s, scenarios::tuple_seed(1234, t));
+    seeds.insert(s);
+  }
+  EXPECT_EQ(seeds.size(), m.size()) << "tuple seeds collided";
+}
+
+TEST(StressHarness, ReproLineCarriesTupleAndSeed) {
+  const scenarios::StressTuple t = scenarios::default_stress_matrix().front();
+  const std::string repro = scenarios::stress_repro(t, 42);
+  EXPECT_NE(repro.find("--seed=42"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--gtest_filter="), std::string::npos) << repro;
+  const std::string name = scenarios::tuple_test_name(t);
+  EXPECT_NE(repro.find(name), std::string::npos) << repro;
+  for (const char c : name) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+        << "gtest parameter names admit only [A-Za-z0-9_]: " << name;
+  }
+}
+
+TEST(StressHarness, ScenarioCompilationIsPure) {
+  const auto a = scenarios::compile_scenario(scenarios::ScenarioKind::kChurn,
+                                             256, 77);
+  const auto b = scenarios::compile_scenario(scenarios::ScenarioKind::kChurn,
+                                             256, 77);
+  ASSERT_EQ(a.churn.events.size(), b.churn.events.size());
+  ASSERT_FALSE(a.churn.events.empty());
+  for (std::size_t i = 0; i < a.churn.events.size(); ++i) {
+    EXPECT_EQ(a.churn.events[i].round, b.churn.events[i].round);
+    EXPECT_EQ(a.churn.events[i].node, b.churn.events[i].node);
+    EXPECT_EQ(a.churn.events[i].join, b.churn.events[i].join);
+  }
+  // Node 0 (the output node) never churns, and every leave has a rejoin.
+  std::size_t leaves = 0, joins = 0;
+  for (const auto& e : a.churn.events) {
+    EXPECT_NE(e.node, 0u);
+    (e.join ? joins : leaves)++;
+  }
+  EXPECT_EQ(leaves, joins);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-generator statistics (satellite: marginal-rate tolerance tests).
+// ---------------------------------------------------------------------------
+
+TEST(FaultStatistics, BurstChainHitsStationaryFractionAndEpochMeans) {
+  gossip::BurstFaults spec;
+  spec.push_loss = 0.6;
+  spec.enter = 0.06;
+  spec.exit = 0.14;
+  util::Rng rng = seeded_rng("burst-chain-stationary");
+
+  gossip::BurstChain chain;
+  const std::size_t kRounds = 300000;
+  std::size_t burst_rounds = 0;
+  std::size_t burst_epochs = 0, calm_epochs = 0;
+  std::size_t burst_len_total = 0, calm_len_total = 0;
+  bool prev = false;
+  std::size_t run = 0;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const bool b = chain.step(rng, spec);
+    if (b) ++burst_rounds;
+    if (r > 0 && b != prev) {
+      (prev ? burst_epochs : calm_epochs)++;
+      (prev ? burst_len_total : calm_len_total) += run;
+      run = 0;
+    }
+    prev = b;
+    ++run;
+  }
+
+  // Stationary burst fraction pi = enter / (enter + exit).
+  const double pi = spec.enter / (spec.enter + spec.exit);
+  EXPECT_NEAR(static_cast<double>(burst_rounds) / kRounds, pi, 0.02);
+
+  // Geometric epochs: mean burst length 1/exit, mean calm length 1/enter.
+  ASSERT_GT(burst_epochs, 1000u);
+  ASSERT_GT(calm_epochs, 1000u);
+  const double mean_burst =
+      static_cast<double>(burst_len_total) / burst_epochs;
+  const double mean_calm = static_cast<double>(calm_len_total) / calm_epochs;
+  EXPECT_REL_NEAR(mean_burst, 1.0 / spec.exit, 0.05);
+  EXPECT_REL_NEAR(mean_calm, 1.0 / spec.enter, 0.05);
+}
+
+TEST(FaultStatistics, NetworkReportsMarginalBurstLossRate) {
+  gossip::FaultModel faults;
+  faults.push_loss = 0.05;
+  faults.burst.push_loss = 0.6;
+  faults.burst.enter = 0.06;
+  faults.burst.exit = 0.14;
+
+  gossip::Network net(64, seeded_rng("burst-marginal"), faults);
+  const std::size_t kRounds = 200000;
+  double loss_sum = 0.0;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    net.begin_round();
+    const double eff = net.faults().push_loss;
+    // The effective model is exactly one of {calm, burst}, in lockstep
+    // with burst_active().
+    EXPECT_EQ(eff, net.burst_active() ? faults.burst.push_loss
+                                      : faults.push_loss);
+    loss_sum += eff;
+  }
+  const double pi = faults.burst.enter /
+                    (faults.burst.enter + faults.burst.exit);
+  const double marginal =
+      (1.0 - pi) * faults.push_loss + pi * faults.burst.push_loss;
+  EXPECT_REL_NEAR(loss_sum / kRounds, marginal, 0.05);
+}
+
+// Analytic mean of the capped straggle length: E[D] = sum_t P(D >= t) with
+// P(D >= 1) = 1 and P(D >= t) = min(1, (scale/(t-1))^alpha) for t in
+// [2, cap].
+double truncated_pareto_mean(const gossip::StragglerFaults& spec) {
+  double e = 1.0;
+  for (std::uint32_t t = 2; t <= spec.cap_rounds; ++t) {
+    e += std::min(1.0, std::pow(spec.scale / (t - 1), spec.alpha));
+  }
+  return e;
+}
+
+TEST(FaultStatistics, ParetoStraggleLengthHitsTruncatedMean) {
+  gossip::StragglerFaults spec;
+  spec.rate = 0.02;
+  spec.alpha = 1.5;
+  spec.scale = 2.0;
+  spec.cap_rounds = 48;
+  util::Rng rng = seeded_rng("pareto-lengths");
+
+  const std::size_t kDraws = 200000;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const std::uint32_t d = gossip::pareto_sleep_rounds(rng, spec);
+    ASSERT_GE(d, 2u);  // x >= scale = 2, so ceil(x) >= 2
+    ASSERT_LE(d, spec.cap_rounds);
+    sum += d;
+  }
+  EXPECT_REL_NEAR(sum / kDraws, truncated_pareto_mean(spec), 0.02);
+}
+
+TEST(FaultStatistics, NetworkStragglerOccupancyMatchesBalanceEquation) {
+  gossip::FaultModel faults;
+  faults.straggler.rate = 0.02;
+  faults.straggler.alpha = 1.5;
+  faults.straggler.scale = 2.0;
+  faults.straggler.cap_rounds = 48;
+
+  const std::size_t n = 512;
+  gossip::Network net(n, seeded_rng("straggler-occupancy"), faults);
+  const std::size_t kWarmup = 200, kRounds = 4000;
+  double asleep_sum = 0.0;
+  for (std::size_t r = 0; r < kWarmup + kRounds; ++r) {
+    net.begin_round();
+    if (r >= kWarmup) asleep_sum += static_cast<double>(net.asleep_count());
+  }
+  // Only awake nodes start straggles, so in steady state
+  //   rate * (1 - rho) = rho / E[D]  =>  rho = rate*E[D] / (1 + rate*E[D]).
+  const double rd = faults.straggler.rate *
+                    truncated_pareto_mean(faults.straggler);
+  const double rho = rd / (1.0 + rd);
+  EXPECT_REL_NEAR(asleep_sum / (kRounds * n), rho, 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic inputs: the incremental structure against from-scratch Welzl.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicMinDiskTest, TracksFromScratchSolveThroughUpdates) {
+  util::Rng rng = seeded_rng("dynamic-tracks-scratch");
+  std::vector<geom::Vec2> pts;
+  for (int i = 0; i < 64; ++i) {
+    pts.push_back({rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)});
+  }
+  scenarios::DynamicMinDisk dyn(pts);
+
+  for (int step = 0; step < 200; ++step) {
+    if (rng.bernoulli(0.4) && dyn.points().size() > 8) {
+      dyn.erase(rng.below(dyn.points().size()));
+    } else {
+      dyn.insert({rng.uniform(-12.0, 12.0), rng.uniform(-12.0, 12.0)});
+    }
+    const auto scratch = geom::min_disk(
+        std::vector<geom::Vec2>(dyn.points().begin(), dyn.points().end()));
+    EXPECT_REL_NEAR(dyn.result().disk.radius, scratch.disk.radius, 1e-9)
+        << "after step " << step;
+  }
+  EXPECT_EQ(dyn.stats().full_solves, 1u);
+}
+
+TEST(DynamicMinDiskTest, InsideInsertAndNonSupportEraseAreCheap) {
+  // A square plus its center: support is among the corners.
+  std::vector<geom::Vec2> pts = {
+      {-1.0, -1.0}, {1.0, -1.0}, {1.0, 1.0}, {-1.0, 1.0}, {0.0, 0.0}};
+  scenarios::DynamicMinDisk dyn(pts);
+  const double r0 = dyn.result().disk.radius;
+
+  dyn.insert({0.1, 0.2});  // strictly inside: O(1), optimum unchanged
+  EXPECT_EQ(dyn.stats().cheap_inserts, 1u);
+  EXPECT_EQ(dyn.stats().warm_solves, 0u);
+  EXPECT_DOUBLE_EQ(dyn.result().disk.radius, r0);
+
+  dyn.erase(4);  // the center: not support, O(support) check
+  EXPECT_EQ(dyn.stats().cheap_erases, 1u);
+  EXPECT_EQ(dyn.stats().warm_solves, 0u);
+  EXPECT_DOUBLE_EQ(dyn.result().disk.radius, r0);
+
+  dyn.insert({3.0, 0.0});  // violator: warm re-solve must grow the disk
+  EXPECT_EQ(dyn.stats().warm_solves, 1u);
+  EXPECT_GT(dyn.result().disk.radius, r0);
+}
+
+TEST(DynamicMinDiskTest, SupportEraseShrinksViaWarmResolve) {
+  // Two boundary points far out, a cluster near the origin: erasing a
+  // support point must shrink the disk and go through the warm path.
+  std::vector<geom::Vec2> pts = {{-5.0, 0.0}, {5.0, 0.0}, {0.2, 0.1},
+                                 {-0.3, 0.2}, {0.1, -0.2}};
+  scenarios::DynamicMinDisk dyn(pts);
+  ASSERT_NEAR(dyn.result().disk.radius, 5.0, 1e-9);
+
+  dyn.erase(0);  // (-5, 0) is support
+  EXPECT_GE(dyn.stats().warm_solves, 1u);
+  EXPECT_LT(dyn.result().disk.radius, 5.0 - 1.0);
+  const auto scratch = geom::min_disk(
+      std::vector<geom::Vec2>(dyn.points().begin(), dyn.points().end()));
+  EXPECT_REL_NEAR(dyn.result().disk.radius, scratch.disk.radius, 1e-9);
+}
+
+}  // namespace
+}  // namespace lpt
+
+// Custom main: --seed=<value> must take effect before the first
+// stress_seed() call inside a test body.  (The parameterized suite's
+// *names* are seed-independent, so gtest discovery stays stable.)
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kSeed = "--seed=";
+    if (arg.substr(0, std::min(arg.size(), kSeed.size())) == kSeed) {
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(arg.data() + kSeed.size(), &end, 0);
+      if (end != arg.data() + kSeed.size()) {
+        lpt::scenarios::set_stress_seed(static_cast<std::uint64_t>(v));
+      }
+    }
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -15,6 +15,15 @@ Checked (see docs/BENCHMARKS.md for the schemas):
     skipped as noise.
   * BENCH_shard_scaling.json — per-(series, shards) ``wall_per_rep`` under
     the same rule (series ``serial`` / ``inproc`` / ``pipe`` / ``socket``).
+  * BENCH_ablation_faults.json — ``all_correct`` must be 1 for every row of
+    both fault series (an invariant, not a trend), and per-scenario mean
+    round counts must not grow past MAX_RATIO x the committed values when
+    the fresh run used the same ``i`` and ``reps``.  Snapshots committed
+    before the scenario layer carry no ``correlated`` series and are
+    warn-skipped for that comparison.
+  * BENCH_dynamic_inputs.json — ``speedup`` (incremental re-solve over
+    from-scratch) must stay within MAX_RATIO of the committed value and
+    must exceed 1x outright.
   * BENCH_service_qps.json — ``steady_qps`` and ``small_direct_speedup``
     must stay within MAX_RATIO of the committed values; the open-loop
     delivery fraction (``achieved_qps`` / ``target_qps``, which transfers
@@ -188,6 +197,82 @@ def check_shard_scaling(baseline, fresh, max_ratio, failures, checked):
             )
 
 
+def check_ablation_faults(baseline, fresh, max_ratio, failures, checked):
+    # Correctness is an invariant: every run of every fault scenario must
+    # have found the verified optimum, no ratio slack, no baseline needed.
+    for series in ["scenarios", "correlated"]:
+        for row in fresh.get(series, []):
+            scenario = row.get("scenario")
+            point = f"ablation_faults {series}[{scenario}] all_correct"
+            checked.append(point)
+            if row.get("all_correct") != 1:
+                failures.append(
+                    f"{point}: a faulted run produced a wrong optimum"
+                )
+
+    # Round counts only transfer when the fresh run used the committed
+    # instance size and repetition count.
+    if (baseline.get("i") != fresh.get("i")
+            or baseline.get("reps") != fresh.get("reps")):
+        print("[bench-trend] WARNING: BENCH_ablation_faults.json fresh run "
+              f"used i={fresh.get('i')} reps={fresh.get('reps')} vs committed "
+              f"i={baseline.get('i')} reps={baseline.get('reps')} — skipping "
+              "the round-count comparison")
+        return
+    # Snapshots committed before the scenario layer have no "correlated"
+    # series — warn-skip that series (same chicken-and-egg rule as a new
+    # bench) while still gating the i.i.d. "scenarios" series.
+    if fresh.get("correlated") and not baseline.get("correlated"):
+        print("[bench-trend] WARNING: committed BENCH_ablation_faults.json "
+              "has no 'correlated' series (pre-scenario snapshot) — skipping "
+              "the correlated-fault comparison")
+    for series in ["scenarios", "correlated"]:
+        base_rows = {row.get("scenario"): row
+                     for row in baseline.get(series, [])}
+        for row in fresh.get(series, []):
+            base_row = base_rows.get(row.get("scenario"))
+            if base_row is None:
+                continue
+            for key in ["low_mean_rounds", "high_mean_rounds"]:
+                base_value, fresh_value = base_row.get(key), row.get(key)
+                if not isinstance(base_value, (int, float)) or base_value <= 0:
+                    continue
+                if not isinstance(fresh_value, (int, float)):
+                    continue
+                point = (f"ablation_faults {series}[{row.get('scenario')}] "
+                         f"{key}")
+                checked.append(point)
+                if fresh_value > base_value * max_ratio:
+                    failures.append(
+                        f"{point}: {fresh_value:.1f} rounds vs committed "
+                        f"{base_value:.1f} "
+                        f"(allowed <= {base_value * max_ratio:.1f})"
+                    )
+
+
+def check_dynamic_inputs(baseline, fresh, max_ratio, failures, checked):
+    fresh_speedup = fresh.get("speedup")
+    if isinstance(fresh_speedup, (int, float)):
+        # The incremental path beating from-scratch is an invariant of the
+        # dynamic-input scenario, gated against 1x regardless of baseline.
+        checked.append("dynamic_inputs speedup > 1x")
+        if fresh_speedup <= 1.0:
+            failures.append(
+                f"dynamic_inputs speedup: {fresh_speedup:.2f}x — the "
+                "incremental re-solve no longer beats from-scratch"
+            )
+    base_speedup = baseline.get("speedup")
+    if (isinstance(base_speedup, (int, float)) and base_speedup > 0
+            and isinstance(fresh_speedup, (int, float))):
+        checked.append("dynamic_inputs speedup")
+        if fresh_speedup < base_speedup / max_ratio:
+            failures.append(
+                f"dynamic_inputs speedup: {fresh_speedup:.2f}x vs committed "
+                f"{base_speedup:.2f}x "
+                f"(allowed >= {base_speedup / max_ratio:.2f}x)"
+            )
+
+
 MIN_LATENCY_US = 1e3  # p99 below 1 ms is scheduler noise on shared runners
 
 
@@ -273,6 +358,8 @@ def main():
         ("micro_substrates", check_micro, True),
         ("fig3_high_load", check_fig3, True),
         ("shard_scaling", check_shard_scaling, False),
+        ("ablation_faults", check_ablation_faults, True),
+        ("dynamic_inputs", check_dynamic_inputs, True),
         ("service_qps", check_service_qps, True),
     ]:
         baseline = load(os.path.join(args.baseline, f"BENCH_{name}.json"))
