@@ -27,6 +27,7 @@
 #include "common.hpp"
 #include "core/high_load.hpp"
 #include "core/low_load.hpp"
+#include "obs/obs.hpp"
 #include "problems/min_disk.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -70,6 +71,11 @@ int main(int argc, char** argv) {
       rounds_stat.add(static_cast<double>(last_stats.rounds_to_first));
     }
     const double per_rep = point_secs / static_cast<double>(reps);
+    // Peak RSS right after the point: VmHWM is a process-lifetime high
+    // water mark, so per-point readings are monotone across points — the
+    // trend gate compares matching (series, i) rows, where monotonicity
+    // only ever over-reports earlier, smaller points (conservative).
+    const auto mem = obs::sample_memory();
     const double floor_ratio =
         static_cast<double>(last_stats.bookkeeping_touches_total) /
         (static_cast<double>(last_stats.rounds_to_first) *
@@ -93,7 +99,9 @@ int main(int argc, char** argv) {
           static_cast<double>(last_stats.bookkeeping_touches_total)},
          {"last_round_bookkeeping_touches",
           static_cast<double>(last_stats.last_round_bookkeeping_touches)},
-         {"bookkeeping_per_round_vs_n", floor_ratio}});
+         {"bookkeeping_per_round_vs_n", floor_ratio},
+         {"peak_rss_bytes",
+          mem.ok ? static_cast<double>(mem.vm_hwm_bytes) : 0.0}});
   };
 
   if (engine == "both" || engine == "low") {
@@ -133,6 +141,11 @@ int main(int argc, char** argv) {
   json.set("dataset", workloads::dataset_name(dataset));
   json.set("parallel_nodes", static_cast<std::uint64_t>(parallel_nodes));
   json.set("shards", static_cast<std::uint64_t>(shard_cfg.shards));
+  {
+    const auto mem = obs::sample_memory();
+    json.set("peak_rss_bytes", static_cast<std::uint64_t>(
+                                   mem.ok ? mem.vm_hwm_bytes : 0));
+  }
   const auto path = json.write();
   if (!path.empty()) std::printf("\n[bench-json] wrote %s\n", path.c_str());
   return 0;

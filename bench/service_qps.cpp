@@ -14,10 +14,22 @@
 // Usage: service_qps [--speedup-k=64] [--queries=2048] [--mixed-queries=400]
 //                    [--small-n=256] [--large-n=4096] [--large-every=64]
 //                    [--cutoff=2048] [--nodes=64] [--batch=256] [--qps=8000]
-//                    [--gate-allocs=1]
+//                    [--gate-allocs=1] [--gate-overhead=1]
+//                    [--trace=trace.json] [--trace-period=64]
+//                    [--obs=obs.json]
+//
+// Latency percentiles come from an obs::Histogram (log-bucketed, <=3.2%
+// overstatement) instead of sorting raw latency vectors; the tracing
+// overhead gate holds a traced steady pump (default sampling, period 64)
+// to <= 1% wall overhead against an untraced one, min-of-mins over
+// alternating pairs.  --trace records the remaining phases as a Chrome
+// trace (service epoch spans + engine round spans; the zero-alloc gate
+// then runs with tracing ACTIVE, proving the contract survives it);
+// --obs dumps the full metrics registry JSON at exit.
 //
 // Writes BENCH_service_qps.json: scalars achieved_qps, p50_us / p95_us /
-// p99_us, steady_qps, steady_state_allocs, small_direct_speedup, and a
+// p99_us, steady_qps, steady_state_allocs, small_direct_speedup,
+// serve_ns_p50/p95/p99, trace_overhead_ratio, peak_rss_bytes, and a
 // "verify" series with one row per checked query carrying the served and
 // engine solution fields side by side.
 #include <algorithm>
@@ -33,6 +45,7 @@
 #include "bench_json.hpp"
 #include "common.hpp"
 #include "core/low_load.hpp"
+#include "obs/obs.hpp"
 #include "problems/min_disk.hpp"
 #include "service/service.hpp"
 #include "util/cli.hpp"
@@ -67,14 +80,11 @@ namespace {
 
 using namespace lpt;
 
-double percentile_us(std::vector<double>& latencies_s, double q) {
-  if (latencies_s.empty()) return 0.0;
-  std::sort(latencies_s.begin(), latencies_s.end());
-  const double pos = q * static_cast<double>(latencies_s.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = lo + 1 < latencies_s.size() ? lo + 1 : lo;
-  const double frac = pos - static_cast<double>(lo);
-  return (latencies_s[lo] * (1.0 - frac) + latencies_s[hi] * frac) * 1e6;
+// Latencies land in a log-bucketed histogram as nanoseconds; percentiles
+// are nearest-rank bucket upper edges, so they overstate the sorted-vector
+// oracle by at most 1/32 (tests/test_obs.cpp pins the bound exactly).
+double percentile_us(const lpt::obs::Histogram& h, double q) {
+  return static_cast<double>(h.percentile(q)) * 1e-3;
 }
 
 void check_served(const service::LptService& svc,
@@ -130,6 +140,11 @@ int main(int argc, char** argv) {
   const auto batch = static_cast<std::size_t>(cli.get_int("batch", 256));
   const double target_qps = cli.get_double("qps", 8000.0);
   const bool gate_allocs = cli.get_bool("gate-allocs", true);
+  const bool gate_overhead = cli.get_bool("gate-overhead", true);
+  const std::string trace_path = cli.get("trace", "");
+  const auto trace_period =
+      static_cast<std::uint32_t>(cli.get_int("trace-period", 64));
+  const std::string obs_path = cli.get("obs", "");
   const auto dataset = bench::dataset_flag(cli);
 
   bench::banner("Service QPS: query front end over the LP-type engines",
@@ -224,6 +239,100 @@ int main(int argc, char** argv) {
               speedup, speedup_k, small_n);
   json.set("small_direct_speedup", speedup);
 
+  // --- Phase 1.5: tracing overhead hard gate. ----------------------------
+  // The acceptance contract: tracing enabled at default sampling (one
+  // sampled epoch in sample_period) costs <= 1% wall on the closed-loop
+  // steady pump.  Alternating traced/untraced reps share one warmed
+  // service; the gated statistic is the MINIMUM of the per-pair
+  // traced/untraced ratios.  Adjacent reps share frequency/thermal
+  // state, so each pair is a simultaneous comparison; scheduler noise
+  // is additive and one-sided (it only ever inflates one side of a
+  // pair), so the least-interfered pair — the min — is the closest to
+  // the true ratio, while a real systematic trace cost shifts every
+  // pair up and survives the min.  The real overhead — a relaxed
+  // atomic load per trace site plus one sampled epoch's events — is
+  // far below the gate.
+  double trace_overhead_ratio = 0.0;
+  if (gate_overhead && obs::kTraceCompiled) {
+    service::LptService svc(cfg);
+    std::uint64_t next_id = 0;
+    auto pump = [&](std::size_t count) {
+      std::size_t done = 0;
+      while (done < count) {
+        const std::size_t burst = std::min(batch, count - done);
+        for (std::size_t j = 0; j < burst; ++j) {
+          auto q = svc.acquire_request();
+          q.id = next_id++;
+          q.seed = 7;
+          const auto& inst = small_pool[q.id % small_pool.size()];
+          q.points.assign(inst.begin(), inst.end());
+          svc.submit(std::move(q));
+        }
+        while (svc.pending() > 0) svc.run_epoch(responses);
+        done += burst;
+        for (auto& r : responses) svc.recycle_response(std::move(r));
+        responses.clear();
+      }
+    };
+    // Long timed regions are the other half of the noise filter: a
+    // few-ms pump flaps past 1% from scheduler jitter alone even at
+    // min-of-7, so each rep pumps at least 8k queries (~tens of ms).
+    const std::size_t per_rep = std::max<std::size_t>(queries, 8192);
+    pump(std::min<std::size_t>(per_rep, 1024));  // warm slots + arenas
+    double traced_min = 0.0;
+    double untraced_min = 0.0;
+    const int pairs = 7;
+    double ratios[pairs];
+    for (int rep = 0; rep < pairs; ++rep) {
+      obs::TraceConfig tc;  // default sampling: period 64
+      obs::enable_tracing(tc);
+      // enable_tracing just wrote the multi-MB ring, evicting the serve
+      // working set from cache; re-warm before the timer (and
+      // symmetrically on the untraced side) so the ratio measures
+      // trace-site cost, not a one-off cache refill.
+      pump(1024);
+      double traced_secs = 0.0;
+      {
+        bench::WallTimer t;
+        pump(per_rep);
+        traced_secs = t.seconds();
+        if (rep == 0 || traced_secs < traced_min) traced_min = traced_secs;
+      }
+      obs::disable_tracing();
+      {
+        pump(1024);
+        bench::WallTimer t;
+        pump(per_rep);
+        const double secs = t.seconds();
+        if (rep == 0 || secs < untraced_min) untraced_min = secs;
+        ratios[rep] = secs > 0.0 ? traced_secs / secs : 0.0;
+      }
+    }
+    trace_overhead_ratio = *std::min_element(ratios, ratios + pairs);
+    table.add_row({"trace-overhead", util::fmt(per_rep * pairs * 2),
+                   util::fmt(traced_min + untraced_min, 4),
+                   util::fmt(trace_overhead_ratio, 4),
+                   "min paired ratio"});
+    std::printf("trace overhead: traced_min=%.4fs untraced_min=%.4fs "
+                "min_pair_ratio=%.4f (gate: <= 1.01)\n\n",
+                traced_min, untraced_min, trace_overhead_ratio);
+    std::fflush(stdout);  // keep the diagnostics if the gate aborts
+    LPT_CHECK_MSG(trace_overhead_ratio <= 1.01,
+                  "tracing at default sampling cost more than 1% wall on "
+                  "the steady serve loop");
+  }
+  json.set("trace_overhead_ratio", trace_overhead_ratio);
+
+  // From here on, tracing (when requested) stays enabled across the
+  // remaining phases — including the zero-allocation gate, which must
+  // hold with tracing ACTIVE: the ring is preallocated and recording is
+  // write-only into it.
+  if (!trace_path.empty()) {
+    obs::TraceConfig tc;
+    tc.sample_period = trace_period;
+    obs::enable_tracing(tc);
+  }
+
   // --- Phase 2: steady-state serving, allocation-gated. ------------------
   // All-small closed-loop workload: warm one full recycle cycle (request
   // slots, response slots, arenas, queue capacity), then count operator-new
@@ -280,7 +389,7 @@ int main(int argc, char** argv) {
   // seed); the server drains whatever has arrived each epoch.  Open loop:
   // arrivals do not wait for the server, so queueing delay shows up in the
   // percentiles (large queries block the epochs behind them).
-  std::vector<double> latencies;
+  obs::Histogram latency_hist;  // open-loop latency, nanoseconds
   double mixed_secs = 0.0;
   std::size_t mixed_large = 0;
   {
@@ -299,7 +408,6 @@ int main(int argc, char** argv) {
       at += -std::log(1.0 - arrival_rng.uniform()) / target_qps;
       arrival_s[k] = at;
     }
-    latencies.resize(mixed_queries);
     const auto t0 = std::chrono::steady_clock::now();
     auto now_s = [&] {
       return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -328,7 +436,8 @@ int main(int argc, char** argv) {
         served += svc.run_epoch(responses);
         const double done = now_s();
         for (auto& r : responses) {
-          latencies[r.id] = done - arrival_s[r.id];
+          latency_hist.record(
+              static_cast<std::uint64_t>((done - arrival_s[r.id]) * 1e9));
           svc.recycle_response(std::move(r));
         }
         responses.clear();
@@ -338,9 +447,9 @@ int main(int argc, char** argv) {
   }
   const double achieved_qps =
       mixed_secs > 0.0 ? static_cast<double>(mixed_queries) / mixed_secs : 0.0;
-  const double p50 = percentile_us(latencies, 0.50);
-  const double p95 = percentile_us(latencies, 0.95);
-  const double p99 = percentile_us(latencies, 0.99);
+  const double p50 = percentile_us(latency_hist, 0.50);
+  const double p95 = percentile_us(latency_hist, 0.95);
+  const double p99 = percentile_us(latency_hist, 0.99);
   table.add_row({"mixed/open-loop", util::fmt(mixed_queries),
                  util::fmt(mixed_secs, 4), util::fmt(achieved_qps, 0),
                  std::string(util::fmt(mixed_large)) + " large"});
@@ -375,6 +484,45 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   table.print();
+
+  // Per-query serve latency from the registry histogram the service
+  // feeds (pure solve time, no queueing — the open-loop percentiles
+  // above include queueing delay).
+  {
+    const auto& serve_ns = obs::histogram("service.serve_ns");
+    json.set("serve_ns_p50", serve_ns.percentile(0.50));
+    json.set("serve_ns_p95", serve_ns.percentile(0.95));
+    json.set("serve_ns_p99", serve_ns.percentile(0.99));
+    json.set("serve_queries", serve_ns.count());
+  }
+  {
+    const auto mem = obs::sample_memory();
+    json.set("peak_rss_bytes", static_cast<std::uint64_t>(
+                                   mem.ok ? mem.vm_hwm_bytes : 0));
+  }
+  if (!trace_path.empty()) {
+    obs::disable_tracing();
+    if (obs::write_chrome_trace(trace_path)) {
+      std::printf("[trace] wrote %zu events to %s\n",
+                  obs::trace_event_count(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[trace] FAILED to write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!obs_path.empty()) {
+    const std::string dump = obs::dump_json();
+    if (std::FILE* f = std::fopen(obs_path.c_str(), "w")) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+      std::printf("[obs] wrote metrics registry dump to %s\n",
+                  obs_path.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] FAILED to write %s\n", obs_path.c_str());
+      return 1;
+    }
+  }
 
   json.set("wall_seconds", wall.seconds());
   json.set("queries", static_cast<std::uint64_t>(queries));

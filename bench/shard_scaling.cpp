@@ -35,6 +35,7 @@
 #include "bench_json.hpp"
 #include "common.hpp"
 #include "core/low_load.hpp"
+#include "obs/obs.hpp"
 #include "shard/fault.hpp"
 #include "problems/min_disk.hpp"
 #include "util/cli.hpp"
@@ -94,6 +95,18 @@ int main(int argc, char** argv) {
   const std::string transports_csv =
       cli.get("transports", "inproc,pipe,socket");
   const long kill_shard = cli.get_int("kill-shard", 1);  // -1: no fault rows
+  const std::string trace_path = cli.get("trace", "");
+  const auto trace_period =
+      static_cast<std::uint32_t>(cli.get_int("trace-period", 1));
+  // Chrome-trace the sweep: rounds + shard frame traffic, plus recovery
+  // events from the fault column (which bypass the sampling gate).
+  // Tracing writes only into a preallocated ring — the bit-identity
+  // gates below run unchanged with it on.
+  if (!trace_path.empty()) {
+    obs::TraceConfig tc;
+    tc.sample_period = trace_period;
+    obs::enable_tracing(tc);
+  }
   const long kill_after = cli.get_int("kill-after-frames", 1);  // 2nd task
                                                                 // frame: mid-
                                                                 // run for any
@@ -268,6 +281,16 @@ int main(int argc, char** argv) {
   json.set("reps", static_cast<std::uint64_t>(reps));
   json.set("i", static_cast<std::uint64_t>(i));
   json.set("dataset", workloads::dataset_name(dataset));
+  if (!trace_path.empty()) {
+    obs::disable_tracing();
+    if (obs::write_chrome_trace(trace_path)) {
+      std::printf("\n[trace] wrote %zu events to %s\n",
+                  obs::trace_event_count(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "[trace] FAILED to write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
   const auto path = json.write();
   if (!path.empty()) std::printf("\n[bench-json] wrote %s\n", path.c_str());
   return 0;

@@ -53,6 +53,7 @@
 #include "core/termination.hpp"
 #include "gossip/mailbox.hpp"
 #include "gossip/network.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
@@ -171,6 +172,8 @@ HighLoadResult<P> run_high_load(const P& p,
   const std::size_t max_rounds =
       cfg.max_rounds ? cfg.max_rounds
                      : 60 * d * (util::ceil_log2(n) + 2) + 8 * maturity + 60;
+  // Round-bound hint: keeps the meter's per-round push_back realloc-free.
+  net.meter().reserve_rounds(max_rounds + 1);
 
   gossip::Mailbox<Msg> basis_mail(net);
   gossip::Mailbox<Element> elem_mail(net);
@@ -204,6 +207,8 @@ HighLoadResult<P> run_high_load(const P& p,
   bool found = false;
   for (std::size_t t = 1; t <= max_rounds; ++t) {
     net.begin_round();
+    obs::trace_tick();  // rounds are the engine's sampling unit
+    obs::TraceSpan round_span("high_load.round", t);
     std::size_t bookkeeping = 0;
 
     // --- Churn events due this round.  A leaver hands its whole store off
@@ -366,6 +371,10 @@ HighLoadResult<P> run_high_load(const P& p,
   res.stats.total_pull_ops = net.meter().total_pull_ops();
   res.stats.total_bytes = net.meter().total_bytes();
   res.stats.final_total_elements = store.total_elements();
+  obs::counter("engine.high_load.runs").add(1);
+  obs::counter("engine.high_load.rounds").add(res.stats.rounds_to_first);
+  obs::gauge("engine.high_load.store_arena_bytes")
+      .set(static_cast<std::int64_t>(store.arena_bytes()));
   return res;
 }
 

@@ -33,6 +33,7 @@
 #include "core/sampling.hpp"
 #include "gossip/mailbox.hpp"
 #include "gossip/network.hpp"
+#include "obs/obs.hpp"
 #include "problems/hitting_set_problem.hpp"
 #include "shard/runtime.hpp"
 #include "util/assert.hpp"
@@ -313,10 +314,16 @@ inline HittingSetRunResult run_hitting_set(
     const std::size_t stage_rounds =
         cfg.max_rounds ? cfg.max_rounds
                        : 40 * d * (util::ceil_log2(n) + 2) + 40;
+    // Round-bound hint for this doubling stage: keeps the meter's
+    // per-round push_back realloc-free (reserve is monotone, so later
+    // stages only ever grow it).
+    net.meter().reserve_rounds(global_round + stage_rounds + 1);
 
     for (std::size_t t = 1; t <= stage_rounds && !done; ++t) {
       ++global_round;
       net.begin_round();
+      obs::trace_tick();  // rounds are the engine's sampling unit
+      obs::TraceSpan round_span("hitting_set.round", global_round);
       std::size_t bookkeeping = 0;
 
       // Sampling (Section 2.1), as fused bulk pulls.
@@ -469,6 +476,8 @@ inline HittingSetRunResult run_hitting_set(
   res.stats.total_pull_ops = net.meter().total_pull_ops();
   res.stats.total_bytes = net.meter().total_bytes();
   res.stats.final_total_elements = store.total_elements();
+  obs::counter("engine.hitting_set.runs").add(1);
+  obs::counter("engine.hitting_set.rounds").add(res.stats.rounds_to_first);
   return res;
 }
 

@@ -35,6 +35,7 @@
 #include "core/lp_type.hpp"
 #include "gossip/hypercube.hpp"
 #include "gossip/network.hpp"  // FaultModel
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -72,6 +73,17 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
     std::size_t n_nodes, const HypercubeClarksonConfig& cfg = {}) {
   using Element = typename P::Element;
   HypercubeClarksonResult<P> res;
+  // This engine has no WorkMeter (the hypercube collectives count their
+  // own rounds), so the registry fold happens here, covering every
+  // return path.
+  struct ObsGuard {
+    const HypercubeClarksonResult<P>* res;
+    ~ObsGuard() {
+      obs::counter("engine.hypercube.runs").add(1);
+      obs::counter("engine.hypercube.rounds").add(res->rounds);
+      obs::counter("engine.hypercube.iterations").add(res->iterations);
+    }
+  } obs_guard{&res};
   LPT_CHECK_MSG(util::is_pow2(n_nodes), "hypercube baseline needs n = 2^k");
   const std::size_t d = p.dimension();
   const std::size_t r = 6 * d * d;
@@ -164,6 +176,8 @@ HypercubeClarksonResult<P> run_hypercube_clarkson(
   std::vector<std::uint8_t> token(n_nodes, 0);
   for (std::size_t it = 0; it < max_iterations; ++it) {
     ++res.iterations;
+    obs::trace_tick();  // Clarkson iterations are the sampling unit here
+    obs::TraceSpan iter_span("hypercube.iteration", it);
 
     // Serial fault stage: which nodes sleep through this iteration's
     // sample resolution (geometric gaps: O(sleepers) draws), straggler

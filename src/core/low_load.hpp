@@ -63,6 +63,7 @@
 #include "core/termination.hpp"
 #include "gossip/mailbox.hpp"
 #include "gossip/network.hpp"
+#include "obs/obs.hpp"
 #include "shard/runtime.hpp"
 #include "util/assert.hpp"
 #include "util/math.hpp"
@@ -347,6 +348,10 @@ DistributedLpResult<P> run_low_load(const P& p,
   const std::size_t max_rounds =
       cfg.max_rounds ? cfg.max_rounds
                      : 60 * d * (util::ceil_log2(n) + 2) + 8 * maturity + 60;
+  // The meter closes one history entry per round: reserving the round
+  // bound up front keeps begin_round's push_back realloc-free for the
+  // whole run (+1 covers the finish() flush of the last round).
+  net.meter().reserve_rounds(max_rounds + 1);
 
   // Shard runtime (shard/runtime.hpp): when configured and the problem has
   // wire codecs, stage A runs on shard workers over contiguous node ranges
@@ -448,6 +453,8 @@ DistributedLpResult<P> run_low_load(const P& p,
   bool found = false;
   for (std::size_t t = 1; t <= max_rounds; ++t) {
     net.begin_round();
+    obs::trace_tick();  // rounds are the engine's sampling unit
+    obs::TraceSpan round_span("low_load.round", t);
     std::size_t bookkeeping = 0;
 
     // --- Churn events due this round: a leaver hands its store off to
@@ -516,6 +523,7 @@ DistributedLpResult<P> run_low_load(const P& p,
     // parallel runs bit-identical to serial ones.
     const bool found_snapshot = found;
     auto stage_a = [&](std::size_t k, std::size_t begin, std::size_t end) {
+      obs::TraceSpan chunk_span("low_load.stage_a.chunk", k);
       ChunkAcc& ch = chunks[k];
       ch.replay.clear();
       ch.attempts = 0;
@@ -730,6 +738,10 @@ DistributedLpResult<P> run_low_load(const P& p,
   res.stats.total_pull_ops = net.meter().total_pull_ops();
   res.stats.total_bytes = net.meter().total_bytes();
   res.stats.final_total_elements = store.total_elements();
+  obs::counter("engine.low_load.runs").add(1);
+  obs::counter("engine.low_load.rounds").add(res.stats.rounds_to_first);
+  obs::gauge("engine.low_load.store_arena_bytes")
+      .set(static_cast<std::int64_t>(store.arena_bytes()));
   return res;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+
 namespace lpt::gossip {
 
 void WorkMeter::begin_round() {
@@ -20,6 +22,26 @@ void WorkMeter::finish() {
     std::fill(node_work_.begin(), node_work_.end(), 0u);
     dirty_ = false;
   }
+  // Fold the finished run into the registry.  Incremental (vs the last
+  // fold), so a re-finished or reused meter never double-counts; the
+  // update site is deterministic — totals are pure functions of the run —
+  // so the registry counters stay bit-identical across thread/shard
+  // counts.
+  const RunTotals now{history_.size(), total_push_ops(), total_pull_ops(),
+                      total_bytes()};
+  if (now.rounds > folded_.rounds) {
+    obs::counter("gossip.rounds").add(now.rounds - folded_.rounds);
+  }
+  if (now.push_ops > folded_.push_ops) {
+    obs::counter("gossip.push_ops").add(now.push_ops - folded_.push_ops);
+  }
+  if (now.pull_ops > folded_.pull_ops) {
+    obs::counter("gossip.pull_ops").add(now.pull_ops - folded_.pull_ops);
+  }
+  if (now.bytes > folded_.bytes) {
+    obs::counter("gossip.bytes").add(now.bytes - folded_.bytes);
+  }
+  folded_ = now;
 }
 
 std::uint32_t WorkMeter::max_work_per_round() const noexcept {

@@ -28,8 +28,18 @@ class WorkMeter {
   /// Close the current round (if any work happened) and start a new one.
   void begin_round();
 
-  /// Flush the in-progress round into the history.
+  /// Flush the in-progress round into the history, and fold the run's
+  /// totals into the obs registry (gossip.rounds / push_ops / pull_ops /
+  /// bytes) — called once at the end of every engine run.
   void finish();
+
+  /// Reserve history capacity for an engine's round bound, so the
+  /// per-round push_back in begin_round never reallocates mid-run.  The
+  /// engines call this with their max_rounds before round 1.
+  void reserve_rounds(std::size_t n) { history_.reserve(n); }
+
+  /// Capacity diagnostic for the no-realloc steady-state test.
+  std::size_t history_capacity() const noexcept { return history_.capacity(); }
 
   void add_push(NodeId v, std::size_t bytes) noexcept {
     ++cur_.push_ops;
@@ -78,6 +88,16 @@ class WorkMeter {
   RoundStats cur_{};
   std::vector<RoundStats> history_;
   bool dirty_ = false;
+
+  // What finish() already folded into the obs registry (guards against
+  // double-counting on re-finish or meter reuse).
+  struct RunTotals {
+    std::size_t rounds = 0;
+    std::uint64_t push_ops = 0;
+    std::uint64_t pull_ops = 0;
+    std::uint64_t bytes = 0;
+  };
+  RunTotals folded_{};
 };
 
 }  // namespace lpt::gossip

@@ -1,0 +1,113 @@
+// Log-bucketed latency histogram: the fixed-footprint replacement for
+// "keep every sample and sort" percentile estimation.
+//
+// Layout (HdrHistogram-style, kSubBits = 5):
+//   * values in [0, 2^(kSubBits+1)) land in their own bucket — exact;
+//   * larger values share one bucket per 1/32 of an octave, so any
+//     reported quantile overstates the true order statistic by at most
+//     a factor of (1 + 2^-kSubBits) = 1.03125.
+//
+// index(v) for v >= 2*kSub:  shift = bit_width(v)-1-kSubBits,
+// idx = (shift << kSubBits) + (v >> shift); the two ranges are
+// continuous at v = 2*kSub (see the unit tests' exhaustive boundary
+// sweep).  64-bit values fit in kBuckets = 1920 slots, so a histogram
+// is one flat 15 KiB array of relaxed atomics: record() is a handful
+// of lock-free adds, never an allocation — safe inside the service's
+// zero-steady-state-allocation serve path.
+//
+// Percentiles use the nearest-rank definition (rank = ceil(q * count))
+// and return the *upper edge* of the bucket holding that rank, so
+// oracle <= percentile(q) <= oracle * (1 + 2^-kSubBits) + 1 against a
+// sorted-vector oracle (the +1 covers the inclusive upper edge of
+// exact buckets' neighbours at octave boundaries).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace lpt::obs {
+
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 5;           // 32 sub-buckets/octave
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;
+  static constexpr std::size_t kBuckets =
+      ((63 - kSubBits) << kSubBits) + 2 * kSub;     // max index + 1
+
+  /// Bucket index of a value.  O(1): one bit_width + shifts.
+  static constexpr std::size_t index(std::uint64_t v) noexcept {
+    if (v < 2 * kSub) return static_cast<std::size_t>(v);
+    const unsigned shift =
+        static_cast<unsigned>(std::bit_width(v)) - 1 - kSubBits;
+    return (static_cast<std::size_t>(shift) << kSubBits) +
+           static_cast<std::size_t>(v >> shift);
+  }
+
+  /// Largest value mapping to bucket `idx` (what percentile() reports).
+  static constexpr std::uint64_t bucket_upper(std::size_t idx) noexcept {
+    if (idx < 2 * kSub) return static_cast<std::uint64_t>(idx);
+    const unsigned shift = static_cast<unsigned>(idx >> kSubBits) - 1;
+    const std::uint64_t base = static_cast<std::uint64_t>(
+        (idx & (kSub - 1)) | kSub);  // mantissa incl. leading bit
+    return ((base + 1) << shift) - 1;
+  }
+
+  /// Record one sample.  Lock-free, allocation-free, relaxed ordering.
+  void record(std::uint64_t v) noexcept {
+    counts_[index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t idx) const noexcept {
+    return counts_[idx].load(std::memory_order_relaxed);
+  }
+
+  /// Nearest-rank percentile, q in [0, 1]: the upper edge of the bucket
+  /// containing the ceil(q * count)-th smallest sample (0 when empty).
+  std::uint64_t percentile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i].load(std::memory_order_relaxed);
+      if (seen >= rank) return bucket_upper(i);
+    }
+    return max();  // concurrent recording moved the total; best effort
+  }
+
+  void reset() noexcept {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace lpt::obs

@@ -1,0 +1,44 @@
+#include "obs/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/registry.hpp"
+
+namespace lpt::obs {
+
+MemorySample read_proc_status() {
+  MemorySample out;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return out;
+  char line[256];
+  bool have_rss = false;
+  bool have_hwm = false;
+  while (std::fgets(line, sizeof(line), f)) {
+    unsigned long long kb = 0;
+    if (std::strncmp(line, "VmRSS:", 6) == 0 &&
+        std::sscanf(line + 6, "%llu", &kb) == 1) {
+      out.vm_rss_bytes = static_cast<std::uint64_t>(kb) * 1024;
+      have_rss = true;
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+               std::sscanf(line + 6, "%llu", &kb) == 1) {
+      out.vm_hwm_bytes = static_cast<std::uint64_t>(kb) * 1024;
+      have_hwm = true;
+    }
+    if (have_rss && have_hwm) break;
+  }
+  std::fclose(f);
+  out.ok = have_rss && have_hwm;
+  return out;
+}
+
+MemorySample sample_memory() {
+  const MemorySample s = read_proc_status();
+  if (s.ok) {
+    gauge("mem.vm_rss_bytes").set(static_cast<std::int64_t>(s.vm_rss_bytes));
+    gauge("mem.vm_hwm_bytes").set(static_cast<std::int64_t>(s.vm_hwm_bytes));
+  }
+  return s;
+}
+
+}  // namespace lpt::obs

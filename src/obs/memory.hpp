@@ -1,0 +1,28 @@
+// Process memory telemetry: /proc/self/status VmRSS (current resident
+// set) and VmHWM (peak RSS high-water mark), published as registry
+// gauges so one obs::dump_json() carries memory next to work counters.
+//
+// Linux-only by nature; on other platforms (or a masked /proc)
+// read_proc_status() returns ok = false and the gauges stay untouched —
+// callers emit 0 and downstream gates warn-skip (the same chicken-and-
+// egg convention the bench-trend checker uses for new columns).
+#pragma once
+
+#include <cstdint>
+
+namespace lpt::obs {
+
+struct MemorySample {
+  std::uint64_t vm_rss_bytes = 0;  // current resident set size
+  std::uint64_t vm_hwm_bytes = 0;  // peak RSS over the process lifetime
+  bool ok = false;
+};
+
+/// Parse VmRSS / VmHWM out of /proc/self/status (values are in kB).
+MemorySample read_proc_status();
+
+/// read_proc_status() + publish to gauges "mem.vm_rss_bytes" and
+/// "mem.vm_hwm_bytes" when the read succeeds.  Returns the sample.
+MemorySample sample_memory();
+
+}  // namespace lpt::obs

@@ -1,0 +1,9 @@
+// Umbrella header for the observability subsystem (lpt_obs): metrics
+// registry + latency histograms + span/event tracing + memory telemetry.
+// Sits below lpt_gossip — every layer above gets it transitively.
+#pragma once
+
+#include "obs/histogram.hpp"  // IWYU pragma: export
+#include "obs/memory.hpp"     // IWYU pragma: export
+#include "obs/registry.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"      // IWYU pragma: export

@@ -1,0 +1,217 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace lpt::obs {
+
+namespace {
+
+// One deque per metric kind: push_back never moves existing elements, so
+// references handed out by counter()/gauge()/histogram() stay valid while
+// later registrations come in.  The map holds indices, not pointers, so a
+// name lookup is one find under the mutex.
+template <typename T>
+struct Table {
+  std::deque<T> slots;
+  std::map<std::string, std::size_t, std::less<>> index;
+
+  T& get(std::string_view name, std::mutex& mu) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (auto it = index.find(name); it != index.end()) {
+      return slots[it->second];
+    }
+    slots.emplace_back();
+    index.emplace(std::string(name), slots.size() - 1);
+    return slots.back();
+  }
+};
+
+struct RegistryState {
+  std::mutex mu;
+  Table<Counter> counters;
+  Table<Gauge> gauges;
+  Table<Histogram> histograms;
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState();  // leaked: outlives statics
+  return *s;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  auto& s = state();
+  return s.counters.get(name, s.mu);
+}
+
+Gauge& gauge(std::string_view name) {
+  auto& s = state();
+  return s.gauges.get(name, s.mu);
+}
+
+Histogram& histogram(std::string_view name) {
+  auto& s = state();
+  return s.histograms.get(name, s.mu);
+}
+
+std::uint64_t Snapshot::HistogramCopy::percentile(double q) const noexcept {
+  if (count == 0) return 0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::bucket_upper(i);
+  }
+  return max;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
+  for (const auto& [k, v] : counters) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t Snapshot::gauge_value(std::string_view name) const noexcept {
+  for (const auto& [k, v] : gauges) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+const Snapshot::HistogramCopy* Snapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Snapshot Snapshot::delta(const Snapshot& since) const {
+  Snapshot d = *this;
+  for (auto& [name, v] : d.counters) {
+    v -= since.counter_value(name);  // monotone: new >= old
+  }
+  for (auto& h : d.histograms) {
+    const HistogramCopy* old = since.find_histogram(h.name);
+    if (!old) continue;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      h.buckets[i] -= old->buckets[i];
+    }
+    h.count -= old->count;
+    h.sum -= old->sum;
+    // max is not subtractable; keep the absolute max as best effort.
+  }
+  return d;
+}
+
+Snapshot snapshot() {
+  auto& s = state();
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& [name, idx] : s.counters.index) {
+    out.counters.emplace_back(name, s.counters.slots[idx].get());
+  }
+  for (const auto& [name, idx] : s.gauges.index) {
+    out.gauges.emplace_back(name, s.gauges.slots[idx].get());
+  }
+  for (const auto& [name, idx] : s.histograms.index) {
+    const Histogram& h = s.histograms.slots[idx];
+    Snapshot::HistogramCopy c;
+    c.name = name;
+    c.buckets.resize(Histogram::kBuckets);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      c.buckets[i] = h.bucket_count(i);
+    }
+    c.count = h.count();
+    c.sum = h.sum();
+    c.max = h.max();
+    out.histograms.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::string dump_json() {
+  const Snapshot snap = snapshot();  // map iteration => names sorted
+  std::string out;
+  out.reserve(1024);
+  char buf[64];
+  out += "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i ? ",\n    \"" : "\n    \"";
+    append_json_escaped(out, snap.counters[i].first);
+    std::snprintf(buf, sizeof(buf), "\": %" PRIu64, snap.counters[i].second);
+    out += buf;
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i ? ",\n    \"" : "\n    \"";
+    append_json_escaped(out, snap.gauges[i].first);
+    std::snprintf(buf, sizeof(buf), "\": %" PRId64, snap.gauges[i].second);
+    out += buf;
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out += i ? ",\n    \"" : "\n    \"";
+    append_json_escaped(out, h.name);
+    const double mean =
+        h.count ? static_cast<double>(h.sum) / static_cast<double>(h.count)
+                : 0.0;
+    std::snprintf(buf, sizeof(buf), "\": {\"count\": %" PRIu64, h.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"sum\": %" PRIu64, h.sum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"mean\": %.17g", mean);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p50\": %" PRIu64, h.percentile(0.50));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p95\": %" PRIu64, h.percentile(0.95));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p99\": %" PRIu64, h.percentile(0.99));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"max\": %" PRIu64 "}", h.max);
+    out += buf;
+  }
+  out += snap.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void reset_all() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& c : s.counters.slots) c.reset();
+  for (auto& g : s.gauges.slots) g.reset();
+  for (auto& h : s.histograms.slots) h.reset();
+}
+
+}  // namespace lpt::obs

@@ -1,0 +1,114 @@
+// Process-global metrics registry: named counters, gauges, and latency
+// histograms shared by the gossip substrate, the four engines, the shard
+// runtime, and the service, all readable through one snapshot / one
+// obs::dump_json().
+//
+// Contract:
+//   * Registration (obs::counter("gossip.push_ops") etc.) takes a mutex
+//     once, returns a reference with a stable address (std::deque
+//     storage), and is idempotent — call sites cache the reference and
+//     the hot path is a single relaxed atomic op: O(1), lock-free,
+//     allocation-free, so bumping metrics inside the service's
+//     zero-steady-state-allocation serve path is safe.
+//   * Metrics never feed back into the algorithms: no RNG draws, no
+//     control flow — instrumented runs are bit-identical to
+//     uninstrumented ones (tested).
+//   * Counters are monotone sums, so deterministic update sites produce
+//     deterministic totals regardless of thread interleaving; gauges are
+//     last-write-wins levels (arena bytes, RSS) and carry no determinism
+//     claim.
+//
+// Snapshot / delta: snapshot() copies every metric (histograms
+// bucket-by-bucket) under the registration mutex; Snapshot::delta(prev)
+// subtracts counters and histogram buckets pairwise, keeping gauges
+// absolute — "what happened between these two points".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace lpt::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t get() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Look up (registering on first use) a metric by name.  The returned
+/// reference stays valid for the life of the process; cache it at the
+/// call site — lookup takes a mutex, use does not.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// A point-in-time copy of every registered metric.
+struct Snapshot {
+  struct HistogramCopy {
+    std::string name;
+    std::vector<std::uint64_t> buckets;  // size Histogram::kBuckets
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    /// Nearest-rank percentile over the copied buckets (same definition
+    /// and error bound as Histogram::percentile).
+    std::uint64_t percentile(double q) const noexcept;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramCopy> histograms;
+
+  /// Counter value by name (0 if absent) — test/tool convenience.
+  std::uint64_t counter_value(std::string_view name) const noexcept;
+  std::int64_t gauge_value(std::string_view name) const noexcept;
+  const HistogramCopy* find_histogram(std::string_view name) const noexcept;
+
+  /// This snapshot minus `since`: counters and histogram buckets
+  /// subtracted pairwise (missing-in-`since` metrics pass through
+  /// whole); gauges are levels and stay absolute.
+  Snapshot delta(const Snapshot& since) const;
+};
+
+Snapshot snapshot();
+
+/// Serialize every registered metric (plus histogram summaries:
+/// count/sum/mean/p50/p95/p99/max) as one JSON object.  Names sorted,
+/// so the output is deterministic given deterministic metric values.
+std::string dump_json();
+
+/// Zero every registered metric (counters, gauges, histogram buckets).
+/// The registry itself — names and addresses — is process-global and
+/// never shrinks; reset gives per-run readings in benches and tests.
+void reset_all();
+
+}  // namespace lpt::obs

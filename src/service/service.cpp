@@ -42,6 +42,7 @@ QueryRequest LptService::acquire_request() {
 
 void LptService::submit(QueryRequest&& q) {
   ++stats_.submitted;
+  obs_submitted_.add(1);
   queue_.push_back(std::move(q));
 }
 
@@ -75,7 +76,12 @@ void LptService::admit_batch() {
 
 std::size_t LptService::run_epoch(std::vector<QueryResponse>& out) {
   if (queue_.empty()) return 0;
-  admit_batch();
+  obs::trace_tick();  // epochs are the service's sampling unit
+  obs::TraceSpan epoch_span("service.epoch", stats_.epochs);
+  {
+    obs::TraceSpan admit_span("service.epoch_admit", queue_.size());
+    admit_batch();
+  }
   const std::size_t served = batch_.size();
   const std::size_t base = out.size();
   for (std::size_t i = 0; i < served; ++i) {
@@ -95,50 +101,72 @@ std::size_t LptService::run_epoch(std::vector<QueryResponse>& out) {
   // std::function whose captures exceed the small-buffer size, and that
   // heap allocation per epoch would break the serve-path contract.
   const std::size_t workers = arenas_.size();
-  if (workers == 1) {
-    for (std::size_t i = 0; i < served; ++i) {
-      serve_one(batch_[i], out[base + i], arenas_[0]);
+  {
+    obs::TraceSpan serve_span("service.epoch_serve", served);
+    if (workers == 1) {
+      for (std::size_t i = 0; i < served; ++i) {
+        serve_one(batch_[i], out[base + i], arenas_[0]);
+      }
+    } else {
+      const std::size_t chunk = (served + workers - 1) / workers;
+      if (!pool_) pool_ = std::make_unique<util::ThreadPool>(workers);
+      util::parallel_chunks(
+          pool_.get(), served, chunk,
+          [&](std::size_t k, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              serve_one(batch_[i], out[base + i], arenas_[k]);
+            }
+          });
     }
-  } else {
-    const std::size_t chunk = (served + workers - 1) / workers;
-    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(workers);
-    util::parallel_chunks(
-        pool_.get(), served, chunk,
-        [&](std::size_t k, std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            serve_one(batch_[i], out[base + i], arenas_[k]);
-          }
-        });
   }
 
-  // Stats accounting runs serially after the parallel region.
+  // Stats accounting runs serially after the parallel region.  The obs
+  // bumps mirror the ServiceStats fields one-for-one (the struct stays
+  // the view; the registry is the cross-layer aggregate), and the
+  // histogram feeds the per-query latency percentiles.
   for (std::size_t i = 0; i < served; ++i) {
     const QueryResponse& r = out[base + i];
     switch (r.engine) {
       case EngineUsed::kDirect:
         ++stats_.direct_solves;
+        obs_direct_.add(1);
         break;
       case EngineUsed::kDistributed:
         ++stats_.distributed_solves;
         stats_.distributed_rounds += r.rounds;
+        obs_distributed_.add(1);
         break;
       case EngineUsed::kNone:
         break;
     }
-    if (r.status == QueryStatus::kUnsupported) ++stats_.unsupported;
+    if (r.status == QueryStatus::kUnsupported) {
+      ++stats_.unsupported;
+      obs_unsupported_.add(1);
+    }
     if (r.status == QueryStatus::kTransientFailure) {
       ++stats_.transient_failures;
+      obs_transient_.add(1);
     }
+    stats_.serve_ns_total += r.solve_nanos;
+    if (r.solve_nanos > stats_.serve_ns_max) {
+      stats_.serve_ns_max = r.solve_nanos;
+    }
+    obs_serve_ns_.record(r.solve_nanos);
   }
 
   for (QueryRequest& q : batch_) free_pool_.push_back(std::move(q));
   batch_.clear();
+  std::size_t arena_bytes = 0;
   for (util::SlabPool<geom::Vec2>& a : arenas_) {
+    arena_bytes += a.arena_bytes();
     a.reset();
     ++stats_.arena_resets;
   }
+  obs_arena_bytes_.set(static_cast<std::int64_t>(arena_bytes));
   ++stats_.epochs;
+  obs_epochs_.add(1);
   stats_.served += served;
+  obs_served_.add(served);
   return served;
 }
 

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "core/low_load.hpp"
+#include "obs/obs.hpp"
 #include "problems/min_disk.hpp"
 #include "service/query.hpp"
 #include "util/slab.hpp"
@@ -81,6 +82,10 @@ struct ServiceStats {
   std::uint64_t distributed_rounds = 0;  // summed over distributed solves
   std::uint64_t arena_resets = 0;        // SlabPool::reset calls (epochs x
                                          // worker arenas)
+  std::uint64_t serve_ns_total = 0;      // summed per-query solve_nanos
+  std::uint64_t serve_ns_max = 0;        // slowest single query so far
+                                         // (percentiles: the obs registry
+                                         // histogram "service.serve_ns")
 };
 
 class LptService {
@@ -132,6 +137,19 @@ class LptService {
   std::vector<QueryResponse> response_pool_;  // recycled response slots
   std::vector<util::SlabPool<geom::Vec2>> arenas_;  // one per worker lane
   std::unique_ptr<util::ThreadPool> pool_;  // lazily built when workers > 1
+
+  // Registry metrics, resolved once at construction so the per-epoch hot
+  // path is pure relaxed-atomic bumps (no name lookups, no allocation —
+  // the serve-path contract).
+  obs::Counter& obs_submitted_ = obs::counter("service.queries_submitted");
+  obs::Counter& obs_served_ = obs::counter("service.queries_served");
+  obs::Counter& obs_epochs_ = obs::counter("service.epochs");
+  obs::Counter& obs_direct_ = obs::counter("service.direct_solves");
+  obs::Counter& obs_distributed_ = obs::counter("service.distributed_solves");
+  obs::Counter& obs_transient_ = obs::counter("service.transient_failures");
+  obs::Counter& obs_unsupported_ = obs::counter("service.unsupported");
+  obs::Histogram& obs_serve_ns_ = obs::histogram("service.serve_ns");
+  obs::Gauge& obs_arena_bytes_ = obs::gauge("service.arena_bytes");
 };
 
 }  // namespace lpt::service

@@ -71,6 +71,7 @@
 #include <utility>
 
 #include "gossip/codec.hpp"
+#include "obs/obs.hpp"
 #include "shard/fault.hpp"
 #include "shard/plan.hpp"
 #include "shard/transport.hpp"
@@ -387,6 +388,7 @@ class ShardHarness {
             continue;  // respawned: retry the frame; reassigned: lane
                        // is no longer live and the while exits
           }
+          obs::trace_instant("shard.frame_send", f);
           ++L.head;
           L.inflight = f;
         }
@@ -396,6 +398,7 @@ class ShardHarness {
         Lane& L = lanes_[s];
         if (!assignment_.live(s) || L.inflight == kNoFrame) continue;
         const std::size_t f = L.inflight;
+        obs::TraceSpan recv_span("shard.frame_recv", f);
         RecvResult r =
             transport_->endpoint(s).recv_frame(recovery_.recv_timeout_ms);
         if (r.ok()) {
@@ -490,6 +493,7 @@ class ShardHarness {
       t = assignment_.next_live(t);
       lanes_[t].q.push_back(L.q[i]);
       ++rstats_.frames_reassigned;
+      obs::counter("shard.frames_reassigned").add(1);
     }
     L.q.clear();
     L.head = 0;
@@ -504,9 +508,14 @@ class ShardHarness {
       --L.head;  // q[head] still holds the in-flight frame index
       L.inflight = kNoFrame;
       ++rstats_.frames_resent;
+      obs::counter("shard.frames_resent").add(1);
+      // Recovery is rare and diagnostic gold: bypass the sampling gate
+      // so a requeue is visible even in an unsampled round.
+      obs::trace_rare("shard.frame_requeue", L.q[L.head]);
     }
     const WorkerExit ex = transport_->exit_status(s);
     ++rstats_.workers_lost;
+    obs::counter("shard.workers_lost").add(1);
     rstats_.last_down_shard = s;
     rstats_.last_down_cause = cause;
     rstats_.last_down_exit = ex;
@@ -540,6 +549,8 @@ class ShardHarness {
         transport_->respawn(s);
         ++respawns_[s];
         ++rstats_.respawns;
+        obs::counter("shard.respawns").add(1);
+        obs::trace_rare("shard.recovery_respawn", s);
         send_bootstrap(s);  // a replacement worker starts from the wire
         break;
       }
@@ -551,6 +562,7 @@ class ShardHarness {
                                down_cause_name(cause) +
                                "); no surviving workers to reassign to");
         }
+        obs::trace_rare("shard.recovery_reassign", s);
         fold_lane(s);
         break;
       }

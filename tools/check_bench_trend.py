@@ -24,6 +24,14 @@ Checked (see docs/BENCHMARKS.md for the schemas):
   * BENCH_dynamic_inputs.json — ``speedup`` (incremental re-solve over
     from-scratch) must stay within MAX_RATIO of the committed value and
     must exceed 1x outright.
+  * BENCH_large_n.json — per-(series, i) ``wall_per_rep`` for the
+    ``low_load`` / ``high_load`` series under the MAX_RATIO x MIN_WALL
+    rule, plus the peak-RSS telemetry the obs subsystem added: top-level
+    ``peak_rss_bytes`` (the process VmHWM after the sweep) must not grow
+    past MAX_RATIO x the committed value.  RSS below MIN_RSS_BYTES is
+    allocator noise and skipped; snapshots committed before the obs
+    subsystem carry no ``peak_rss_bytes`` and are warn-skipped for that
+    comparison.
   * BENCH_service_qps.json — ``steady_qps`` and ``small_direct_speedup``
     must stay within MAX_RATIO of the committed values; the open-loop
     delivery fraction (``achieved_qps`` / ``target_qps``, which transfers
@@ -273,6 +281,56 @@ def check_dynamic_inputs(baseline, fresh, max_ratio, failures, checked):
             )
 
 
+MIN_RSS_BYTES = 32 * 1024 * 1024  # peak RSS below 32 MiB is dominated by
+# allocator / runtime baseline, not the workload — too noisy to gate
+
+
+def check_large_n(baseline, fresh, max_ratio, failures, checked):
+    for series in ["low_load", "high_load"]:
+        base_rows = {row.get("i"): row for row in baseline.get(series, [])}
+        for row in fresh.get(series, []):
+            base_row = base_rows.get(row.get("i"))
+            if base_row is None:
+                continue
+            base_wall = base_row.get("wall_per_rep")
+            fresh_wall = row.get("wall_per_rep")
+            if not isinstance(base_wall, (int, float)) or not isinstance(
+                fresh_wall, (int, float)
+            ):
+                continue
+            if base_wall < MIN_WALL:
+                continue
+            point = f"large_n {series} i={row.get('i')}"
+            checked.append(point)
+            if fresh_wall > base_wall * max_ratio:
+                failures.append(
+                    f"{point}: {fresh_wall * 1e3:.1f} ms/rep vs committed "
+                    f"{base_wall * 1e3:.1f} ms/rep "
+                    f"(allowed <= {base_wall * max_ratio * 1e3:.1f})"
+                )
+
+    # Memory telemetry (obs subsystem): the sweep's peak RSS must not blow
+    # up.  Snapshots committed before the obs subsystem carry no
+    # peak_rss_bytes — warn-skip, same chicken-and-egg rule as a new bench.
+    base_rss, fresh_rss = (baseline.get("peak_rss_bytes"),
+                           fresh.get("peak_rss_bytes"))
+    if isinstance(fresh_rss, (int, float)) and not isinstance(
+        base_rss, (int, float)
+    ):
+        print("[bench-trend] WARNING: committed BENCH_large_n.json has no "
+              "peak_rss_bytes (pre-obs snapshot) — skipping the peak-RSS "
+              "comparison")
+    elif (isinstance(base_rss, (int, float)) and base_rss >= MIN_RSS_BYTES
+            and isinstance(fresh_rss, (int, float)) and fresh_rss > 0):
+        checked.append("large_n peak_rss_bytes")
+        if fresh_rss > base_rss * max_ratio:
+            failures.append(
+                f"large_n peak_rss_bytes: {fresh_rss / 2**20:.1f} MiB vs "
+                f"committed {base_rss / 2**20:.1f} MiB "
+                f"(allowed <= {base_rss * max_ratio / 2**20:.1f})"
+            )
+
+
 MIN_LATENCY_US = 1e3  # p99 below 1 ms is scheduler noise on shared runners
 
 
@@ -360,6 +418,7 @@ def main():
         ("shard_scaling", check_shard_scaling, False),
         ("ablation_faults", check_ablation_faults, True),
         ("dynamic_inputs", check_dynamic_inputs, True),
+        ("large_n", check_large_n, True),
         ("service_qps", check_service_qps, True),
     ]:
         baseline = load(os.path.join(args.baseline, f"BENCH_{name}.json"))

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate and summarize a Chrome trace_event JSON file produced by
+obs::write_chrome_trace().
+
+Validation (always on):
+
+  * the file parses as JSON with a ``traceEvents`` list;
+  * every event carries name / ph / pid / tid / ts, with ``ph`` one of
+    ``X`` (complete span, requires ``dur >= 0``) or ``i`` (instant);
+  * timestamps are monotone non-decreasing in file order (the writer
+    sorts by start time);
+  * per tid, ``X`` spans nest properly: sweeping events in start order,
+    a span must either start after every open span on that thread ends,
+    or lie entirely inside the innermost open one — overlap without
+    containment means the writer (or a torn ring slot) emitted garbage.
+
+Summary: per-name event counts, span duration totals, and the trace's
+wall extent.  --require NAME asserts at least one event whose name
+contains NAME (substring match), so CI can pin "this faulted run's trace
+really shows round, frame, and recovery activity".
+
+Usage: trace_summary.py TRACE.json [--require NAME]... [--quiet]
+Exit status: 0 valid (and all --require present), 1 invalid, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"[trace-summary] FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="assert >=1 event whose name contains NAME "
+                         "(repeatable)")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the per-name summary table")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents list")
+
+    prev_ts = None
+    # Per-tid stack of (start, end) open spans for the nesting check.
+    open_spans = defaultdict(list)
+    counts = defaultdict(int)
+    span_total_us = defaultdict(float)
+    min_ts = None
+    max_end = None
+
+    for k, e in enumerate(events):
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in e:
+                fail(f"event {k} missing field {field!r}: {e}")
+        name, ph, ts = e["name"], e["ph"], float(e["ts"])
+        if ph not in ("X", "i"):
+            fail(f"event {k} ({name!r}) has unsupported phase {ph!r}")
+        if prev_ts is not None and ts < prev_ts:
+            fail(f"event {k} ({name!r}) breaks timestamp monotonicity: "
+                 f"{ts} < {prev_ts}")
+        prev_ts = ts
+
+        if ph == "X":
+            if "dur" not in e:
+                fail(f"complete event {k} ({name!r}) missing dur")
+            dur = float(e["dur"])
+            if dur < 0:
+                fail(f"complete event {k} ({name!r}) has negative dur {dur}")
+            end = ts + dur
+            stack = open_spans[e["tid"]]
+            # Pop spans that ended before this one starts.
+            while stack and stack[-1][1] <= ts:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                fail(f"span {k} ({name!r}, tid {e['tid']}) overlaps the "
+                     f"enclosing span without nesting: [{ts}, {end}] vs "
+                     f"[{stack[-1][0]}, {stack[-1][1]}]")
+            stack.append((ts, end))
+            span_total_us[name] += dur
+        else:
+            end = ts
+        counts[name] += 1
+        min_ts = ts if min_ts is None else min(min_ts, ts)
+        max_end = end if max_end is None else max(max_end, end)
+
+    if not args.quiet:
+        print(f"[trace-summary] {args.trace}: {len(events)} events, "
+              f"{len(counts)} names, "
+              f"extent {0.0 if min_ts is None else (max_end - min_ts):.1f} us")
+        for name in sorted(counts):
+            total = span_total_us.get(name)
+            extra = f"  span_total={total:.1f}us" if total is not None else ""
+            print(f"  {counts[name]:7d}  {name}{extra}")
+
+    missing = [r for r in args.require
+               if not any(r in name for name in counts)]
+    if missing:
+        fail(f"required event name(s) absent from trace: {missing} "
+             f"(present: {sorted(counts)})")
+
+    print(f"[trace-summary] OK: {len(events)} events"
+          + (f", required names present: {args.require}" if args.require
+             else ""))
+
+
+if __name__ == "__main__":
+    main()
